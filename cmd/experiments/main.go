@@ -1,0 +1,86 @@
+// Command experiments regenerates every experiment of DESIGN.md §4 (E1-E17)
+// and prints paper-vs-measured comparisons. EXPERIMENTS.md is produced from
+// this program's output.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -exp E12   # run one experiment
+//	experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one reproducible unit with an id matching DESIGN.md.
+type experiment struct {
+	id    string
+	title string
+	run   func() error
+}
+
+var experiments []experiment
+
+func register(id, title string, run func() error) {
+	experiments = append(experiments, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	exp := flag.String("exp", "", "run only the experiment with this id (e.g. E12)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	sort.Slice(experiments, func(i, j int) bool {
+		// Numeric sort on the id suffix.
+		return expNum(experiments[i].id) < expNum(experiments[j].id)
+	})
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-5s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.id, e.title)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func expNum(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// row prints an aligned key/value line.
+func row(k string, format string, args ...any) {
+	fmt.Printf("  %-52s %s\n", k, fmt.Sprintf(format, args...))
+}
+
+func check(label string, ok bool) {
+	status := "OK"
+	if !ok {
+		status = "MISMATCH"
+	}
+	row(label, "%s", status)
+}

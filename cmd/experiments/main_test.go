@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsReproduce runs every registered experiment end to end —
+// the integration test that the full paper reproduction holds together.
+func TestAllExperimentsReproduce(t *testing.T) {
+	if len(experiments) < 24 {
+		t.Fatalf("only %d experiments registered, expected at least 24 (E1-E24)", len(experiments))
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if err := e.run(); err != nil {
+				t.Errorf("%s (%s) failed: %v", e.id, e.title, err)
+			}
+		})
+	}
+}
+
+func TestExpNum(t *testing.T) {
+	if expNum("E12") != 12 || expNum("E1") != 1 {
+		t.Error("experiment id parsing broken")
+	}
+}

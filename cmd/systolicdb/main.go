@@ -1,0 +1,307 @@
+// Command systolicdb runs a single relational operation on the systolic
+// array simulator and prints the result relation plus simulation
+// statistics.
+//
+// Relations are generated with the deterministic workload generators, so
+// runs are reproducible from the command line alone:
+//
+//	systolicdb -op intersect -n 20 -m 2 -overlap 0.5
+//	systolicdb -op dedup -n 30 -m 2 -dup 0.6
+//	systolicdb -op join -n 16 -m 3 -match 2
+//	systolicdb -op theta-join -n 10 -m 2 -theta ">"
+//	systolicdb -op divide -n 8 -divisor 4 -coverage 0.5
+//	systolicdb -op union -n 12 -m 2 -overlap 0.3
+//	systolicdb -op project -n 20 -m 3
+//	systolicdb -op difference -n 20 -m 2 -overlap 0.5
+//	systolicdb -op select -n 50 -m 2                  # logic-per-track disk (§9)
+//	systolicdb -op match -pattern "pu?se" -text "..." # pattern-match chip (§8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/dedup"
+	"systolicdb/internal/division"
+	"systolicdb/internal/intersect"
+	"systolicdb/internal/join"
+	"systolicdb/internal/lptdisk"
+	"systolicdb/internal/machine"
+	"systolicdb/internal/patternmatch"
+	"systolicdb/internal/perf"
+	"systolicdb/internal/query"
+	"systolicdb/internal/relation"
+	"systolicdb/internal/systolic"
+	"systolicdb/internal/workload"
+)
+
+func main() {
+	var (
+		op       = flag.String("op", "intersect", "operation: intersect | difference | union | dedup | project | join | theta-join | divide")
+		n        = flag.Int("n", 16, "tuples per relation")
+		m        = flag.Int("m", 2, "elements per tuple")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		overlap  = flag.Float64("overlap", 0.5, "intersection/union overlap fraction")
+		dup      = flag.Float64("dup", 0.5, "duplication rate for dedup")
+		match    = flag.Float64("match", 1, "join match factor")
+		theta    = flag.String("theta", ">", "θ-join operator: = != < <= > >=")
+		divisor  = flag.Int("divisor", 4, "divisor size for divide")
+		coverage = flag.Float64("coverage", 0.5, "divisor coverage for divide")
+		pattern  = flag.String("pattern", "systolic", "pattern for -op match ('?' is a wildcard)")
+		text     = flag.String("text", "systolic arrays pump data as the heart pumps blood", "text for -op match")
+		q        = flag.String("q", "", "plan for -op query, e.g. \"project(join(scan(A), scan(B), 0=0), 0)\"")
+		onMach   = flag.Bool("machine", false, "run -op query on the §9 crossbar machine and print the schedule")
+		quiet    = flag.Bool("quiet", false, "suppress relation dumps, print stats only")
+	)
+	flag.Parse()
+
+	switch *op {
+	case "match":
+		if err := runMatch(*pattern, *text); err != nil {
+			fmt.Fprintln(os.Stderr, "systolicdb:", err)
+			os.Exit(1)
+		}
+		return
+	case "query":
+		if err := runQuery(*q, *n, *m, *seed, *match, *onMach, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "systolicdb:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*op, *n, *m, *seed, *overlap, *dup, *match, *theta, *divisor, *coverage, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "systolicdb:", err)
+		os.Exit(1)
+	}
+}
+
+func printStats(st systolic.Stats) {
+	fmt.Printf("pulses:       %d\n", st.Pulses)
+	fmt.Printf("processors:   %d\n", st.Cells)
+	fmt.Printf("utilization:  %.3f\n", st.Utilization())
+	fmt.Printf("modeled time: %v (conservative 1980 NMOS, %v per pulse)\n",
+		perf.Conservative1980.PulseTime(st.Pulses), perf.Conservative1980.ComparisonTime)
+}
+
+func dump(label string, r *relation.Relation, quiet bool) {
+	if quiet {
+		fmt.Printf("%s: %d tuples\n", label, r.Cardinality())
+		return
+	}
+	fmt.Printf("%s (%d tuples):\n%s\n", label, r.Cardinality(), r)
+}
+
+func run(op string, n, m int, seed int64, overlap, dup, match float64, theta string, divisorN int, coverage float64, quiet bool) error {
+	switch op {
+	case "intersect", "difference":
+		a, b, err := workload.OverlapPair(seed, n, m, overlap)
+		if err != nil {
+			return err
+		}
+		var res *intersect.Result
+		if op == "intersect" {
+			res, err = intersect.Intersection(a, b)
+		} else {
+			res, err = intersect.Difference(a, b)
+		}
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump("B", b, quiet)
+		dump("result", res.Rel, quiet)
+		printStats(res.Stats)
+
+	case "union":
+		a, b, err := workload.OverlapPair(seed, n, m, overlap)
+		if err != nil {
+			return err
+		}
+		res, err := dedup.Union(a, b)
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump("B", b, quiet)
+		dump("A ∪ B", res.Rel, quiet)
+		printStats(res.Stats)
+
+	case "dedup":
+		a, err := workload.WithDuplicates(seed, n, m, dup)
+		if err != nil {
+			return err
+		}
+		res, err := dedup.RemoveDuplicates(a)
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump("dedup(A)", res.Rel, quiet)
+		printStats(res.Stats)
+
+	case "project":
+		a, err := workload.Uniform(seed, n, m, 4)
+		if err != nil {
+			return err
+		}
+		cols := []int{0}
+		if m > 1 {
+			cols = []int{0, 1}
+		}
+		res, err := dedup.Project(a, cols)
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump(fmt.Sprintf("π%v(A)", cols), res.Rel, quiet)
+		printStats(res.Stats)
+
+	case "join":
+		a, b, err := workload.JoinPair(seed, n, n, m, match)
+		if err != nil {
+			return err
+		}
+		res, err := join.Equi(a, b, 0, 0)
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump("B", b, quiet)
+		dump("A ⋈ B", res.Rel, quiet)
+		fmt.Printf("matches: %d of %d candidate pairs\n", res.Pairs, a.Cardinality()*b.Cardinality())
+		printStats(res.Stats)
+
+	case "theta-join":
+		var thetaOp cells.Op
+		switch theta {
+		case "=":
+			thetaOp = cells.EQ
+		case "!=":
+			thetaOp = cells.NE
+		case "<":
+			thetaOp = cells.LT
+		case "<=":
+			thetaOp = cells.LE
+		case ">":
+			thetaOp = cells.GT
+		case ">=":
+			thetaOp = cells.GE
+		default:
+			return fmt.Errorf("unknown θ operator %q", theta)
+		}
+		a, b, err := workload.JoinPair(seed, n, n, m, match)
+		if err != nil {
+			return err
+		}
+		res, err := join.Theta(a, b, 0, 0, thetaOp)
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump("B", b, quiet)
+		dump(fmt.Sprintf("A ⋈[%s] B", theta), res.Rel, quiet)
+		printStats(res.Stats)
+
+	case "select":
+		a, err := workload.Uniform(seed, n, m, 10)
+		if err != nil {
+			return err
+		}
+		d, err := lptdisk.New(32, perf.Disk1980)
+		if err != nil {
+			return err
+		}
+		if err := d.Store(a); err != nil {
+			return err
+		}
+		q := lptdisk.Query{{Col: 0, Op: cells.LT, Value: 5}}
+		res, st, err := d.Select(q)
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump("σ[c0 < 5](A)", res, quiet)
+		fmt.Printf("logic-per-track scan: %d tracks, %d revolution(s), %v\n",
+			st.TracksScanned, st.Revolutions, st.Time)
+
+	case "divide":
+		a, b, err := workload.DivisionCase(seed, n, divisorN, coverage)
+		if err != nil {
+			return err
+		}
+		res, err := division.DivideBinary(a, b)
+		if err != nil {
+			return err
+		}
+		dump("A (dividend)", a, quiet)
+		dump("B (divisor)", b, quiet)
+		dump("A ÷ B", res.Rel, quiet)
+		printStats(res.Stats)
+
+	default:
+		return fmt.Errorf("unknown operation %q", op)
+	}
+	return nil
+}
+
+// runQuery parses and runs a plan over a generated two-relation catalog:
+// A and B are join-workload relations of n tuples and m columns.
+func runQuery(src string, n, m int, seed int64, match float64, onMachine, quiet bool) error {
+	if src == "" {
+		return fmt.Errorf("-op query needs -q \"<plan>\" (e.g. \"intersect(scan(A), scan(B))\")")
+	}
+	plan, err := query.Parse(src)
+	if err != nil {
+		return err
+	}
+	a, b, err := workload.JoinPair(seed, n, n, m, match)
+	if err != nil {
+		return err
+	}
+	cat := query.Catalog{"A": a, "B": b}
+	fmt.Printf("plan:      %s\n", query.Render(plan))
+	plan, err = query.Optimize(plan, cat)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimized: %s\n", query.Render(plan))
+	if !onMachine {
+		res, err := query.Execute(plan, cat)
+		if err != nil {
+			return err
+		}
+		dump("result", res, quiet)
+		return nil
+	}
+	tasks, out, err := query.Compile(plan, cat)
+	if err != nil {
+		return err
+	}
+	mach, err := machine.Default1980(64)
+	if err != nil {
+		return err
+	}
+	res, err := mach.Run(tasks)
+	if err != nil {
+		return err
+	}
+	if err := res.Validate(); err != nil {
+		return err
+	}
+	dump("result", res.Relations[out], quiet)
+	fmt.Println()
+	return res.RenderGantt(os.Stdout, 72)
+}
+
+func runMatch(pattern, text string) error {
+	pos, st, err := patternmatch.MatchString(pattern, text)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pattern %q in %q\n", pattern, text)
+	fmt.Printf("matches at: %v\n", pos)
+	printStats(st)
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	go func() { errCh <- f() }()
+	runErr := <-errCh
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", runErr, out)
+	}
+	return string(out)
+}
+
+func TestRunAllOperations(t *testing.T) {
+	ops := []string{"intersect", "difference", "union", "dedup", "project",
+		"join", "theta-join", "divide", "select"}
+	for _, op := range ops {
+		op := op
+		t.Run(op, func(t *testing.T) {
+			out := capture(t, func() error {
+				return run(op, 8, 2, 1, 0.5, 0.5, 1, ">", 3, 0.5, true)
+			})
+			if !strings.Contains(out, "tuples") {
+				t.Errorf("%s output missing tuple counts:\n%s", op, out)
+			}
+		})
+	}
+}
+
+func TestRunUnknownOp(t *testing.T) {
+	if err := run("bogus", 8, 2, 1, 0.5, 0.5, 1, ">", 3, 0.5, true); err == nil {
+		t.Error("unknown op not rejected")
+	}
+	if err := run("theta-join", 8, 2, 1, 0.5, 0.5, 1, "??", 3, 0.5, true); err == nil {
+		t.Error("unknown θ operator not rejected")
+	}
+}
+
+func TestRunMatchCLI(t *testing.T) {
+	out := capture(t, func() error {
+		return runMatch("ab", "ababab")
+	})
+	if !strings.Contains(out, "matches at: [0 2 4]") {
+		t.Errorf("match output wrong:\n%s", out)
+	}
+}
+
+func TestRunQueryCLI(t *testing.T) {
+	out := capture(t, func() error {
+		return runQuery("intersect(scan(A), scan(B))", 10, 2, 1, 1, false, true)
+	})
+	if !strings.Contains(out, "intersect(scan(A), scan(B))") || !strings.Contains(out, "optimized:") {
+		t.Errorf("query output missing plan or optimization line:\n%s", out)
+	}
+	out = capture(t, func() error {
+		return runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, true, true)
+	})
+	if !strings.Contains(out, "makespan") {
+		t.Errorf("machine query output missing gantt:\n%s", out)
+	}
+	if err := runQuery("", 4, 2, 1, 1, false, true); err == nil {
+		t.Error("empty query not rejected")
+	}
+	if err := runQuery("scan(", 4, 2, 1, 1, false, true); err == nil {
+		t.Error("malformed query not rejected")
+	}
+}

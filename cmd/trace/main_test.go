@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"systolicdb/internal/trace"
+)
+
+func captureTrace(t *testing.T, f func(*trace.Recorder) error) (string, *trace.Recorder) {
+	t.Helper()
+	rec := &trace.Recorder{}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	go func() { errCh <- f(rec) }()
+	runErr := <-errCh
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("trace failed: %v", runErr)
+	}
+	return string(out), rec
+}
+
+func TestTraceComparison(t *testing.T) {
+	out, rec := captureTrace(t, traceComparison)
+	if !strings.Contains(out, "result matrix T") {
+		t.Errorf("missing result matrix:\n%s", out)
+	}
+	if rec.Pulses() == 0 {
+		t.Error("no pulses recorded")
+	}
+	var buf bytes.Buffer
+	if err := rec.RenderPulse(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pulse 0") {
+		t.Error("pulse rendering broken")
+	}
+}
+
+func TestTraceIntersection(t *testing.T) {
+	out, rec := captureTrace(t, traceIntersection)
+	if !strings.Contains(out, "membership bits") {
+		t.Errorf("missing bits line:\n%s", out)
+	}
+	// A matches b_0 and b_2 of B: bits [true true true]? The figure
+	// relations share tuples 0 and 1 of A with B.
+	if rec.Pulses() == 0 {
+		t.Error("no pulses recorded")
+	}
+}
+
+func TestTraceDivision(t *testing.T) {
+	out, rec := captureTrace(t, traceDivision)
+	if !strings.Contains(out, "quotient bits per stored x: [true false true]") {
+		t.Errorf("division trace bits wrong:\n%s", out)
+	}
+	if rec.Pulses() == 0 {
+		t.Error("no pulses recorded")
+	}
+}

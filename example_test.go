@@ -1,0 +1,113 @@
+package systolicdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"systolicdb"
+)
+
+func buildPair() (*systolicdb.Relation, *systolicdb.Relation) {
+	dom := systolicdb.IntDomain("example")
+	schema, err := systolicdb.NewSchema(
+		systolicdb.Column{Name: "x", Domain: dom},
+		systolicdb.Column{Name: "y", Domain: dom},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := systolicdb.NewRelation(schema, []systolicdb.Tuple{{1, 1}, {2, 2}, {3, 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := systolicdb.NewRelation(schema, []systolicdb.Tuple{{2, 2}, {4, 4}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return a, b
+}
+
+// Intersection on the systolic intersection array (paper §4, Figure 4-1).
+func ExampleIntersect() {
+	a, b := buildPair()
+	res, err := systolicdb.Intersect(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Relation)
+	// Output:
+	// x | y
+	// 2 | 2
+}
+
+// Union via remove-duplicates(A+B) (paper §5).
+func ExampleUnion() {
+	a, b := buildPair()
+	res, err := systolicdb.Union(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Relation.Cardinality(), "distinct tuples")
+	// Output:
+	// 4 distinct tuples
+}
+
+// A single-column equi-join on the join array (paper §6); the redundant
+// join column of B is removed.
+func ExampleEquiJoin() {
+	a, b := buildPair()
+	res, err := systolicdb.EquiJoin(a, b, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Relation)
+	// Output:
+	// x | y | b_y
+	// 2 | 2 | 2
+}
+
+// Relational division on the dividend/divisor array pair (paper §7).
+func ExampleDivide() {
+	xd := systolicdb.IntDomain("x")
+	yd := systolicdb.IntDomain("y")
+	aSchema, _ := systolicdb.NewSchema(
+		systolicdb.Column{Name: "x", Domain: xd},
+		systolicdb.Column{Name: "y", Domain: yd},
+	)
+	bSchema, _ := systolicdb.NewSchema(systolicdb.Column{Name: "y", Domain: yd})
+	a, _ := systolicdb.NewRelation(aSchema, []systolicdb.Tuple{
+		{1, 10}, {1, 20}, {2, 10},
+	})
+	b, _ := systolicdb.NewRelation(bSchema, []systolicdb.Tuple{{10}, {20}})
+	res, err := systolicdb.Divide(a, b, []int{0}, []int{1}, []int{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Relation)
+	// Output:
+	// x
+	// 1
+}
+
+// The linear comparison array of §3.1: equality in exactly m pulses.
+func ExampleCompare() {
+	eq, stats, err := systolicdb.Compare(systolicdb.Tuple{1, 2, 3}, systolicdb.Tuple{1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(eq, stats.Pulses)
+	// Output:
+	// true 3
+}
+
+// The Foster-Kung pattern-match chip (§8): streaming search with '?'
+// wildcards.
+func ExampleMatchPattern() {
+	pos, _, err := systolicdb.MatchPattern("s?s", "systolic systems")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(pos)
+	// Output:
+	// [0 9]
+}

@@ -1,0 +1,124 @@
+// Suppliers: Codd's classic suppliers-and-parts database, exercising the
+// join array (§6) and the division array (§7). Division answers the
+// canonical "which suppliers supply *every* part?" query — the example the
+// relational-division operation was invented for, and the one the paper's
+// Figure 7-1 abstracts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"systolicdb"
+)
+
+func main() {
+	supIDs := systolicdb.DictDomain("supplier-ids")
+	supNames := systolicdb.DictDomain("supplier-names")
+	partIDs := systolicdb.DictDomain("part-ids")
+
+	enc := func(d *systolicdb.Domain, s string) systolicdb.Element {
+		e, err := d.EncodeString(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return e
+	}
+
+	// suppliers(sid, sname)
+	supSchema, err := systolicdb.NewSchema(
+		systolicdb.Column{Name: "sid", Domain: supIDs},
+		systolicdb.Column{Name: "sname", Domain: supNames},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suppliers, err := systolicdb.NewRelation(supSchema, []systolicdb.Tuple{
+		{enc(supIDs, "S1"), enc(supNames, "Smith")},
+		{enc(supIDs, "S2"), enc(supNames, "Jones")},
+		{enc(supIDs, "S3"), enc(supNames, "Blake")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// catalog(sid, pid): who supplies what.
+	catSchema, err := systolicdb.NewSchema(
+		systolicdb.Column{Name: "sid", Domain: supIDs},
+		systolicdb.Column{Name: "pid", Domain: partIDs},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalog, err := systolicdb.NewRelation(catSchema, []systolicdb.Tuple{
+		{enc(supIDs, "S1"), enc(partIDs, "P1")},
+		{enc(supIDs, "S1"), enc(partIDs, "P2")},
+		{enc(supIDs, "S1"), enc(partIDs, "P3")},
+		{enc(supIDs, "S2"), enc(partIDs, "P1")},
+		{enc(supIDs, "S2"), enc(partIDs, "P2")},
+		{enc(supIDs, "S3"), enc(partIDs, "P2")},
+		{enc(supIDs, "S3"), enc(partIDs, "P1")},
+		{enc(supIDs, "S3"), enc(partIDs, "P3")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// parts(pid)
+	partSchema, err := systolicdb.NewSchema(
+		systolicdb.Column{Name: "pid", Domain: partIDs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := systolicdb.NewRelation(partSchema, []systolicdb.Tuple{
+		{enc(partIDs, "P1")}, {enc(partIDs, "P2")}, {enc(partIDs, "P3")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Division on the dividend/divisor array pair of §7: catalog ÷ parts
+	// gives the sids that co-occur with every pid.
+	quot, err := systolicdb.Divide(catalog, parts, []int{0}, []int{1}, []int{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("suppliers that stock EVERY part (catalog ÷ parts):")
+	for i := 0; i < quot.Relation.Cardinality(); i++ {
+		s, err := supIDs.DecodeString(quot.Relation.Tuple(i)[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(" ", s)
+	}
+	fmt.Printf("division array: %d pulses (incl. the remove-duplicates pass that\n"+
+		"identifies the distinct dividend elements, as §7 prescribes)\n\n", quot.Stats.Pulses)
+
+	// Join the quotient back to supplier names on the join array of §6.
+	// The redundant sid column of the right operand is removed (§6.1).
+	named, err := systolicdb.EquiJoin(quot.Relation, suppliers, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("...with names (quotient ⋈ suppliers):")
+	for i := 0; i < named.Relation.Cardinality(); i++ {
+		t := named.Relation.Tuple(i)
+		id, err := supIDs.DecodeString(t[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		nm, err := supNames.DecodeString(t[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s %s\n", id, nm)
+	}
+
+	// A θ-join (§6.3.2): suppliers whose id codes differ — every binary
+	// comparison can be preloaded into the join-array processors.
+	ne, err := systolicdb.ThetaJoin(suppliers, suppliers, 0, 0, systolicdb.NE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nθ-join (sid != sid): %d ordered supplier pairs\n", ne.Relation.Cardinality())
+}

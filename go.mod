@@ -1,0 +1,3 @@
+module systolicdb
+
+go 1.22

@@ -1,0 +1,329 @@
+// Package baseline provides conventional software implementations of every
+// relational operation the systolic arrays compute. They play two roles:
+//
+//  1. The "conventional host computer" of the paper's introduction — the
+//     thing the special-purpose chips are attached to and compared against
+//     (experiment E17 benchmarks systolic simulation against these).
+//
+//  2. Executable specifications: every array's output is tested for
+//     equality against the corresponding baseline on randomized workloads.
+//
+// Two algorithmic families are provided where it matters: hash-based
+// (the practical choice) and nested-loop (the exact software analogue of
+// what the arrays compute in hardware, O(|A||B|) comparisons).
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/relation"
+)
+
+// key produces a map key for a tuple projection.
+func key(t relation.Tuple, cols []int) string {
+	if cols == nil {
+		return t.String()
+	}
+	return t.Project(cols).String()
+}
+
+// IntersectionHash computes A ∩ B with a hash set over B.
+func IntersectionHash(a, b *relation.Relation) (*relation.Relation, error) {
+	if err := checkCompatible(a, b); err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool, b.Cardinality())
+	for j := 0; j < b.Cardinality(); j++ {
+		set[key(b.Tuple(j), nil)] = true
+	}
+	keep := make([]bool, a.Cardinality())
+	for i := range keep {
+		keep[i] = set[key(a.Tuple(i), nil)]
+	}
+	return a.Select(keep, true)
+}
+
+// IntersectionNested computes A ∩ B by nested-loop comparison — the exact
+// software analogue of the intersection array's work.
+func IntersectionNested(a, b *relation.Relation) (*relation.Relation, error) {
+	if err := checkCompatible(a, b); err != nil {
+		return nil, err
+	}
+	keep := make([]bool, a.Cardinality())
+	for i := range keep {
+		keep[i] = b.Contains(a.Tuple(i))
+	}
+	return a.Select(keep, true)
+}
+
+// DifferenceHash computes A - B with a hash set over B.
+func DifferenceHash(a, b *relation.Relation) (*relation.Relation, error) {
+	if err := checkCompatible(a, b); err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool, b.Cardinality())
+	for j := 0; j < b.Cardinality(); j++ {
+		set[key(b.Tuple(j), nil)] = true
+	}
+	keep := make([]bool, a.Cardinality())
+	for i := range keep {
+		keep[i] = set[key(a.Tuple(i), nil)]
+	}
+	return a.Select(keep, false)
+}
+
+// UnionHash computes A ∪ B by hashing.
+func UnionHash(a, b *relation.Relation) (*relation.Relation, error) {
+	if err := checkCompatible(a, b); err != nil {
+		return nil, err
+	}
+	cat, err := a.Concat(b)
+	if err != nil {
+		return nil, err
+	}
+	return cat.Dedup(), nil
+}
+
+// RemoveDuplicatesHash removes duplicates by hashing, keeping first
+// occurrences.
+func RemoveDuplicatesHash(a *relation.Relation) (*relation.Relation, error) {
+	if a == nil {
+		return nil, fmt.Errorf("baseline: nil relation")
+	}
+	return a.Dedup(), nil
+}
+
+// RemoveDuplicatesSort removes duplicates by sorting — the classic
+// alternative the database-machine literature compares against. The result
+// is in sorted order, which is fine for set-level comparisons.
+func RemoveDuplicatesSort(a *relation.Relation) (*relation.Relation, error) {
+	if a == nil {
+		return nil, fmt.Errorf("baseline: nil relation")
+	}
+	sorted := a.Sorted()
+	keep := make([]bool, sorted.Cardinality())
+	for i := range keep {
+		keep[i] = i == 0 || sorted.Tuple(i).Compare(sorted.Tuple(i-1)) != 0
+	}
+	return sorted.Select(keep, true)
+}
+
+// Project computes the projection with hash-based duplicate removal.
+func Project(a *relation.Relation, cols []int) (*relation.Relation, error) {
+	if a == nil {
+		return nil, fmt.Errorf("baseline: nil relation")
+	}
+	multi, err := a.ProjectColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	return multi.Dedup(), nil
+}
+
+// JoinSpec mirrors join.Spec for the baselines.
+type JoinSpec struct {
+	ACols []int
+	BCols []int
+	Ops   []cells.Op
+}
+
+func (s *JoinSpec) ops() []cells.Op {
+	if s.Ops == nil {
+		return make([]cells.Op, len(s.ACols))
+	}
+	return s.Ops
+}
+
+func (s *JoinSpec) equi() bool {
+	for _, op := range s.ops() {
+		if op != cells.EQ {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinPairsHash returns the matching (i, j) index pairs of an equi-join
+// using a hash table on B's join key. Only valid for all-EQ specs.
+func JoinPairsHash(a, b *relation.Relation, spec JoinSpec) ([][2]int, error) {
+	if err := validateJoin(a, b, &spec); err != nil {
+		return nil, err
+	}
+	if !spec.equi() {
+		return nil, fmt.Errorf("baseline: hash join requires equality predicates")
+	}
+	idx := make(map[string][]int, b.Cardinality())
+	for j := 0; j < b.Cardinality(); j++ {
+		k := key(b.Tuple(j), spec.BCols)
+		idx[k] = append(idx[k], j)
+	}
+	var out [][2]int
+	for i := 0; i < a.Cardinality(); i++ {
+		for _, j := range idx[key(a.Tuple(i), spec.ACols)] {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out, nil
+}
+
+// JoinPairsNested returns the matching (i, j) pairs by nested loops,
+// supporting any θ operators.
+func JoinPairsNested(a, b *relation.Relation, spec JoinSpec) ([][2]int, error) {
+	if err := validateJoin(a, b, &spec); err != nil {
+		return nil, err
+	}
+	ops := spec.ops()
+	var out [][2]int
+	for i := 0; i < a.Cardinality(); i++ {
+		ta := a.Tuple(i)
+		for j := 0; j < b.Cardinality(); j++ {
+			tb := b.Tuple(j)
+			ok := true
+			for k := range spec.ACols {
+				if !ops[k].Apply(ta[spec.ACols[k]], tb[spec.BCols[k]]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out, nil
+}
+
+// JoinPairsSortMerge returns the matching (i, j) pairs of a single-column
+// equi-join by sort-merge.
+func JoinPairsSortMerge(a, b *relation.Relation, aCol, bCol int) ([][2]int, error) {
+	spec := JoinSpec{ACols: []int{aCol}, BCols: []int{bCol}}
+	if err := validateJoin(a, b, &spec); err != nil {
+		return nil, err
+	}
+	type kv struct {
+		k relation.Element
+		i int
+	}
+	as := make([]kv, a.Cardinality())
+	for i := range as {
+		as[i] = kv{a.Tuple(i)[aCol], i}
+	}
+	bs := make([]kv, b.Cardinality())
+	for j := range bs {
+		bs[j] = kv{b.Tuple(j)[bCol], j}
+	}
+	sort.Slice(as, func(x, y int) bool { return as[x].k < as[y].k })
+	sort.Slice(bs, func(x, y int) bool { return bs[x].k < bs[y].k })
+	var out [][2]int
+	var ai, bi int
+	for ai < len(as) && bi < len(bs) {
+		switch {
+		case as[ai].k < bs[bi].k:
+			ai++
+		case as[ai].k > bs[bi].k:
+			bi++
+		default:
+			// Emit the cross product of the equal runs.
+			aEnd := ai
+			for aEnd < len(as) && as[aEnd].k == as[ai].k {
+				aEnd++
+			}
+			bEnd := bi
+			for bEnd < len(bs) && bs[bEnd].k == bs[bi].k {
+				bEnd++
+			}
+			for x := ai; x < aEnd; x++ {
+				for y := bi; y < bEnd; y++ {
+					out = append(out, [2]int{as[x].i, bs[y].i})
+				}
+			}
+			ai, bi = aEnd, bEnd
+		}
+	}
+	return out, nil
+}
+
+// Divide computes the quotient of A(x-cols, y-cols) ÷ B by grouping.
+func Divide(a, b *relation.Relation, aQuot, aDiv, bCols []int) (*relation.Relation, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("baseline: nil relation")
+	}
+	if len(aDiv) != len(bCols) || len(aQuot) == 0 || len(aDiv) == 0 {
+		return nil, fmt.Errorf("baseline: bad division column groups")
+	}
+	divisor := make(map[string]bool)
+	for j := 0; j < b.Cardinality(); j++ {
+		divisor[key(b.Tuple(j), bCols)] = true
+	}
+	groups := make(map[string]map[string]bool)
+	repr := make(map[string]relation.Tuple)
+	var order []string
+	for i := 0; i < a.Cardinality(); i++ {
+		t := a.Tuple(i)
+		x := key(t, aQuot)
+		if groups[x] == nil {
+			groups[x] = make(map[string]bool)
+			repr[x] = t.Project(aQuot)
+			order = append(order, x)
+		}
+		groups[x][key(t, aDiv)] = true
+	}
+	schema, err := a.Schema().ProjectSchema(aQuot)
+	if err != nil {
+		return nil, err
+	}
+	out, err := relation.NewRelation(schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, x := range order {
+		all := true
+		for y := range divisor {
+			if !groups[x][y] {
+				all = false
+				break
+			}
+		}
+		if all {
+			if err := out.Append(repr[x]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func checkCompatible(a, b *relation.Relation) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("baseline: nil relation")
+	}
+	if !a.Schema().UnionCompatible(b.Schema()) {
+		return fmt.Errorf("baseline: relations are not union-compatible")
+	}
+	return nil
+}
+
+func validateJoin(a, b *relation.Relation, spec *JoinSpec) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("baseline: nil relation")
+	}
+	if len(spec.ACols) == 0 || len(spec.ACols) != len(spec.BCols) {
+		return fmt.Errorf("baseline: bad join column lists")
+	}
+	if spec.Ops != nil && len(spec.Ops) != len(spec.ACols) {
+		return fmt.Errorf("baseline: %d ops for %d columns", len(spec.Ops), len(spec.ACols))
+	}
+	for _, c := range spec.ACols {
+		if c < 0 || c >= a.Width() {
+			return fmt.Errorf("baseline: A column %d out of range", c)
+		}
+	}
+	for _, c := range spec.BCols {
+		if c < 0 || c >= b.Width() {
+			return fmt.Errorf("baseline: B column %d out of range", c)
+		}
+	}
+	return nil
+}

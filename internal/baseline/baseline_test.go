@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"sort"
+	"testing"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/relation"
+	"systolicdb/internal/workload"
+)
+
+func TestIntersectionVariantsAgree(t *testing.T) {
+	a, b, err := workload.OverlapPair(1, 30, 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := IntersectionHash(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := IntersectionNested(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.EqualAsMultiset(n) {
+		t.Error("hash and nested intersections disagree")
+	}
+	if h.Cardinality() != 12 { // 0.4 * 30
+		t.Errorf("intersection size %d, want 12", h.Cardinality())
+	}
+}
+
+func TestDifferenceComplementsIntersection(t *testing.T) {
+	a, b, err := workload.OverlapPair(2, 25, 2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := IntersectionHash(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := DifferenceHash(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Cardinality()+diff.Cardinality() != a.Cardinality() {
+		t.Errorf("intersection %d + difference %d != |A| %d",
+			inter.Cardinality(), diff.Cardinality(), a.Cardinality())
+	}
+}
+
+func TestUnionAndDedup(t *testing.T) {
+	a, err := workload.WithDuplicates(3, 30, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashDedup, err := RemoveDuplicatesHash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortDedup, err := RemoveDuplicatesSort(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hashDedup.EqualAsSet(sortDedup) {
+		t.Error("hash and sort dedup disagree")
+	}
+	u, err := UnionHash(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.EqualAsSet(a) {
+		t.Error("A ∪ A != dedup(A)")
+	}
+}
+
+func TestJoinVariantsAgree(t *testing.T) {
+	a, b, err := workload.JoinPair(4, 25, 25, 2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JoinSpec{ACols: []int{0}, BCols: []int{0}}
+	hash, err := JoinPairsHash(a, b, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := JoinPairsNested(a, b, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge, err := JoinPairsSortMerge(a, b, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := func(ps [][2]int) [][2]int {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i][0] != ps[j][0] {
+				return ps[i][0] < ps[j][0]
+			}
+			return ps[i][1] < ps[j][1]
+		})
+		return ps
+	}
+	hash, nested, merge = canon(hash), canon(nested), canon(merge)
+	if len(hash) != len(nested) || len(hash) != len(merge) {
+		t.Fatalf("pair counts differ: hash=%d nested=%d merge=%d", len(hash), len(nested), len(merge))
+	}
+	for i := range hash {
+		if hash[i] != nested[i] || hash[i] != merge[i] {
+			t.Fatalf("pair %d differs: hash=%v nested=%v merge=%v", i, hash[i], nested[i], merge[i])
+		}
+	}
+}
+
+func TestThetaJoinNested(t *testing.T) {
+	dom := relation.IntDomain("d")
+	s := relation.MustSchema(relation.Column{Name: "x", Domain: dom})
+	a := relation.MustRelation(s, []relation.Tuple{{1}, {5}, {9}})
+	b := relation.MustRelation(s, []relation.Tuple{{4}})
+	pairs, err := JoinPairsNested(a, b, JoinSpec{ACols: []int{0}, BCols: []int{0}, Ops: []cells.Op{cells.GT}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Errorf("GT join found %d pairs, want 2", len(pairs))
+	}
+	if _, err := JoinPairsHash(a, b, JoinSpec{ACols: []int{0}, BCols: []int{0}, Ops: []cells.Op{cells.GT}}); err == nil {
+		t.Error("hash join accepted θ predicate")
+	}
+}
+
+func TestDivideBaseline(t *testing.T) {
+	a, b, err := workload.DivisionCase(5, 8, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Divide(a, b, []int{0}, []int{1}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify against direct computation.
+	ys := make(map[relation.Element]map[relation.Element]bool)
+	for i := 0; i < a.Cardinality(); i++ {
+		tu := a.Tuple(i)
+		if ys[tu[0]] == nil {
+			ys[tu[0]] = make(map[relation.Element]bool)
+		}
+		ys[tu[0]][tu[1]] = true
+	}
+	for x, cov := range ys {
+		want := true
+		for j := 0; j < b.Cardinality(); j++ {
+			if !cov[b.Tuple(j)[0]] {
+				want = false
+			}
+		}
+		if got := q.Contains(relation.Tuple{x}); got != want {
+			t.Errorf("x=%d: in quotient=%v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestProjectBaseline(t *testing.T) {
+	dom := relation.IntDomain("d")
+	s := relation.MustSchema(
+		relation.Column{Name: "x", Domain: dom},
+		relation.Column{Name: "y", Domain: dom})
+	a := relation.MustRelation(s, []relation.Tuple{{1, 10}, {1, 20}, {2, 30}})
+	p, err := Project(a, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cardinality() != 2 {
+		t.Errorf("projection size %d, want 2", p.Cardinality())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := IntersectionHash(nil, nil); err == nil {
+		t.Error("nil relations not rejected")
+	}
+	dom := relation.IntDomain("d")
+	s := relation.MustSchema(relation.Column{Name: "x", Domain: dom})
+	a := relation.MustRelation(s, []relation.Tuple{{1}})
+	if _, err := JoinPairsHash(a, a, JoinSpec{}); err == nil {
+		t.Error("empty join spec not rejected")
+	}
+	if _, err := JoinPairsNested(a, a, JoinSpec{ACols: []int{2}, BCols: []int{0}}); err == nil {
+		t.Error("out-of-range column not rejected")
+	}
+	if _, err := Divide(a, a, nil, []int{0}, []int{0}); err == nil {
+		t.Error("empty quotient group not rejected")
+	}
+}

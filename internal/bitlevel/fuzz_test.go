@@ -1,0 +1,62 @@
+package bitlevel
+
+import (
+	"testing"
+
+	"systolicdb/internal/comparison"
+	"systolicdb/internal/relation"
+)
+
+// FuzzBitLevelEquivalence cross-checks the bit-level linear comparison
+// array against the word-level array on arbitrary tuple pairs.
+func FuzzBitLevelEquivalence(f *testing.F) {
+	f.Add(uint16(1), uint16(1), uint16(2), uint16(2))
+	f.Add(uint16(0), uint16(65535), uint16(0), uint16(65535))
+	f.Add(uint16(7), uint16(7), uint16(7), uint16(8))
+	f.Fuzz(func(t *testing.T, a0, a1, b0, b1 uint16) {
+		a := relation.Tuple{relation.Element(a0), relation.Element(a1)}
+		b := relation.Tuple{relation.Element(b0), relation.Element(b1)}
+		word, _, err := comparison.CompareTuples(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bit, _, err := CompareTuples(a, b, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if word != bit {
+			t.Errorf("word=%v bit=%v for %v vs %v", word, bit, a, b)
+		}
+	})
+}
+
+// FuzzExpandCollapse checks the bit decomposition round-trip on arbitrary
+// values and widths.
+func FuzzExpandCollapse(f *testing.F) {
+	f.Add(int64(0), 1)
+	f.Add(int64(12345), 16)
+	f.Add(int64(1)<<61, 62)
+	f.Fuzz(func(t *testing.T, v int64, width int) {
+		if width < 1 || width > MaxWidth {
+			t.Skip()
+		}
+		if v < 0 || v >= 1<<uint(width) {
+			t.Skip()
+		}
+		tu := relation.Tuple{relation.Element(v)}
+		bits, err := Expand(tu, width)
+		if err != nil {
+			t.Fatalf("Expand: %v", err)
+		}
+		if len(bits) != width {
+			t.Fatalf("Expand produced %d bits, want %d", len(bits), width)
+		}
+		back, err := Collapse(bits, width)
+		if err != nil {
+			t.Fatalf("Collapse: %v", err)
+		}
+		if !back.Equal(tu) {
+			t.Errorf("round trip %d (width %d) -> %v", v, width, back)
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package cells
+
+import (
+	"systolicdb/internal/relation"
+	"systolicdb/internal/systolic"
+)
+
+// StreamTheta is the second programmability option of paper §6.3.2: "The
+// particular operation to be performed might be encoded in a few bits, and
+// passed along with the a_ij and b_ij. Or, it might be preloaded into the
+// array of processors." Theta implements the preloaded variant; StreamTheta
+// implements the streamed variant — the boolean token travelling on the
+// west-east result channel carries the operator code in its value field,
+// so the same physical array evaluates a different comparison per pair
+// without reconfiguration.
+//
+// "This illustrates that some degree of programability can often be
+// provided to a processor array at the expense of additional logic."
+type StreamTheta struct{}
+
+// EncodeOpToken builds the west-side token for a pair: the running boolean
+// in the flag and the operator code in the value.
+func EncodeOpToken(initial bool, op Op, tag systolic.Tag) systolic.Token {
+	t := systolic.FlagToken(initial, tag)
+	t.Val = relation.Element(op)
+	t.HasVal = true
+	return t
+}
+
+// Step implements systolic.Cell.
+func (StreamTheta) Step(in systolic.Inputs) systolic.Outputs {
+	var out systolic.Outputs
+	if in.N.HasVal {
+		out.S = in.N
+	}
+	if in.S.HasVal {
+		out.N = in.S
+	}
+	if in.W.HasFlag {
+		t := in.W
+		if in.N.HasVal && in.S.HasVal {
+			op := Op(t.Val) // operator code rides with the result token
+			t.Flag = t.Flag && op.Apply(in.N.Val, in.S.Val)
+		}
+		out.E = t
+	}
+	return out
+}
+
+// Reset implements systolic.Cell; StreamTheta is stateless.
+func (StreamTheta) Reset() {}

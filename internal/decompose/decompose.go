@@ -1,0 +1,185 @@
+// Package decompose implements the problem-decomposition technique of Kung
+// & Lehman (1980) §8: "it is also possible to use the array to solve
+// problems that will not fit entirely on it. ... In the intersection
+// problem, consider the matrix, T, of results. For a large problem, one can
+// simply partition this matrix into sub-problems small enough to fit on the
+// array; each of these sub-problems would generate a piece of the matrix."
+//
+// A fixed-size array is modelled by its tuple capacities (how many tuples
+// of A and of B a single pass can accept). The tiler partitions T into
+// blocks, runs each block on the fixed array, and reassembles — for the
+// comparison array the blocks are simply copied into place; for the
+// accumulating (intersection-family) arrays the per-tile row results are
+// OR-combined, since t_i = OR over all blocks of the block-local OR.
+package decompose
+
+import (
+	"fmt"
+
+	"systolicdb/internal/comparison"
+	"systolicdb/internal/intersect"
+	"systolicdb/internal/relation"
+	"systolicdb/internal/systolic"
+)
+
+// ArraySize is the capacity of the fixed physical array: the maximum
+// number of tuples of A and of B a single pass can process.
+type ArraySize struct {
+	MaxA int
+	MaxB int
+}
+
+func (s ArraySize) validate() error {
+	if s.MaxA <= 0 || s.MaxB <= 0 {
+		return fmt.Errorf("decompose: array capacities (%d, %d) must be positive", s.MaxA, s.MaxB)
+	}
+	return nil
+}
+
+// Tiles returns the number of sub-problems an nA x nB problem decomposes
+// into: ceil(nA/MaxA) * ceil(nB/MaxB).
+func (s ArraySize) Tiles(nA, nB int) int {
+	return ceilDiv(nA, s.MaxA) * ceilDiv(nB, s.MaxB)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Stats aggregates the cost of a tiled run. Pulses is the sequential sum
+// over tiles (one physical array executes the tiles one after another);
+// PerTilePulses records each tile's own pulse count, which schedulers with
+// several physical arrays use to run tiles concurrently (§9: "Results from
+// subrelations must be stored outside the systolic arrays before they are
+// finally combined").
+type Stats struct {
+	Tiles         int
+	Pulses        int
+	CellSteps     int
+	ActiveSteps   int
+	PerTilePulses []int
+}
+
+func (s *Stats) add(t systolic.Stats) {
+	s.Pulses += t.Pulses
+	s.CellSteps += t.CellSteps
+	s.ActiveSteps += t.ActiveSteps
+	s.PerTilePulses = append(s.PerTilePulses, t.Pulses)
+}
+
+// TiledT computes the full matrix T for a problem larger than the physical
+// array by running one comparison-array pass per tile. init receives
+// *global* pair indices.
+func TiledT(a, b []relation.Tuple, init comparison.InitFunc, size ArraySize) (*comparison.Matrix, Stats, error) {
+	if err := size.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	nA, nB := len(a), len(b)
+	t := comparison.NewMatrix(nA, nB)
+	var stats Stats
+	for i0 := 0; i0 < nA; i0 += size.MaxA {
+		i1 := min(i0+size.MaxA, nA)
+		for j0 := 0; j0 < nB; j0 += size.MaxB {
+			j1 := min(j0+size.MaxB, nB)
+			var tileInit comparison.InitFunc
+			if init != nil {
+				i0, j0 := i0, j0
+				tileInit = func(i, j int) bool { return init(i0+i, j0+j) }
+			}
+			res, err := comparison.Run2D(a[i0:i1], b[j0:j1], tileInit, nil)
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("decompose: tile (%d..%d, %d..%d): %w", i0, i1, j0, j1, err)
+			}
+			for i := range res.T.Bits {
+				copy(t.Bits[i0+i][j0:], res.T.Bits[i])
+			}
+			stats.Tiles++
+			stats.add(res.Stats)
+		}
+	}
+	return t, stats, nil
+}
+
+// TiledAccumulate computes the per-tuple OR bits t_i (the intersection
+// array's output, equation 4.1) for a problem larger than the physical
+// array: each tile runs the full comparison+accumulation grid and the
+// block-local t_i are OR-combined across B-tiles.
+func TiledAccumulate(a, b []relation.Tuple, init comparison.InitFunc, size ArraySize) ([]bool, Stats, error) {
+	if err := size.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	nA, nB := len(a), len(b)
+	keep := make([]bool, nA)
+	var stats Stats
+	if nA == 0 {
+		return keep, stats, nil
+	}
+	if nB == 0 {
+		return keep, stats, nil
+	}
+	for i0 := 0; i0 < nA; i0 += size.MaxA {
+		i1 := min(i0+size.MaxA, nA)
+		for j0 := 0; j0 < nB; j0 += size.MaxB {
+			j1 := min(j0+size.MaxB, nB)
+			var tileInit comparison.InitFunc
+			if init != nil {
+				i0, j0 := i0, j0
+				tileInit = func(i, j int) bool { return init(i0+i, j0+j) }
+			}
+			bits, st, err := intersect.RunAccumulated(a[i0:i1], b[j0:j1], tileInit, nil)
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("decompose: tile (%d..%d, %d..%d): %w", i0, i1, j0, j1, err)
+			}
+			for i, bit := range bits {
+				keep[i0+i] = keep[i0+i] || bit
+			}
+			stats.Tiles++
+			stats.add(st)
+		}
+	}
+	return keep, stats, nil
+}
+
+// Intersection computes A ∩ B on a fixed-size array via decomposition.
+func Intersection(a, b *relation.Relation, size ArraySize) (*relation.Relation, Stats, error) {
+	return tiledSelect(a, b, size, true)
+}
+
+// Difference computes A - B on a fixed-size array via decomposition.
+func Difference(a, b *relation.Relation, size ArraySize) (*relation.Relation, Stats, error) {
+	return tiledSelect(a, b, size, false)
+}
+
+func tiledSelect(a, b *relation.Relation, size ArraySize, want bool) (*relation.Relation, Stats, error) {
+	if a == nil || b == nil {
+		return nil, Stats{}, fmt.Errorf("decompose: nil relation")
+	}
+	if !a.Schema().UnionCompatible(b.Schema()) {
+		return nil, Stats{}, fmt.Errorf("decompose: relations are not union-compatible")
+	}
+	keep, stats, err := TiledAccumulate(a.Tuples(), b.Tuples(), nil, size)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	rel, err := a.Select(keep, want)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return rel, stats, nil
+}
+
+// RemoveDuplicates removes duplicate tuples on a fixed-size array via
+// decomposition, using the global triangle mask of §5.
+func RemoveDuplicates(a *relation.Relation, size ArraySize) (*relation.Relation, Stats, error) {
+	if a == nil {
+		return nil, Stats{}, fmt.Errorf("decompose: nil relation")
+	}
+	tuples := a.Tuples()
+	dup, stats, err := TiledAccumulate(tuples, tuples, func(i, j int) bool { return i > j }, size)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	rel, err := a.Select(dup, false)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return rel, stats, nil
+}

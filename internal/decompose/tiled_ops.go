@@ -1,0 +1,62 @@
+package decompose
+
+import (
+	"fmt"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/comparison"
+	"systolicdb/internal/division"
+	"systolicdb/internal/join"
+	"systolicdb/internal/relation"
+)
+
+// TiledJoinT computes the join match matrix T for a problem larger than the
+// physical join array by running one join-array pass per tile (§8's
+// decomposition applied to the array of §6).
+func TiledJoinT(aKeys, bKeys []relation.Tuple, ops []cells.Op, size ArraySize) (*comparison.Matrix, Stats, error) {
+	if err := size.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	nA, nB := len(aKeys), len(bKeys)
+	t := comparison.NewMatrix(nA, nB)
+	var stats Stats
+	for i0 := 0; i0 < nA; i0 += size.MaxA {
+		i1 := min(i0+size.MaxA, nA)
+		for j0 := 0; j0 < nB; j0 += size.MaxB {
+			j1 := min(j0+size.MaxB, nB)
+			tile, st, err := join.RunT(aKeys[i0:i1], bKeys[j0:j1], ops)
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("decompose: join tile (%d..%d, %d..%d): %w", i0, i1, j0, j1, err)
+			}
+			for i := range tile.Bits {
+				copy(t.Bits[i0+i][j0:], tile.Bits[i])
+			}
+			stats.Tiles++
+			stats.add(st)
+		}
+	}
+	return t, stats, nil
+}
+
+// TiledDivision runs the division array for a dividend whose distinct-x
+// count exceeds the physical array's row capacity (size.MaxA rows of
+// dividend/divisor processors): the stored x's are partitioned into row
+// bands and the full pair stream is replayed through each band.
+func TiledDivision(pairs []division.Pair, xs, divisor []relation.Element, size ArraySize) ([]bool, Stats, error) {
+	if err := size.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	bits := make([]bool, len(xs))
+	var stats Stats
+	for r0 := 0; r0 < len(xs); r0 += size.MaxA {
+		r1 := min(r0+size.MaxA, len(xs))
+		band, st, err := division.RunArray(pairs, xs[r0:r1], divisor, nil)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("decompose: division band (%d..%d): %w", r0, r1, err)
+		}
+		copy(bits[r0:], band)
+		stats.Tiles++
+		stats.add(st)
+	}
+	return bits, stats, nil
+}

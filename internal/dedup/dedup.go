@@ -1,0 +1,105 @@
+// Package dedup implements the remove-duplicates array of Kung & Lehman
+// (1980) §5 and the two relational operations built directly on it: union
+// and projection.
+//
+// The hardware is *identical* to the intersection array of §4 — the paper's
+// §4.3 point is that only the feeding changes. Relation A is fed into both
+// the top and the bottom of the array (A is union-compatible with itself),
+// and the initial boolean for pair (i, j) is forced FALSE on and above the
+// main diagonal (i <= j), so that
+//
+//	t_ij = TRUE  iff  j < i and a_i = a_j.
+//
+// The accumulation array then ORs each row: t_i is TRUE iff a_i is preceded
+// by an equal tuple, i.e. iff a_i is a duplicate to be removed. Keeping
+// tuples with t_i = FALSE keeps exactly the first occurrence of each value
+// — "not necessarily as a_8 because, for example, a_3 might equal a_4".
+package dedup
+
+import (
+	"fmt"
+
+	"systolicdb/internal/intersect"
+	"systolicdb/internal/relation"
+	"systolicdb/internal/systolic"
+)
+
+// Result is the outcome of a remove-duplicates, union or projection run.
+type Result struct {
+	Rel       *relation.Relation // the output relation (no duplicates)
+	Duplicate []bool             // t_i: TRUE iff input tuple i was removed
+	Stats     systolic.Stats
+}
+
+// triangleMask is the §5 initial-input mask: FALSE on the diagonal and in
+// the upper triangle, TRUE strictly below the diagonal.
+func triangleMask(i, j int) bool { return i > j }
+
+// RemoveDuplicates transforms a multi-relation A into a relation A'
+// containing every tuple of A exactly once, using the remove-duplicates
+// array.
+func RemoveDuplicates(a *relation.Relation) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("dedup: nil relation")
+	}
+	tuples := a.Tuples()
+	dup, stats, err := intersect.RunAccumulated(tuples, tuples, triangleMask, nil)
+	if err != nil {
+		return nil, err
+	}
+	if dup == nil {
+		dup = []bool{}
+	}
+	rel, err := a.Select(dup, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rel: rel, Duplicate: dup, Stats: stats}, nil
+}
+
+// Union computes C = A ∪ B as remove-duplicates(A + B), the construction of
+// §5: "we first form the concatenation of A and B as we retrieve them. We
+// then put the concatenation through both sides of the remove-duplicates
+// array, and what comes out is a bit-string, indicating which tuples of the
+// concatenation should be in the union."
+func Union(a, b *relation.Relation) (*Result, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("dedup: nil relation")
+	}
+	cat, err := a.Concat(b)
+	if err != nil {
+		return nil, err
+	}
+	return RemoveDuplicates(cat)
+}
+
+// Project computes the projection of A over the listed columns (§5): the
+// smaller sub-tuples are formed "during the time when the original tuples
+// are retrieved from storage", and the resulting multi-relation is turned
+// into a relation by the remove-duplicates array.
+func Project(a *relation.Relation, cols []int) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("dedup: nil relation")
+	}
+	multi, err := a.ProjectColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	return RemoveDuplicates(multi)
+}
+
+// ProjectNames is Project with columns given by name.
+func ProjectNames(a *relation.Relation, names []string) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("dedup: nil relation")
+	}
+	cols := make([]int, len(names))
+	for i, n := range names {
+		c, err := a.Schema().ColumnIndex(n)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	return Project(a, cols)
+}

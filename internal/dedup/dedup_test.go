@@ -1,0 +1,199 @@
+package dedup
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdb/internal/relation"
+)
+
+var dom = relation.IntDomain("d")
+
+func schema(m int) *relation.Schema {
+	cols := make([]relation.Column, m)
+	for i := range cols {
+		cols[i] = relation.Column{Name: string(rune('a' + i)), Domain: dom}
+	}
+	return relation.MustSchema(cols...)
+}
+
+func rel(m int, rows ...[]int64) *relation.Relation {
+	tuples := make([]relation.Tuple, len(rows))
+	for i, r := range rows {
+		t := make(relation.Tuple, m)
+		for k := range t {
+			t[k] = relation.Element(r[k])
+		}
+		tuples[i] = t
+	}
+	return relation.MustRelation(schema(m), tuples)
+}
+
+func TestRemoveDuplicatesKeepsFirstOccurrence(t *testing.T) {
+	a := rel(2,
+		[]int64{1, 1}, // kept (index 0)
+		[]int64{2, 2}, // kept
+		[]int64{1, 1}, // dup of 0
+		[]int64{3, 3}, // kept
+		[]int64{2, 2}, // dup of 1
+		[]int64{1, 1}, // dup of 0
+	)
+	res, err := RemoveDuplicates(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDup := []bool{false, false, true, false, true, true}
+	for i, w := range wantDup {
+		if res.Duplicate[i] != w {
+			t.Errorf("Duplicate[%d] = %v, want %v", i, res.Duplicate[i], w)
+		}
+	}
+	want := rel(2, []int64{1, 1}, []int64{2, 2}, []int64{3, 3})
+	if !res.Rel.EqualAsMultiset(want) {
+		t.Errorf("dedup result\n%v\nwant\n%v", res.Rel, want)
+	}
+}
+
+func TestRemoveDuplicatesNoDuplicates(t *testing.T) {
+	a := rel(1, []int64{1}, []int64{2}, []int64{3})
+	res, err := RemoveDuplicates(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rel.EqualAsMultiset(a) {
+		t.Errorf("duplicate-free relation altered")
+	}
+}
+
+func TestRemoveDuplicatesMatchesHostDedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n, m := 1+rng.Intn(12), 1+rng.Intn(3)
+		rows := make([][]int64, n)
+		for i := range rows {
+			row := make([]int64, m)
+			for k := range row {
+				row[k] = rng.Int63n(2) // tiny domain: many duplicates
+			}
+			rows[i] = row
+		}
+		a := rel(m, rows...)
+		res, err := RemoveDuplicates(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Rel.EqualAsMultiset(a.Dedup()) {
+			t.Errorf("trial %d: array dedup differs from host dedup", trial)
+		}
+		if res.Rel.HasDuplicates() {
+			t.Errorf("trial %d: output still has duplicates", trial)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := rel(2, []int64{1, 1}, []int64{2, 2})
+	b := rel(2, []int64{2, 2}, []int64{3, 3})
+	res, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rel(2, []int64{1, 1}, []int64{2, 2}, []int64{3, 3})
+	if !res.Rel.EqualAsMultiset(want) {
+		t.Errorf("union\n%v\nwant\n%v", res.Rel, want)
+	}
+}
+
+func TestUnionProperties(t *testing.T) {
+	toRel := func(rows [][2]uint8) *relation.Relation {
+		out := make([][]int64, len(rows))
+		for i, r := range rows {
+			out[i] = []int64{int64(r[0] % 3), int64(r[1] % 3)}
+		}
+		return rel(2, out...)
+	}
+	// Commutativity as sets, idempotence, and no duplicates in output.
+	f := func(aRows, bRows [][2]uint8) bool {
+		if len(aRows) == 0 {
+			aRows = [][2]uint8{{1, 1}}
+		}
+		if len(bRows) == 0 {
+			bRows = [][2]uint8{{2, 2}}
+		}
+		a, b := toRel(aRows), toRel(bRows)
+		ab, err := Union(a, b)
+		if err != nil {
+			return false
+		}
+		ba, err := Union(b, a)
+		if err != nil {
+			return false
+		}
+		aa, err := Union(a, a)
+		if err != nil {
+			return false
+		}
+		return ab.Rel.EqualAsSet(ba.Rel) &&
+			aa.Rel.EqualAsSet(a) &&
+			!ab.Rel.HasDuplicates() &&
+			ab.Rel.Cardinality() <= a.Cardinality()+b.Cardinality()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProject(t *testing.T) {
+	// Projection that creates duplicates: drop the distinguishing column.
+	a := rel(3,
+		[]int64{1, 10, 100},
+		[]int64{1, 10, 200},
+		[]int64{2, 20, 300},
+	)
+	res, err := Project(a, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rel(2, []int64{1, 10}, []int64{2, 20})
+	if !res.Rel.EqualAsSet(want) {
+		t.Errorf("projection\n%v\nwant\n%v", res.Rel, want)
+	}
+	if res.Rel.Width() != 2 {
+		t.Errorf("projected width = %d, want 2", res.Rel.Width())
+	}
+}
+
+func TestProjectNames(t *testing.T) {
+	a := rel(3, []int64{1, 2, 3})
+	res, err := ProjectNames(a, []string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Rel.Tuple(0)
+	if got[0] != 3 || got[1] != 1 {
+		t.Errorf("projected tuple = %v, want <3, 1>", got)
+	}
+	if _, err := ProjectNames(a, []string{"nope"}); err == nil {
+		t.Error("unknown column name not rejected")
+	}
+}
+
+func TestProjectBadColumn(t *testing.T) {
+	a := rel(2, []int64{1, 2})
+	if _, err := Project(a, []int{5}); err == nil {
+		t.Error("out-of-range column not rejected")
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	if _, err := RemoveDuplicates(nil); err == nil {
+		t.Error("nil relation not rejected")
+	}
+	if _, err := Union(nil, nil); err == nil {
+		t.Error("nil union operands not rejected")
+	}
+	if _, err := Project(nil, []int{0}); err == nil {
+		t.Error("nil projection operand not rejected")
+	}
+}

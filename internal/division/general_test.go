@@ -1,0 +1,157 @@
+package division
+
+import (
+	"math/rand"
+	"testing"
+
+	"systolicdb/internal/relation"
+)
+
+func TestGeneralArrayRestrictedCase(t *testing.T) {
+	// kz = ky = 1 must reproduce the restricted array's results.
+	pairs := []Pair{{1, 10}, {1, 20}, {2, 10}, {3, 20}, {3, 10}}
+	xs := []relation.Element{1, 2, 3}
+	divisor := []relation.Element{10, 20}
+	restricted, _, err := RunArray(pairs, xs, divisor, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := GeneralProblem{}
+	for _, p := range pairs {
+		gp.ZS = append(gp.ZS, relation.Tuple{p.Z})
+		gp.YS = append(gp.YS, relation.Tuple{p.Y})
+	}
+	for _, x := range xs {
+		gp.Xs = append(gp.Xs, relation.Tuple{x})
+	}
+	for _, d := range divisor {
+		gp.Divisor = append(gp.Divisor, relation.Tuple{d})
+	}
+	general, _, err := RunGeneralArray(gp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range restricted {
+		if general[r] != restricted[r] {
+			t.Errorf("row %d: general %v, restricted %v", r, general[r], restricted[r])
+		}
+	}
+}
+
+func TestDivideHWMatchesInterned(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	dq := relation.IntDomain("q")
+	dy := relation.IntDomain("y")
+	for trial := 0; trial < 25; trial++ {
+		kz := 1 + rng.Intn(2)
+		ky := 1 + rng.Intn(2)
+		cols := make([]relation.Column, 0, kz+ky)
+		var aQuot, aDiv []int
+		for c := 0; c < kz; c++ {
+			cols = append(cols, relation.Column{Name: string(rune('p' + c)), Domain: dq})
+			aQuot = append(aQuot, c)
+		}
+		for c := 0; c < ky; c++ {
+			cols = append(cols, relation.Column{Name: string(rune('u' + c)), Domain: dy})
+			aDiv = append(aDiv, kz+c)
+		}
+		aSchema := relation.MustSchema(cols...)
+		bcols := make([]relation.Column, ky)
+		bCols := make([]int, ky)
+		for c := 0; c < ky; c++ {
+			bcols[c] = relation.Column{Name: string(rune('u' + c)), Domain: dy}
+			bCols[c] = c
+		}
+		bSchema := relation.MustSchema(bcols...)
+
+		nPairs := 1 + rng.Intn(14)
+		var aT []relation.Tuple
+		for i := 0; i < nPairs; i++ {
+			tu := make(relation.Tuple, kz+ky)
+			for c := range tu {
+				tu[c] = relation.Element(rng.Int63n(3))
+			}
+			aT = append(aT, tu)
+		}
+		nDiv := 1 + rng.Intn(3)
+		var bT []relation.Tuple
+		for j := 0; j < nDiv; j++ {
+			tu := make(relation.Tuple, ky)
+			for c := range tu {
+				tu[c] = relation.Element(rng.Int63n(3))
+			}
+			bT = append(bT, tu)
+		}
+		a := relation.MustRelation(aSchema, aT)
+		b := relation.MustRelation(bSchema, bT)
+
+		interned, err := Divide(a, b, aQuot, aDiv, bCols)
+		if err != nil {
+			t.Fatalf("trial %d: interned: %v", trial, err)
+		}
+		hw, err := DivideHW(a, b, aQuot, aDiv, bCols)
+		if err != nil {
+			t.Fatalf("trial %d: hardware: %v", trial, err)
+		}
+		if !hw.Rel.EqualAsSet(interned.Rel) {
+			t.Fatalf("trial %d (kz=%d ky=%d n=%d nDiv=%d): hardware quotient\n%v\ndiffers from interned\n%v",
+				trial, kz, ky, nPairs, nDiv, hw.Rel, interned.Rel)
+		}
+	}
+}
+
+func TestDivideHWFigure71(t *testing.T) {
+	a, b, xDom, _ := figureExample(t)
+	res, err := DivideHW(a, b, []int{0}, []int{1}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for i := 0; i < res.Rel.Cardinality(); i++ {
+		s, err := xDom.DecodeString(res.Rel.Tuple(i)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s)
+	}
+	if len(got) != 2 || got[0] != "i" || got[1] != "k" {
+		t.Errorf("hardware quotient = %v, want [i k]", got)
+	}
+}
+
+func TestGeneralArrayValidation(t *testing.T) {
+	if bits, _, err := RunGeneralArray(GeneralProblem{}, nil); err != nil || bits != nil {
+		t.Error("empty problem should return nil bits, no error")
+	}
+	bad := GeneralProblem{
+		ZS: []relation.Tuple{{1}},
+		YS: nil,
+		Xs: []relation.Tuple{{1}},
+	}
+	if _, _, err := RunGeneralArray(bad, nil); err == nil {
+		t.Error("mismatched pair lists not rejected")
+	}
+	bad2 := GeneralProblem{
+		ZS: []relation.Tuple{{1}},
+		YS: []relation.Tuple{{1, 2}},
+		Xs: []relation.Tuple{{1}, {2, 3}},
+	}
+	if _, _, err := RunGeneralArray(bad2, nil); err == nil {
+		t.Error("ragged quotient tuples not rejected")
+	}
+}
+
+func TestGeneralArrayEmptyDivisor(t *testing.T) {
+	gp := GeneralProblem{
+		ZS: []relation.Tuple{{1, 1}},
+		YS: []relation.Tuple{{5}},
+		Xs: []relation.Tuple{{1, 1}},
+	}
+	bits, _, err := RunGeneralArray(gp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits[0] {
+		t.Error("empty divisor should admit every quotient tuple (vacuous truth)")
+	}
+}

@@ -1,0 +1,234 @@
+package intersect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdb/internal/relation"
+	"systolicdb/internal/systolic"
+)
+
+var testDomain = relation.IntDomain("d")
+
+func schema(m int) *relation.Schema {
+	cols := make([]relation.Column, m)
+	for i := range cols {
+		cols[i] = relation.Column{Name: string(rune('a' + i)), Domain: testDomain}
+	}
+	return relation.MustSchema(cols...)
+}
+
+func rel(m int, rows ...[]int64) *relation.Relation {
+	tuples := make([]relation.Tuple, len(rows))
+	for i, r := range rows {
+		t := make(relation.Tuple, m)
+		for k := range t {
+			t[k] = relation.Element(r[k])
+		}
+		tuples[i] = t
+	}
+	return relation.MustRelation(schema(m), tuples)
+}
+
+// refIntersect is the set-theoretic specification.
+func refBits(a, b *relation.Relation) []bool {
+	keep := make([]bool, a.Cardinality())
+	for i := 0; i < a.Cardinality(); i++ {
+		keep[i] = b.Contains(a.Tuple(i))
+	}
+	return keep
+}
+
+func TestIntersectionPaperExampleSize(t *testing.T) {
+	// The worked example of Figure 4-1 intersects two 3x3 relations.
+	a := rel(3, []int64{1, 2, 3}, []int64{4, 5, 6}, []int64{7, 8, 9})
+	b := rel(3, []int64{4, 5, 6}, []int64{9, 9, 9}, []int64{1, 2, 3})
+	res, err := Intersection(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rel(3, []int64{1, 2, 3}, []int64{4, 5, 6})
+	if !res.Rel.EqualAsSet(want) {
+		t.Errorf("intersection = \n%v, want \n%v", res.Rel, want)
+	}
+}
+
+func TestDifference(t *testing.T) {
+	a := rel(2, []int64{1, 1}, []int64{2, 2}, []int64{3, 3})
+	b := rel(2, []int64{2, 2})
+	res, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rel(2, []int64{1, 1}, []int64{3, 3})
+	if !res.Rel.EqualAsSet(want) {
+		t.Errorf("difference = \n%v, want \n%v", res.Rel, want)
+	}
+}
+
+func TestIntersectionRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		nA, nB, m := 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(4)
+		mk := func(n int) *relation.Relation {
+			rows := make([][]int64, n)
+			for i := range rows {
+				row := make([]int64, m)
+				for k := range row {
+					row[k] = rng.Int63n(3)
+				}
+				rows[i] = row
+			}
+			return rel(m, rows...)
+		}
+		a, b := mk(nA), mk(nB)
+		res, err := Intersection(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := refBits(a, b)
+		for i := range want {
+			if res.Keep[i] != want[i] {
+				t.Fatalf("trial %d: keep[%d]=%v, want %v\nA=%v\nB=%v", trial, i, res.Keep[i], want[i], a, b)
+			}
+		}
+	}
+}
+
+func TestIntersectionDifferencePartitionA(t *testing.T) {
+	// Property: A∩B and A-B partition A (as a multi-relation).
+	f := func(aRows, bRows [][2]uint8) bool {
+		toRel := func(rows [][2]uint8) *relation.Relation {
+			if len(rows) == 0 {
+				rows = [][2]uint8{{0, 0}}
+			}
+			out := make([][]int64, len(rows))
+			for i, r := range rows {
+				out[i] = []int64{int64(r[0] % 4), int64(r[1] % 4)}
+			}
+			return rel(2, out...)
+		}
+		a, b := toRel(aRows), toRel(bRows)
+		inter, err := Intersection(a, b)
+		if err != nil {
+			return false
+		}
+		diff, err := Difference(a, b)
+		if err != nil {
+			return false
+		}
+		union, err := inter.Rel.Concat(diff.Rel)
+		if err != nil {
+			return false
+		}
+		return union.EqualAsMultiset(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionEmptyB(t *testing.T) {
+	a := rel(2, []int64{1, 2})
+	b := relation.MustRelation(schema(2), nil)
+	res, err := Intersection(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.Cardinality() != 0 {
+		t.Errorf("A ∩ ∅ has %d tuples", res.Rel.Cardinality())
+	}
+	diff, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Rel.EqualAsSet(a) {
+		t.Errorf("A - ∅ != A")
+	}
+}
+
+func TestIntersectionIncompatible(t *testing.T) {
+	a := rel(2, []int64{1, 2})
+	other := relation.MustRelation(
+		relation.MustSchema(relation.Column{Name: "x", Domain: relation.IntDomain("other")},
+			relation.Column{Name: "y", Domain: relation.IntDomain("other")}),
+		[]relation.Tuple{{1, 2}})
+	if _, err := Intersection(a, other); err == nil {
+		t.Error("union-incompatible relations not rejected")
+	}
+	b3 := rel(3, []int64{1, 2, 3})
+	if _, err := Intersection(a, b3); err == nil {
+		t.Error("width mismatch not rejected")
+	}
+}
+
+func TestRunAccumulatedRaggedInputs(t *testing.T) {
+	if _, _, err := RunAccumulated(
+		[]relation.Tuple{{1, 2}, {3}},
+		[]relation.Tuple{{1, 2}}, nil, nil); err == nil {
+		t.Error("ragged A not rejected")
+	}
+	if _, _, err := RunAccumulated(
+		[]relation.Tuple{{1, 2}},
+		[]relation.Tuple{{1}}, nil, nil); err == nil {
+		t.Error("width mismatch between relations not rejected")
+	}
+}
+
+func TestRunAccumulatedEmptyA(t *testing.T) {
+	bits, st, err := RunAccumulated(nil, []relation.Tuple{{1}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != nil || st.Pulses != 0 {
+		t.Errorf("empty A produced bits=%v pulses=%d", bits, st.Pulses)
+	}
+}
+
+func TestRunAccumulatedWithTracer(t *testing.T) {
+	a := []relation.Tuple{{1}, {2}}
+	obs := 0
+	_, st, err := RunAccumulated(a, a, nil, tracerFunc(func() { obs++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs != st.Pulses {
+		t.Errorf("tracer observed %d pulses, stats say %d", obs, st.Pulses)
+	}
+}
+
+type tracerFunc func()
+
+func (f tracerFunc) Observe(systolic.Snapshot) { f() }
+
+func TestNilRelationArguments(t *testing.T) {
+	a := rel(1, []int64{1})
+	if _, err := Intersection(nil, a); err == nil {
+		t.Error("nil A not rejected")
+	}
+	if _, err := Difference(a, nil); err == nil {
+		t.Error("nil B not rejected")
+	}
+}
+
+func TestRunAccumulatedPulseCountLinear(t *testing.T) {
+	mk := func(n int) []relation.Tuple {
+		tuples := make([]relation.Tuple, n)
+		for i := range tuples {
+			tuples[i] = relation.Tuple{relation.Element(i), relation.Element(i)}
+		}
+		return tuples
+	}
+	_, s1, err := RunAccumulated(mk(10), mk(10), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := RunAccumulated(mk(20), mk(20), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Pulses >= 3*s1.Pulses {
+		t.Errorf("pulse growth superlinear: %d -> %d", s1.Pulses, s2.Pulses)
+	}
+}

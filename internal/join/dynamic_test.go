@@ -1,0 +1,100 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/relation"
+)
+
+func keys(vals ...int64) []relation.Tuple {
+	out := make([]relation.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = relation.Tuple{relation.Element(v)}
+	}
+	return out
+}
+
+func TestDynamicMatchesPreloadedPerOp(t *testing.T) {
+	a := keys(1, 5, 9)
+	b := keys(4, 6)
+	for _, op := range []cells.Op{cells.EQ, cells.NE, cells.LT, cells.LE, cells.GT, cells.GE} {
+		dynT, _, err := RunTDynamic(a, b, 1, func(_, _ int) cells.Op { return op })
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		preT, _, err := RunT(a, b, []cells.Op{op})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dynT.Equal(preT) {
+			t.Errorf("op %v: streamed-operator array disagrees with preloaded array", op)
+		}
+	}
+}
+
+func TestDynamicPerPairOperators(t *testing.T) {
+	// The streamed mode's real capability: a different θ per pair on one
+	// physical array. Even pairs use <, odd pairs use >.
+	a := keys(1, 5, 9)
+	b := keys(4, 6, 2)
+	opFor := func(i, j int) cells.Op {
+		if (i+j)%2 == 0 {
+			return cells.LT
+		}
+		return cells.GT
+	}
+	got, _, err := RunTDynamic(a, b, 1, opFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range b {
+			want := opFor(i, j).Apply(a[i][0], b[j][0])
+			if got.Get(i, j) != want {
+				t.Errorf("pair (%d,%d): got %v, want %v under %v", i, j, got.Get(i, j), want, opFor(i, j))
+			}
+		}
+	}
+}
+
+func TestDynamicMultiColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	mk := func(n int) []relation.Tuple {
+		out := make([]relation.Tuple, n)
+		for i := range out {
+			out[i] = relation.Tuple{relation.Element(rng.Int63n(3)), relation.Element(rng.Int63n(3))}
+		}
+		return out
+	}
+	a, b := mk(6), mk(5)
+	got, _, err := RunTDynamic(a, b, 2, func(_, _ int) cells.Op { return cells.LE })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range b {
+			want := a[i][0] <= b[j][0] && a[i][1] <= b[j][1]
+			if got.Get(i, j) != want {
+				t.Errorf("pair (%d,%d): got %v, want %v", i, j, got.Get(i, j), want)
+			}
+		}
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	if _, _, err := RunTDynamic(keys(1), keys(1), 1, nil); err == nil {
+		t.Error("nil operator function not rejected")
+	}
+	if _, _, err := RunTDynamic(keys(1), keys(1), 0, func(_, _ int) cells.Op { return cells.EQ }); err == nil {
+		t.Error("zero width not rejected")
+	}
+	if _, _, err := RunTDynamic(keys(1), []relation.Tuple{{1, 2}}, 1, func(_, _ int) cells.Op { return cells.EQ }); err == nil {
+		t.Error("width mismatch not rejected")
+	}
+	tm, _, err := RunTDynamic(nil, nil, 1, func(_, _ int) cells.Op { return cells.EQ })
+	if err != nil || tm.NA != 0 {
+		t.Error("empty input not handled")
+	}
+}

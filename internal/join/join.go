@@ -1,0 +1,309 @@
+// Package join implements the join arrays of Kung & Lehman (1980) §6.
+//
+// Unlike the intersection-family arrays, the join array is interested in
+// the individual match bits t_ij, not their accumulation: "here we are
+// interested in the t_ij individually, and do not perform further
+// accumulation operations on them" (§6.2). Only the join columns of the two
+// relations flow through the array — column C_A of A downward and column
+// C_B of B upward (Figure 6-1) — and every t_ij is collected at the right
+// side. Materialising the result relation C from the TRUE t_ij ("we simply
+// retrieve a_i and b_j, and concatenate them, removing the redundant
+// column") is a host-side step, exactly as in the paper.
+//
+// The general case (§6.3) is supported: joining over several columns uses
+// one processor column per join column with the partial result propagated
+// rightward "in essentially the same way as in the intersection array", and
+// non-equi-joins (§6.3.2) preload a different comparison operator into the
+// processors.
+package join
+
+import (
+	"fmt"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/comparison"
+	"systolicdb/internal/relation"
+	"systolicdb/internal/systolic"
+)
+
+// Spec describes a join: pairs of columns (ACols[k] of A against BCols[k]
+// of B) and the comparison operator per pair. A nil Ops means equality on
+// every pair (the equi-join of §6.1/§6.3.1).
+type Spec struct {
+	ACols []int
+	BCols []int
+	Ops   []cells.Op
+}
+
+// equi reports whether every operator is equality, which determines whether
+// the redundant join columns are removed from the result (§6.1 footnote 2:
+// authors differ; we follow the paper and omit the redundant column for
+// equi-joins, and keep both columns for θ-joins, where the values differ).
+func (s Spec) equi() bool {
+	for _, op := range s.Ops {
+		if op != cells.EQ {
+			return false
+		}
+	}
+	return true
+}
+
+// validate checks the §6.3.1 constraints: equal column counts, columns in
+// range, and pairwise-identical underlying domains.
+func (s *Spec) validate(a, b *relation.Relation) error {
+	if len(s.ACols) == 0 {
+		return fmt.Errorf("join: no join columns specified")
+	}
+	if len(s.ACols) != len(s.BCols) {
+		return fmt.Errorf("join: %d columns of A against %d of B", len(s.ACols), len(s.BCols))
+	}
+	if s.Ops == nil {
+		s.Ops = make([]cells.Op, len(s.ACols))
+	}
+	if len(s.Ops) != len(s.ACols) {
+		return fmt.Errorf("join: %d operators for %d column pairs", len(s.Ops), len(s.ACols))
+	}
+	for k := range s.ACols {
+		ca, cb := s.ACols[k], s.BCols[k]
+		if ca < 0 || ca >= a.Width() {
+			return fmt.Errorf("join: column %d of A out of range [0,%d)", ca, a.Width())
+		}
+		if cb < 0 || cb >= b.Width() {
+			return fmt.Errorf("join: column %d of B out of range [0,%d)", cb, b.Width())
+		}
+		if !a.Schema().Col(ca).Domain.Same(b.Schema().Col(cb).Domain) {
+			return fmt.Errorf("join: columns %q and %q are not drawn from the same underlying domain",
+				a.Schema().Col(ca).Name, b.Schema().Col(cb).Name)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of running the join array.
+type Result struct {
+	Rel   *relation.Relation // materialised join
+	T     *comparison.Matrix // the match matrix (paper §6.2)
+	Pairs int                // number of TRUE t_ij
+	Stats systolic.Stats
+}
+
+// RunT runs the join array on the already-projected key tuples (one tuple
+// of join-column values per input tuple), producing the matrix T. ops
+// holds the per-column comparison operator.
+func RunT(aKeys, bKeys []relation.Tuple, ops []cells.Op) (*comparison.Matrix, systolic.Stats, error) {
+	nA, nB := len(aKeys), len(bKeys)
+	if nA == 0 || nB == 0 {
+		return comparison.NewMatrix(nA, nB), systolic.Stats{}, nil
+	}
+	w := len(ops)
+	for _, t := range aKeys {
+		if len(t) != w {
+			return nil, systolic.Stats{}, fmt.Errorf("join: key tuple width %d != %d operators", len(t), w)
+		}
+	}
+	for _, t := range bKeys {
+		if len(t) != w {
+			return nil, systolic.Stats{}, fmt.Errorf("join: key tuple width %d != %d operators", len(t), w)
+		}
+	}
+	sched, err := comparison.NewSchedule(nA, nB, w)
+	if err != nil {
+		return nil, systolic.Stats{}, err
+	}
+	grid, err := systolic.NewGrid(sched.Rows, w, func(_, c int) systolic.Cell {
+		return cells.Theta{Op: ops[c]}
+	})
+	if err != nil {
+		return nil, systolic.Stats{}, err
+	}
+	for k := 0; k < w; k++ {
+		k := k
+		if err := grid.Feed(systolic.North, k, func(p int) systolic.Token {
+			q := p - sched.Alpha - k
+			if q >= 0 && q%2 == 0 && q/2 < nA {
+				i := q / 2
+				return systolic.ValToken(aKeys[i][k], systolic.Tag{Rel: "A", Tuple: i, Elem: k, Valid: true})
+			}
+			return systolic.Empty
+		}); err != nil {
+			return nil, systolic.Stats{}, err
+		}
+		if err := grid.Feed(systolic.South, k, func(p int) systolic.Token {
+			q := p - sched.Beta - k
+			if q >= 0 && q%2 == 0 && q/2 < nB {
+				j := q / 2
+				return systolic.ValToken(bKeys[j][k], systolic.Tag{Rel: "B", Tuple: j, Elem: k, Valid: true})
+			}
+			return systolic.Empty
+		}); err != nil {
+			return nil, systolic.Stats{}, err
+		}
+	}
+	for r := 0; r < sched.Rows; r++ {
+		r := r
+		if err := grid.Feed(systolic.West, r, func(p int) systolic.Token {
+			i, j, ok := sched.PairAt(r, p)
+			if !ok {
+				return systolic.Empty
+			}
+			return systolic.FlagToken(true, systolic.Tag{Rel: "t", Tuple: i, Elem: j, Valid: true})
+		}); err != nil {
+			return nil, systolic.Stats{}, err
+		}
+	}
+	t := comparison.NewMatrix(nA, nB)
+	seen := 0
+	var collectErr error
+	for r := 0; r < sched.Rows; r++ {
+		r := r
+		if err := grid.Drain(systolic.East, r, func(p int, tok systolic.Token) {
+			if !tok.HasFlag || collectErr != nil {
+				return
+			}
+			i, j, ok := sched.PairAt(r, p-(w-1))
+			if !ok {
+				collectErr = fmt.Errorf("join: unexpected t at row %d pulse %d", r, p)
+				return
+			}
+			t.Bits[i][j] = tok.Flag
+			seen++
+		}); err != nil {
+			return nil, systolic.Stats{}, err
+		}
+	}
+	grid.Reset()
+	grid.Run(sched.TotalPulses())
+	if collectErr != nil {
+		return nil, systolic.Stats{}, collectErr
+	}
+	if seen != nA*nB {
+		return nil, systolic.Stats{}, fmt.Errorf("join: collected %d of %d match bits", seen, nA*nB)
+	}
+	return t, grid.Stats(), nil
+}
+
+// resultSchema builds the schema of the join result: all columns of A
+// followed by the columns of B, omitting B's join columns when dropB is
+// set. Name collisions get a "b_" prefix.
+func resultSchema(a, b *relation.Relation, spec Spec, dropB bool) (*relation.Schema, []int, error) {
+	drop := make(map[int]bool)
+	if dropB {
+		for _, c := range spec.BCols {
+			drop[c] = true
+		}
+	}
+	names := make(map[string]bool)
+	cols := make([]relation.Column, 0, a.Width()+b.Width())
+	for i := 0; i < a.Width(); i++ {
+		c := a.Schema().Col(i)
+		names[c.Name] = true
+		cols = append(cols, c)
+	}
+	var bKeep []int
+	for i := 0; i < b.Width(); i++ {
+		if drop[i] {
+			continue
+		}
+		c := b.Schema().Col(i)
+		for names[c.Name] {
+			c.Name = "b_" + c.Name
+		}
+		names[c.Name] = true
+		cols = append(cols, c)
+		bKeep = append(bKeep, i)
+	}
+	s, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, bKeep, nil
+}
+
+// Keys projects every tuple of r onto the given columns, producing the key
+// tuples fed through the join array. Validation is the caller's job (see
+// Spec.Validate via Join).
+func Keys(r *relation.Relation, cols []int) []relation.Tuple {
+	out := make([]relation.Tuple, r.Cardinality())
+	for i := range out {
+		out[i] = r.Tuple(i).Project(cols)
+	}
+	return out
+}
+
+// Validate checks the spec against the operand schemas; it is exported so
+// drivers that run the array in tiles (§8 decomposition) can validate
+// before projecting keys.
+func (s *Spec) Validate(a, b *relation.Relation) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("join: nil relation")
+	}
+	return s.validate(a, b)
+}
+
+// Materialize generates the join relation C from the match matrix T — the
+// host-side step of §6.2 ("for each t_ij that has the value TRUE ... we
+// simply retrieve a_i and b_j, and concatenate them, removing the redundant
+// column"). It returns the relation and the number of TRUE entries.
+func Materialize(a, b *relation.Relation, spec Spec, t *comparison.Matrix) (*relation.Relation, int, error) {
+	if spec.Ops == nil {
+		spec.Ops = make([]cells.Op, len(spec.ACols))
+	}
+	schema, bKeep, err := resultSchema(a, b, spec, spec.equi())
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := relation.NewRelation(schema, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	pairs := 0
+	for i := 0; i < t.NA; i++ {
+		for j := 0; j < t.NB; j++ {
+			if !t.Bits[i][j] {
+				continue
+			}
+			pairs++
+			tuple := make(relation.Tuple, 0, schema.Width())
+			tuple = append(tuple, a.Tuple(i)...)
+			bt := b.Tuple(j)
+			for _, c := range bKeep {
+				tuple = append(tuple, bt[c])
+			}
+			if err := out.Append(tuple); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return out, pairs, nil
+}
+
+// Join runs the join array for the given spec and materialises
+// C = A |x|_{CA θ CB} B from the TRUE entries of T.
+func Join(a, b *relation.Relation, spec Spec) (*Result, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("join: nil relation")
+	}
+	if err := spec.validate(a, b); err != nil {
+		return nil, err
+	}
+	t, stats, err := RunT(Keys(a, spec.ACols), Keys(b, spec.BCols), spec.Ops)
+	if err != nil {
+		return nil, err
+	}
+	rel, pairs, err := Materialize(a, b, spec, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rel: rel, T: t, Pairs: pairs, Stats: stats}, nil
+}
+
+// Equi is the single-column equi-join of §6.1/§6.2, the paper's worked
+// special case.
+func Equi(a, b *relation.Relation, aCol, bCol int) (*Result, error) {
+	return Join(a, b, Spec{ACols: []int{aCol}, BCols: []int{bCol}})
+}
+
+// Theta is the single-column θ-join of §6.3.2 (e.g. the greater-than-join).
+func Theta(a, b *relation.Relation, aCol, bCol int, op cells.Op) (*Result, error) {
+	return Join(a, b, Spec{ACols: []int{aCol}, BCols: []int{bCol}, Ops: []cells.Op{op}})
+}

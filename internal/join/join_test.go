@@ -1,0 +1,246 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/relation"
+)
+
+var dom = relation.IntDomain("d")
+
+func schema(names ...string) *relation.Schema {
+	cols := make([]relation.Column, len(names))
+	for i, n := range names {
+		cols[i] = relation.Column{Name: n, Domain: dom}
+	}
+	return relation.MustSchema(cols...)
+}
+
+func rel(s *relation.Schema, rows ...[]int64) *relation.Relation {
+	tuples := make([]relation.Tuple, len(rows))
+	for i, r := range rows {
+		t := make(relation.Tuple, len(r))
+		for k := range t {
+			t[k] = relation.Element(r[k])
+		}
+		tuples[i] = t
+	}
+	return relation.MustRelation(s, tuples)
+}
+
+func TestEquiJoinFigure61Shape(t *testing.T) {
+	// Figure 6-1 joins column 3 of A (0-based: 2) with column 1 of B
+	// (0-based: 0).
+	a := rel(schema("a1", "a2", "a3"),
+		[]int64{1, 10, 7},
+		[]int64{2, 20, 8},
+		[]int64{3, 30, 7},
+	)
+	b := rel(schema("b1", "b2"),
+		[]int64{7, 100},
+		[]int64{9, 200},
+	)
+	res, err := Equi(a, b, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a_0 and a_2 match b_0 on 7; redundant column removed.
+	want := rel(schema("a1", "a2", "a3", "b2"),
+		[]int64{1, 10, 7, 100},
+		[]int64{3, 30, 7, 100},
+	)
+	if !res.Rel.EqualAsMultiset(want) {
+		t.Errorf("join\n%v\nwant\n%v", res.Rel, want)
+	}
+	if res.Pairs != 2 {
+		t.Errorf("pairs = %d, want 2", res.Pairs)
+	}
+	if !res.T.Get(0, 0) || res.T.Get(0, 1) || res.T.Get(1, 0) || !res.T.Get(2, 0) {
+		t.Errorf("T matrix wrong: %v", res.T.Bits)
+	}
+}
+
+func TestJoinDegenerateAllMatch(t *testing.T) {
+	// §6.2: "The size of the join |C| might be as large as the product
+	// |A||B|. (This happens in the degenerate case where all tuples in A
+	// match all tuples in B in the specified columns.)"
+	a := rel(schema("k", "v"), []int64{5, 1}, []int64{5, 2}, []int64{5, 3})
+	b := rel(schema("k2", "w"), []int64{5, 10}, []int64{5, 20})
+	res, err := Equi(a, b, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != a.Cardinality()*b.Cardinality() {
+		t.Errorf("degenerate join has %d pairs, want %d", res.Pairs, a.Cardinality()*b.Cardinality())
+	}
+	if res.Rel.Cardinality() != 6 {
+		t.Errorf("degenerate join has %d tuples, want 6", res.Rel.Cardinality())
+	}
+}
+
+func refJoinCount(a, b *relation.Relation, spec Spec) int {
+	n := 0
+	for i := 0; i < a.Cardinality(); i++ {
+		for j := 0; j < b.Cardinality(); j++ {
+			ok := true
+			for k := range spec.ACols {
+				op := cells.EQ
+				if spec.Ops != nil {
+					op = spec.Ops[k]
+				}
+				if !op.Apply(a.Tuple(i)[spec.ACols[k]], b.Tuple(j)[spec.BCols[k]]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestJoinRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sA := schema("x", "y")
+	sB := schema("u", "v")
+	for trial := 0; trial < 30; trial++ {
+		mk := func(s *relation.Schema, n int) *relation.Relation {
+			rows := make([][]int64, n)
+			for i := range rows {
+				rows[i] = []int64{rng.Int63n(4), rng.Int63n(4)}
+			}
+			return rel(s, rows...)
+		}
+		a, b := mk(sA, 1+rng.Intn(9)), mk(sB, 1+rng.Intn(9))
+		spec := Spec{ACols: []int{0}, BCols: []int{1}}
+		res, err := Join(a, b, spec)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want := refJoinCount(a, b, spec); res.Pairs != want {
+			t.Errorf("trial %d: pairs = %d, want %d", trial, res.Pairs, want)
+		}
+	}
+}
+
+func TestMultiColumnJoin(t *testing.T) {
+	// §6.3.1: join over more than one column.
+	a := rel(schema("p", "q", "r"),
+		[]int64{1, 2, 100},
+		[]int64{1, 3, 200},
+		[]int64{2, 2, 300},
+	)
+	b := rel(schema("s", "t"),
+		[]int64{1, 2},
+		[]int64{2, 2},
+	)
+	res, err := Join(a, b, Spec{ACols: []int{0, 1}, BCols: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches: a0 with b0 (1,2); a2 with b1 (2,2). Redundant columns gone.
+	if res.Pairs != 2 {
+		t.Errorf("pairs = %d, want 2", res.Pairs)
+	}
+	if res.Rel.Width() != 3 {
+		t.Errorf("result width = %d, want 3 (both redundant columns removed)", res.Rel.Width())
+	}
+}
+
+func TestGreaterThanJoin(t *testing.T) {
+	// §6.3.2: "For greater-than-join, say, processors in the array would
+	// simply perform that comparison."
+	a := rel(schema("x"), []int64{1}, []int64{5}, []int64{9})
+	b := rel(schema("y"), []int64{4}, []int64{6})
+	res, err := Theta(a, b, 0, 0, cells.GT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs with x > y: (5,4), (9,4), (9,6).
+	if res.Pairs != 3 {
+		t.Errorf("GT join pairs = %d, want 3", res.Pairs)
+	}
+	// θ-join keeps both columns.
+	if res.Rel.Width() != 2 {
+		t.Errorf("θ-join width = %d, want 2", res.Rel.Width())
+	}
+	for i := 0; i < res.Rel.Cardinality(); i++ {
+		tu := res.Rel.Tuple(i)
+		if tu[0] <= tu[1] {
+			t.Errorf("tuple %v violates x > y", tu)
+		}
+	}
+}
+
+func TestAllThetaOps(t *testing.T) {
+	a := rel(schema("x"), []int64{1}, []int64{2}, []int64{3})
+	b := rel(schema("y"), []int64{2})
+	wants := map[cells.Op]int{
+		cells.EQ: 1, cells.NE: 2, cells.LT: 1, cells.LE: 2, cells.GT: 1, cells.GE: 2,
+	}
+	for op, want := range wants {
+		res, err := Theta(a, b, 0, 0, op)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if res.Pairs != want {
+			t.Errorf("op %v: pairs = %d, want %d", op, res.Pairs, want)
+		}
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	a := rel(schema("x"), []int64{1})
+	b := rel(schema("y"), []int64{1})
+	if _, err := Join(a, b, Spec{}); err == nil {
+		t.Error("empty spec not rejected")
+	}
+	if _, err := Join(a, b, Spec{ACols: []int{0}, BCols: []int{0, 0}}); err == nil {
+		t.Error("mismatched column counts not rejected")
+	}
+	if _, err := Join(a, b, Spec{ACols: []int{3}, BCols: []int{0}}); err == nil {
+		t.Error("out-of-range column not rejected")
+	}
+	other := relation.MustRelation(
+		relation.MustSchema(relation.Column{Name: "z", Domain: relation.IntDomain("other")}),
+		[]relation.Tuple{{1}})
+	if _, err := Join(a, other, Spec{ACols: []int{0}, BCols: []int{0}}); err == nil {
+		t.Error("cross-domain join not rejected")
+	}
+	if _, err := Join(nil, b, Spec{ACols: []int{0}, BCols: []int{0}}); err == nil {
+		t.Error("nil relation not rejected")
+	}
+}
+
+func TestJoinEmptyRelation(t *testing.T) {
+	a := rel(schema("x"), []int64{1})
+	empty := relation.MustRelation(schema("y"), nil)
+	res, err := Equi(a, empty, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 0 || res.Rel.Cardinality() != 0 {
+		t.Errorf("join with empty relation non-empty")
+	}
+}
+
+func TestJoinNameCollision(t *testing.T) {
+	a := rel(schema("k", "v"), []int64{1, 2})
+	b := rel(schema("k", "v"), []int64{1, 3})
+	res, err := Equi(a, b, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := res.Rel.Schema().Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate column name %q in join schema %v", n, names)
+		}
+		seen[n] = true
+	}
+}

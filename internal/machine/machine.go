@@ -1,0 +1,644 @@
+// Package machine implements the integrated systolic database system of
+// Kung & Lehman (1980) §9 (Figure 9-1): disks, memory modules, and several
+// systolic devices joined by a crossbar switch.
+//
+// "Typically, the system works as follows. Initially, the relevant
+// relations are read from disks into memories. Then the crossbar switch is
+// configured so that the relevant memories are connected to the systolic
+// array that will perform the first operation of the transaction in
+// question. The data is pipelined from the memories through the switch and
+// through the processor array. The output of the array is pipelined back
+// into another memory. This is repeated for each relational operation in
+// the transaction. Due to the crossbar structure, several operations may be
+// run concurrently."
+//
+// The machine is a resource-constrained scheduling simulation on top of the
+// real array simulators: each task's *result* is computed by the systolic
+// array drivers (tiled to the device's capacity, per §8), its *duration* is
+// the simulated pulse count converted to wall-clock time by the §8
+// technology model, and the schedule respects device, disk and memory-
+// module occupancy. Relations larger than a device are decomposed
+// automatically — "Relations may have to be decomposed to fit the (fixed)
+// sizes of systolic arrays" (§9).
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"systolicdb/internal/decompose"
+	"systolicdb/internal/division"
+	"systolicdb/internal/join"
+	"systolicdb/internal/lptdisk"
+	"systolicdb/internal/perf"
+	"systolicdb/internal/relation"
+)
+
+// defaultTracks is the cylinder width of the modelled logic-per-track disk.
+const defaultTracks = 32
+
+// OpKind identifies a transaction step.
+type OpKind int
+
+// Transaction operation kinds.
+const (
+	OpLoad       OpKind = iota // disk -> memory
+	OpIntersect                // intersection array
+	OpDifference               // intersection array + inverter
+	OpDedup                    // remove-duplicates array
+	OpUnion                    // concat + remove-duplicates array
+	OpProject                  // column select + remove-duplicates array
+	OpJoin                     // join array
+	OpDivide                   // division array
+	OpStore                    // memory -> disk
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpIntersect:
+		return "intersect"
+	case OpDifference:
+		return "difference"
+	case OpDedup:
+		return "dedup"
+	case OpUnion:
+		return "union"
+	case OpProject:
+		return "project"
+	case OpJoin:
+		return "join"
+	case OpDivide:
+		return "divide"
+	case OpStore:
+		return "store"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// DeviceKind identifies the systolic array type a device implements. The
+// intersection-family operations (intersect, difference, dedup, union,
+// project) all run on the same hardware — the paper's §4.3 observation that
+// "the main hardware — the comparison array — is sufficiently general that
+// it need not be changed at all."
+type DeviceKind int
+
+// Device kinds, matching the boxes of Figure 9-1.
+const (
+	DevIntersect DeviceKind = iota
+	DevJoin
+	DevDivide
+)
+
+func (k DeviceKind) String() string {
+	switch k {
+	case DevIntersect:
+		return "intersect-array"
+	case DevJoin:
+		return "join-array"
+	case DevDivide:
+		return "division-array"
+	}
+	return fmt.Sprintf("device(%d)", int(k))
+}
+
+// deviceFor maps an operation to the device kind that executes it.
+func deviceFor(op OpKind) (DeviceKind, bool) {
+	switch op {
+	case OpIntersect, OpDifference, OpDedup, OpUnion, OpProject:
+		return DevIntersect, true
+	case OpJoin:
+		return DevJoin, true
+	case OpDivide:
+		return DevDivide, true
+	}
+	return 0, false
+}
+
+// DeviceConfig describes one systolic device attached to the crossbar.
+type DeviceConfig struct {
+	Name string
+	Kind DeviceKind
+	Size decompose.ArraySize // tuple capacity of one pass (§8 decomposition unit)
+}
+
+// Config describes the machine.
+type Config struct {
+	Memories     int // memory modules on the crossbar
+	Devices      []DeviceConfig
+	Tech         perf.Technology // pulse -> time conversion
+	Disk         perf.Disk       // load/store timing
+	ElementBytes int             // bytes per stored element (default 8)
+
+	// TileParallel enables intra-operator parallelism: when an operation
+	// decomposes into tiles (§8) and several devices of the right kind
+	// exist, the tiles are scheduled across all of them concurrently and
+	// the partial results combined in memory — §9's "Results from
+	// subrelations must be stored outside the systolic arrays before
+	// they are finally combined." When false (the default) a whole
+	// operation runs its tiles sequentially on one device.
+	TileParallel bool
+}
+
+// DivideSpec carries the column groups of a division task.
+type DivideSpec struct {
+	AQuot, ADiv, BCols []int
+}
+
+// Task is one step of a transaction. Inputs name relations produced by
+// earlier tasks (or loaded from disk); Output names the produced relation.
+type Task struct {
+	ID     string
+	Op     OpKind
+	Inputs []string
+	Output string
+
+	Base   *relation.Relation // OpLoad: the relation on disk
+	Select lptdisk.Query      // OpLoad: optional logic-per-track selection (§9)
+	Cols   []int              // OpProject: columns to keep
+	Join   *join.Spec         // OpJoin
+	Divide *DivideSpec        // OpDivide
+}
+
+// Event records one scheduled execution interval.
+type Event struct {
+	Task     string
+	Op       OpKind
+	Resource string // device or "disk"
+	Memory   int    // memory module holding the output (-1 for stores)
+	Start    time.Duration
+	End      time.Duration
+	Pulses   int
+	Tiles    int
+}
+
+// Result is the outcome of running a transaction.
+type Result struct {
+	Relations map[string]*relation.Relation
+	Events    []Event
+	Makespan  time.Duration // end of the last event
+	BusyTime  time.Duration // sum of event durations; BusyTime > Makespan means overlap
+}
+
+// Concurrency returns BusyTime / Makespan — the §9 pipelining/concurrency
+// payoff (1.0 = fully serial).
+func (r *Result) Concurrency() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.BusyTime) / float64(r.Makespan)
+}
+
+// Machine is a configured §9 system.
+type Machine struct {
+	cfg Config
+}
+
+// New validates the configuration and builds a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Memories <= 0 {
+		return nil, fmt.Errorf("machine: need at least one memory module")
+	}
+	if len(cfg.Devices) == 0 {
+		return nil, fmt.Errorf("machine: need at least one systolic device")
+	}
+	seen := make(map[string]bool)
+	for _, d := range cfg.Devices {
+		if d.Name == "" {
+			return nil, fmt.Errorf("machine: device with empty name")
+		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("machine: duplicate device name %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Size.MaxA <= 0 || d.Size.MaxB <= 0 {
+			return nil, fmt.Errorf("machine: device %q has non-positive capacity", d.Name)
+		}
+	}
+	if err := cfg.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ElementBytes <= 0 {
+		cfg.ElementBytes = 8
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Default1980 returns a machine shaped like Figure 9-1: three memory
+// modules and one device of each kind, with the paper's conservative
+// technology and disk.
+func Default1980(arraySize int) (*Machine, error) {
+	if arraySize <= 0 {
+		arraySize = 256
+	}
+	size := decompose.ArraySize{MaxA: arraySize, MaxB: arraySize}
+	return New(Config{
+		Memories: 3,
+		Devices: []DeviceConfig{
+			{Name: "intersect0", Kind: DevIntersect, Size: size},
+			{Name: "join0", Kind: DevJoin, Size: size},
+			{Name: "divide0", Kind: DevDivide, Size: size},
+		},
+		Tech: perf.Conservative1980,
+		Disk: perf.Disk1980,
+	})
+}
+
+// relationBytes models the stored size of a relation for disk transfers.
+func (m *Machine) relationBytes(r *relation.Relation) float64 {
+	return float64(r.Cardinality() * r.Width() * m.cfg.ElementBytes)
+}
+
+// opResult is the functional outcome plus simulated cost of one task.
+type opResult struct {
+	rel        *relation.Relation
+	pulses     int
+	tiles      int
+	tilePulses []int // per-tile pulse counts for tile-parallel scheduling
+}
+
+// execute computes a task's result on the (tiled) systolic arrays.
+func (m *Machine) execute(t Task, size decompose.ArraySize, rels map[string]*relation.Relation) (opResult, error) {
+	in := func(i int) (*relation.Relation, error) {
+		if i >= len(t.Inputs) {
+			return nil, fmt.Errorf("machine: task %q needs input %d", t.ID, i)
+		}
+		r, ok := rels[t.Inputs[i]]
+		if !ok {
+			return nil, fmt.Errorf("machine: task %q input %q not materialised", t.ID, t.Inputs[i])
+		}
+		return r, nil
+	}
+	switch t.Op {
+	case OpIntersect, OpDifference:
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return opResult{}, err
+		}
+		var (
+			rel *relation.Relation
+			st  decompose.Stats
+		)
+		if t.Op == OpIntersect {
+			rel, st, err = decompose.Intersection(a, b, size)
+		} else {
+			rel, st, err = decompose.Difference(a, b, size)
+		}
+		if err != nil {
+			return opResult{}, err
+		}
+		return opResult{rel: rel, pulses: st.Pulses, tiles: st.Tiles, tilePulses: st.PerTilePulses}, nil
+
+	case OpDedup:
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		rel, st, err := decompose.RemoveDuplicates(a, size)
+		if err != nil {
+			return opResult{}, err
+		}
+		return opResult{rel: rel, pulses: st.Pulses, tiles: st.Tiles, tilePulses: st.PerTilePulses}, nil
+
+	case OpUnion:
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return opResult{}, err
+		}
+		cat, err := a.Concat(b)
+		if err != nil {
+			return opResult{}, err
+		}
+		rel, st, err := decompose.RemoveDuplicates(cat, size)
+		if err != nil {
+			return opResult{}, err
+		}
+		return opResult{rel: rel, pulses: st.Pulses, tiles: st.Tiles, tilePulses: st.PerTilePulses}, nil
+
+	case OpProject:
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		multi, err := a.ProjectColumns(t.Cols)
+		if err != nil {
+			return opResult{}, err
+		}
+		rel, st, err := decompose.RemoveDuplicates(multi, size)
+		if err != nil {
+			return opResult{}, err
+		}
+		return opResult{rel: rel, pulses: st.Pulses, tiles: st.Tiles, tilePulses: st.PerTilePulses}, nil
+
+	case OpJoin:
+		if t.Join == nil {
+			return opResult{}, fmt.Errorf("machine: task %q has no join spec", t.ID)
+		}
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return opResult{}, err
+		}
+		spec := *t.Join
+		if err := spec.Validate(a, b); err != nil {
+			return opResult{}, err
+		}
+		tm, st, err := decompose.TiledJoinT(join.Keys(a, spec.ACols), join.Keys(b, spec.BCols), spec.Ops, size)
+		if err != nil {
+			return opResult{}, err
+		}
+		rel, _, err := join.Materialize(a, b, spec, tm)
+		if err != nil {
+			return opResult{}, err
+		}
+		return opResult{rel: rel, pulses: st.Pulses, tiles: st.Tiles, tilePulses: st.PerTilePulses}, nil
+
+	case OpDivide:
+		if t.Divide == nil {
+			return opResult{}, fmt.Errorf("machine: task %q has no divide spec", t.ID)
+		}
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return opResult{}, err
+		}
+		p, err := division.Prepare(a, b, t.Divide.AQuot, t.Divide.ADiv, t.Divide.BCols)
+		if err != nil {
+			return opResult{}, err
+		}
+		bits, st, err := decompose.TiledDivision(p.Pairs, p.Xs, p.Divisor, size)
+		if err != nil {
+			return opResult{}, err
+		}
+		rel, err := p.Materialize(bits)
+		if err != nil {
+			return opResult{}, err
+		}
+		return opResult{rel: rel, pulses: st.Pulses + p.Dedup.Pulses, tiles: st.Tiles, tilePulses: st.PerTilePulses}, nil
+	}
+	return opResult{}, fmt.Errorf("machine: task %q: op %v does not run on a device", t.ID, t.Op)
+}
+
+// Run executes a transaction: a list of tasks forming a DAG through their
+// input/output names. Tasks are list-scheduled greedily in dependency
+// order; each waits for its inputs, a free device of the right kind, and a
+// free memory module for its output.
+func (m *Machine) Run(tasks []Task) (*Result, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("machine: empty transaction")
+	}
+	// Validate outputs unique and IDs present.
+	produced := make(map[string]bool)
+	ids := make(map[string]bool)
+	for i := range tasks {
+		t := &tasks[i]
+		if t.ID == "" {
+			t.ID = fmt.Sprintf("task%d", i)
+		}
+		if ids[t.ID] {
+			return nil, fmt.Errorf("machine: duplicate task id %q", t.ID)
+		}
+		ids[t.ID] = true
+		if t.Op != OpStore {
+			if t.Output == "" {
+				return nil, fmt.Errorf("machine: task %q has no output name", t.ID)
+			}
+			if produced[t.Output] {
+				return nil, fmt.Errorf("machine: relation %q produced twice", t.Output)
+			}
+			produced[t.Output] = true
+		}
+	}
+
+	rels := make(map[string]*relation.Relation)
+	readyAt := make(map[string]time.Duration)
+	devFree := make(map[string]time.Duration)
+	memFree := make([]time.Duration, m.cfg.Memories)
+	var diskFree time.Duration
+	nextMem := 0
+
+	res := &Result{Relations: rels}
+	done := make(map[string]bool)
+
+	remaining := len(tasks)
+	for remaining > 0 {
+		progressed := false
+		for i := range tasks {
+			t := &tasks[i]
+			if done[t.ID] {
+				continue
+			}
+			// All inputs materialised?
+			ok := true
+			var inputsReady time.Duration
+			for _, in := range t.Inputs {
+				if _, have := rels[in]; !have {
+					ok = false
+					break
+				}
+				if readyAt[in] > inputsReady {
+					inputsReady = readyAt[in]
+				}
+			}
+			if !ok {
+				continue
+			}
+
+			var evs []Event
+			var ev Event
+			switch t.Op {
+			case OpLoad:
+				if t.Base == nil {
+					return nil, fmt.Errorf("machine: load task %q has no base relation", t.ID)
+				}
+				start := maxDur(inputsReady, diskFree, memFree[nextMem])
+				loaded := t.Base
+				dur := m.cfg.Disk.TimeToRead(m.relationBytes(t.Base))
+				if t.Select != nil {
+					// §9: "Disks with 'logic-per-track' capabilities can
+					// of course be incorporated into the system, so that
+					// some simple queries never have to be processed
+					// outside the disks." The selection is evaluated by
+					// the track heads during a single revolution.
+					ld, err := lptdisk.New(defaultTracks, m.cfg.Disk)
+					if err != nil {
+						return nil, err
+					}
+					if err := ld.Store(t.Base); err != nil {
+						return nil, err
+					}
+					sel, st, err := ld.Select(t.Select)
+					if err != nil {
+						return nil, fmt.Errorf("machine: load task %q: %w", t.ID, err)
+					}
+					loaded = sel
+					dur = st.Time
+				}
+				end := start + dur
+				diskFree = end
+				memFree[nextMem] = end
+				rels[t.Output] = loaded
+				readyAt[t.Output] = end
+				ev = Event{Task: t.ID, Op: t.Op, Resource: "disk", Memory: nextMem, Start: start, End: end}
+				nextMem = (nextMem + 1) % m.cfg.Memories
+
+			case OpStore:
+				if len(t.Inputs) != 1 {
+					return nil, fmt.Errorf("machine: store task %q needs exactly one input", t.ID)
+				}
+				r := rels[t.Inputs[0]]
+				start := maxDur(inputsReady, diskFree)
+				end := start + m.cfg.Disk.TimeToRead(m.relationBytes(r))
+				diskFree = end
+				ev = Event{Task: t.ID, Op: t.Op, Resource: "disk", Memory: -1, Start: start, End: end}
+
+			default:
+				kind, isDev := deviceFor(t.Op)
+				if !isDev {
+					return nil, fmt.Errorf("machine: task %q: unsupported op %v", t.ID, t.Op)
+				}
+				// Pick the device of the right kind that can start
+				// earliest.
+				best := -1
+				var bestStart time.Duration
+				for d := range m.cfg.Devices {
+					if m.cfg.Devices[d].Kind != kind {
+						continue
+					}
+					s := maxDur(inputsReady, devFree[m.cfg.Devices[d].Name])
+					if best < 0 || s < bestStart {
+						best, bestStart = d, s
+					}
+				}
+				if best < 0 {
+					return nil, fmt.Errorf("machine: no %v device for task %q", kind, t.ID)
+				}
+				dev := m.cfg.Devices[best]
+				out, err := m.execute(*t, dev.Size, rels)
+				if err != nil {
+					return nil, err
+				}
+				if m.cfg.TileParallel && len(out.tilePulses) > 1 {
+					// §9 intra-operator parallelism: spread the §8
+					// tiles across every device of the right kind; the
+					// partial results combine in the output memory.
+					evs = m.scheduleTiles(t, kind, out, inputsReady, devFree, memFree, nextMem)
+					var opEnd time.Duration
+					for _, e := range evs {
+						if e.End > opEnd {
+							opEnd = e.End
+						}
+					}
+					memFree[nextMem] = opEnd
+					rels[t.Output] = out.rel
+					readyAt[t.Output] = opEnd
+					nextMem = (nextMem + 1) % m.cfg.Memories
+					break
+				}
+				start := maxDur(bestStart, memFree[nextMem])
+				end := start + m.cfg.Tech.PulseTime(out.pulses)
+				devFree[dev.Name] = end
+				memFree[nextMem] = end
+				rels[t.Output] = out.rel
+				readyAt[t.Output] = end
+				ev = Event{Task: t.ID, Op: t.Op, Resource: dev.Name, Memory: nextMem,
+					Start: start, End: end, Pulses: out.pulses, Tiles: out.tiles}
+				nextMem = (nextMem + 1) % m.cfg.Memories
+			}
+
+			if evs == nil {
+				evs = []Event{ev}
+			}
+			for _, e := range evs {
+				res.Events = append(res.Events, e)
+				res.BusyTime += e.End - e.Start
+				if e.End > res.Makespan {
+					res.Makespan = e.End
+				}
+			}
+			done[t.ID] = true
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			var missing []string
+			for i := range tasks {
+				if !done[tasks[i].ID] {
+					missing = append(missing, tasks[i].ID)
+				}
+			}
+			sort.Strings(missing)
+			return nil, fmt.Errorf("machine: transaction deadlocked; unrunnable tasks: %v (missing inputs or cycle)", missing)
+		}
+	}
+	sort.Slice(res.Events, func(i, j int) bool { return res.Events[i].Start < res.Events[j].Start })
+	return res, nil
+}
+
+// scheduleTiles distributes an operation's decomposition tiles across every
+// device of the given kind, longest tiles first (LPT list scheduling), and
+// returns one event per tile. The output memory module gates the start (the
+// partial results combine there) and the caller marks it busy until the
+// last tile finishes.
+func (m *Machine) scheduleTiles(t *Task, kind DeviceKind, out opResult, inputsReady time.Duration,
+	devFree map[string]time.Duration, memFree []time.Duration, mem int) []Event {
+
+	earliest := maxDur(inputsReady, memFree[mem])
+	tiles := append([]int(nil), out.tilePulses...)
+	sort.Sort(sort.Reverse(sort.IntSlice(tiles)))
+
+	var evs []Event
+	for idx, pulses := range tiles {
+		best := ""
+		var bestStart time.Duration
+		for d := range m.cfg.Devices {
+			if m.cfg.Devices[d].Kind != kind {
+				continue
+			}
+			name := m.cfg.Devices[d].Name
+			s := maxDur(earliest, devFree[name])
+			if best == "" || s < bestStart {
+				best, bestStart = name, s
+			}
+		}
+		end := bestStart + m.cfg.Tech.PulseTime(pulses)
+		devFree[best] = end
+		evs = append(evs, Event{
+			Task:     fmt.Sprintf("%s.tile%d", t.ID, idx),
+			Op:       t.Op,
+			Resource: best,
+			Memory:   mem,
+			Start:    bestStart,
+			End:      end,
+			Pulses:   pulses,
+			Tiles:    1,
+		})
+	}
+	return evs
+}
+
+func maxDur(ds ...time.Duration) time.Duration {
+	var out time.Duration
+	for _, d := range ds {
+		if d > out {
+			out = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package machine
+
+import (
+	"testing"
+
+	"systolicdb/internal/baseline"
+	"systolicdb/internal/comparison"
+	"systolicdb/internal/decompose"
+	"systolicdb/internal/join"
+	"systolicdb/internal/perf"
+	"systolicdb/internal/workload"
+)
+
+func testMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := Default1980(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSingleIntersection(t *testing.T) {
+	a, b, err := workload.OverlapPair(1, 30, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t)
+	res, err := m.Run([]Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpIntersect, Inputs: []string{"A", "B"}, Output: "C"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.IntersectionHash(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relations["C"].EqualAsMultiset(want) {
+		t.Error("machine intersection differs from baseline")
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+	if len(res.Events) != 3 {
+		t.Errorf("%d events, want 3", len(res.Events))
+	}
+}
+
+func TestTransactionPipeline(t *testing.T) {
+	// The §9 worked flow: load, project, join, dedup, store.
+	a, b, err := workload.JoinPair(2, 40, 40, 3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t)
+	res, err := m.Run([]Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpJoin, Inputs: []string{"A", "B"}, Output: "AB",
+			Join: &join.Spec{ACols: []int{0}, BCols: []int{0}}},
+		{Op: OpProject, Inputs: []string{"AB"}, Cols: []int{0, 1}, Output: "P"},
+		{Op: OpStore, Inputs: []string{"P"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validate the result against the baselines.
+	pairs, err := baseline.JoinPairsHash(a, b, baseline.JoinSpec{ACols: []int{0}, BCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, _, err := join.Materialize(a, b, join.Spec{ACols: []int{0}, BCols: []int{0}},
+		pairsToMatrix(pairs, a.Cardinality(), b.Cardinality()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.Project(joined, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relations["P"].EqualAsSet(want) {
+		t.Error("pipelined transaction result differs from baseline composition")
+	}
+}
+
+func TestConcurrencyOverlap(t *testing.T) {
+	// Two independent intersections on a machine with two intersect
+	// devices must overlap: busy time exceeds makespan.
+	a1, b1, err := workload.OverlapPair(3, 50, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, err := workload.OverlapPair(4, 50, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := decompose.ArraySize{MaxA: 64, MaxB: 64}
+	m, err := New(Config{
+		Memories: 4,
+		Devices: []DeviceConfig{
+			{Name: "i0", Kind: DevIntersect, Size: size},
+			{Name: "i1", Kind: DevIntersect, Size: size},
+		},
+		Tech: perf.Conservative1980,
+		Disk: perf.Disk1980,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run([]Task{
+		{Op: OpLoad, Base: a1, Output: "A1"},
+		{Op: OpLoad, Base: b1, Output: "B1"},
+		{Op: OpLoad, Base: a2, Output: "A2"},
+		{Op: OpLoad, Base: b2, Output: "B2"},
+		{Op: OpIntersect, Inputs: []string{"A1", "B1"}, Output: "C1"},
+		{Op: OpIntersect, Inputs: []string{"A2", "B2"}, Output: "C2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Concurrency() <= 1.0 {
+		t.Errorf("concurrency = %.2f, want > 1 (ops should overlap on two devices)", res.Concurrency())
+	}
+}
+
+func TestDecompositionOnSmallDevice(t *testing.T) {
+	// Relations far larger than the device must still produce correct
+	// results, via §8 decomposition, with multiple tiles recorded.
+	a, b, err := workload.OverlapPair(5, 40, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := decompose.ArraySize{MaxA: 8, MaxB: 8}
+	m, err := New(Config{
+		Memories: 2,
+		Devices:  []DeviceConfig{{Name: "i0", Kind: DevIntersect, Size: size}},
+		Tech:     perf.Conservative1980,
+		Disk:     perf.Disk1980,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run([]Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpIntersect, Inputs: []string{"A", "B"}, Output: "C"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.IntersectionHash(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relations["C"].EqualAsMultiset(want) {
+		t.Error("decomposed intersection wrong")
+	}
+	var tiles int
+	for _, ev := range res.Events {
+		if ev.Op == OpIntersect {
+			tiles = ev.Tiles
+		}
+	}
+	if tiles != 25 { // ceil(40/8)^2
+		t.Errorf("tiles = %d, want 25", tiles)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := testMachine(t)
+	_, err := m.Run([]Task{
+		{Op: OpIntersect, Inputs: []string{"missing", "alsoMissing"}, Output: "C"},
+	})
+	if err == nil {
+		t.Error("missing inputs not detected")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	size := decompose.ArraySize{MaxA: 8, MaxB: 8}
+	if _, err := New(Config{Memories: 0, Devices: []DeviceConfig{{Name: "x", Kind: DevIntersect, Size: size}}, Tech: perf.Conservative1980}); err == nil {
+		t.Error("zero memories not rejected")
+	}
+	if _, err := New(Config{Memories: 1, Tech: perf.Conservative1980}); err == nil {
+		t.Error("no devices not rejected")
+	}
+	if _, err := New(Config{Memories: 1, Devices: []DeviceConfig{
+		{Name: "x", Kind: DevIntersect, Size: size},
+		{Name: "x", Kind: DevJoin, Size: size},
+	}, Tech: perf.Conservative1980}); err == nil {
+		t.Error("duplicate device names not rejected")
+	}
+	if _, err := New(Config{Memories: 1, Devices: []DeviceConfig{
+		{Name: "x", Kind: DevIntersect, Size: decompose.ArraySize{}},
+	}, Tech: perf.Conservative1980}); err == nil {
+		t.Error("zero-capacity device not rejected")
+	}
+}
+
+func TestDuplicateOutputRejected(t *testing.T) {
+	a, _, err := workload.OverlapPair(1, 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t)
+	if _, err := m.Run([]Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: a, Output: "A"},
+	}); err == nil {
+		t.Error("duplicate output name not rejected")
+	}
+}
+
+func TestMissingDeviceKind(t *testing.T) {
+	a, b, err := workload.OverlapPair(1, 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := decompose.ArraySize{MaxA: 8, MaxB: 8}
+	m, err := New(Config{
+		Memories: 1,
+		Devices:  []DeviceConfig{{Name: "i0", Kind: DevIntersect, Size: size}},
+		Tech:     perf.Conservative1980,
+		Disk:     perf.Disk1980,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run([]Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpJoin, Inputs: []string{"A", "B"}, Output: "C",
+			Join: &join.Spec{ACols: []int{0}, BCols: []int{0}}},
+	}); err == nil {
+		t.Error("missing join device not reported")
+	}
+}
+
+// pairsToMatrix is a test helper converting index pairs to a match matrix.
+func pairsToMatrix(pairs [][2]int, nA, nB int) *comparison.Matrix {
+	m := comparison.NewMatrix(nA, nB)
+	for _, p := range pairs {
+		m.Bits[p[0]][p[1]] = true
+	}
+	return m
+}

@@ -1,0 +1,145 @@
+package machine
+
+import (
+	"testing"
+
+	"systolicdb/internal/baseline"
+	"systolicdb/internal/workload"
+)
+
+func TestMachineUnionDedupDivide(t *testing.T) {
+	a, b, err := workload.OverlapPair(91, 20, 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db, err := workload.DivisionCase(92, 6, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Default1980(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run([]Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpLoad, Base: da, Output: "DA"},
+		{Op: OpLoad, Base: db, Output: "DB"},
+		{Op: OpUnion, Inputs: []string{"A", "B"}, Output: "U"},
+		{Op: OpDedup, Inputs: []string{"U"}, Output: "D"},
+		{Op: OpDivide, Inputs: []string{"DA", "DB"}, Output: "Q",
+			Divide: &DivideSpec{AQuot: []int{0}, ADiv: []int{1}, BCols: []int{0}}},
+		{Op: OpStore, Inputs: []string{"D"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantU, err := baseline.UnionHash(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relations["U"].EqualAsSet(wantU) {
+		t.Error("machine union wrong")
+	}
+	if !res.Relations["D"].EqualAsSet(wantU) {
+		t.Error("dedup of a union changed it")
+	}
+	wantQ, err := baseline.Divide(da, db, []int{0}, []int{1}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relations["Q"].EqualAsSet(wantQ) {
+		t.Error("machine division wrong")
+	}
+}
+
+func TestMachineErrorPaths(t *testing.T) {
+	a, b, err := workload.OverlapPair(93, 5, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Default1980(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		tasks []Task
+	}{
+		{"empty transaction", nil},
+		{"join without spec", []Task{
+			{Op: OpLoad, Base: a, Output: "A"},
+			{Op: OpLoad, Base: b, Output: "B"},
+			{Op: OpJoin, Inputs: []string{"A", "B"}, Output: "J"},
+		}},
+		{"divide without spec", []Task{
+			{Op: OpLoad, Base: a, Output: "A"},
+			{Op: OpLoad, Base: b, Output: "B"},
+			{Op: OpDivide, Inputs: []string{"A", "B"}, Output: "Q"},
+		}},
+		{"load without base", []Task{
+			{Op: OpLoad, Output: "A"},
+		}},
+		{"store with two inputs", []Task{
+			{Op: OpLoad, Base: a, Output: "A"},
+			{Op: OpLoad, Base: b, Output: "B"},
+			{Op: OpStore, Inputs: []string{"A", "B"}},
+		}},
+		{"missing output name", []Task{
+			{Op: OpLoad, Base: a},
+		}},
+		{"duplicate task ids", []Task{
+			{ID: "x", Op: OpLoad, Base: a, Output: "A"},
+			{ID: "x", Op: OpLoad, Base: b, Output: "B"},
+		}},
+		{"intersect with one input", []Task{
+			{Op: OpLoad, Base: a, Output: "A"},
+			{Op: OpIntersect, Inputs: []string{"A"}, Output: "C"},
+		}},
+		{"project without columns", []Task{
+			{Op: OpLoad, Base: a, Output: "A"},
+			{Op: OpProject, Inputs: []string{"A"}, Output: "P"},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := m.Run(c.tasks); err == nil {
+			t.Errorf("%s: not rejected", c.name)
+		}
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	kinds := map[OpKind]string{
+		OpLoad: "load", OpIntersect: "intersect", OpDifference: "difference",
+		OpDedup: "dedup", OpUnion: "union", OpProject: "project",
+		OpJoin: "join", OpDivide: "divide", OpStore: "store",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Error("unknown op kind renders empty")
+	}
+	devs := map[DeviceKind]string{
+		DevIntersect: "intersect-array", DevJoin: "join-array", DevDivide: "division-array",
+	}
+	for k, want := range devs {
+		if k.String() != want {
+			t.Errorf("device %d = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if DeviceKind(42).String() == "" {
+		t.Error("unknown device kind renders empty")
+	}
+}
+
+func TestConcurrencyZeroMakespan(t *testing.T) {
+	if (&Result{}).Concurrency() != 0 {
+		t.Error("zero-makespan concurrency should be 0")
+	}
+}

@@ -1,0 +1,130 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"systolicdb/internal/decompose"
+	"systolicdb/internal/perf"
+	"systolicdb/internal/workload"
+)
+
+// tileMachine builds a machine with nDev intersect devices of small
+// capacity so a big intersection decomposes into many tiles.
+func tileMachine(t *testing.T, nDev int, tileParallel bool) *Machine {
+	t.Helper()
+	size := decompose.ArraySize{MaxA: 16, MaxB: 16}
+	devs := make([]DeviceConfig, nDev)
+	for i := range devs {
+		devs[i] = DeviceConfig{Name: "i" + string(rune('0'+i)), Kind: DevIntersect, Size: size}
+	}
+	m, err := New(Config{
+		Memories:     4,
+		Devices:      devs,
+		Tech:         perf.Conservative1980,
+		Disk:         perf.Disk1980,
+		TileParallel: tileParallel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tileTasks(t *testing.T) ([]Task, int) {
+	t.Helper()
+	a, b, err := workload.OverlapPair(95, 64, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpIntersect, Inputs: []string{"A", "B"}, Output: "C"},
+	}, 32 // 64 tuples with 0.5 overlap
+}
+
+func TestTileParallelSpeedsUpSingleOp(t *testing.T) {
+	tasks, wantSize := tileTasks(t)
+	serial, err := tileMachine(t, 4, false).Run(cloneTasks(tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := tileMachine(t, 4, true).Run(cloneTasks(tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Relations["C"].Cardinality() != wantSize ||
+		!parallel.Relations["C"].EqualAsMultiset(serial.Relations["C"]) {
+		t.Fatal("tile-parallel execution changed the result")
+	}
+	if parallel.Makespan >= serial.Makespan {
+		t.Errorf("tile parallelism did not speed up: %v vs %v", parallel.Makespan, serial.Makespan)
+	}
+	if err := parallel.Validate(); err != nil {
+		t.Errorf("tile-parallel schedule invalid: %v", err)
+	}
+	// 16 tiles (64/16 squared) spread over 4 devices: every device used.
+	used := map[string]bool{}
+	tileEvents := 0
+	for _, ev := range parallel.Events {
+		if strings.Contains(ev.Task, ".tile") {
+			tileEvents++
+			used[ev.Resource] = true
+		}
+	}
+	if tileEvents != 16 {
+		t.Errorf("%d tile events, want 16", tileEvents)
+	}
+	if len(used) != 4 {
+		t.Errorf("tiles used %d devices, want 4", len(used))
+	}
+}
+
+func TestTileParallelSingleDeviceEqualsSerial(t *testing.T) {
+	// With one device, tile parallelism degenerates to the serial cost.
+	tasks, _ := tileTasks(t)
+	serial, err := tileMachine(t, 1, false).Run(cloneTasks(tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := tileMachine(t, 1, true).Run(cloneTasks(tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Makespan != serial.Makespan {
+		t.Errorf("single-device tile scheduling changed makespan: %v vs %v",
+			parallel.Makespan, serial.Makespan)
+	}
+}
+
+func TestTileParallelNoDecompositionNoSplit(t *testing.T) {
+	// An op that fits in one pass must not be split.
+	a, b, err := workload.OverlapPair(96, 10, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tileMachine(t, 4, true)
+	res, err := m.Run([]Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpIntersect, Inputs: []string{"A", "B"}, Output: "C"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Events {
+		if strings.Contains(ev.Task, ".tile") {
+			t.Errorf("single-pass op was split: %v", ev.Task)
+		}
+	}
+}
+
+func cloneTasks(ts []Task) []Task {
+	out := make([]Task, len(ts))
+	copy(out, ts)
+	for i := range out {
+		out[i].ID = ""
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package patternmatch
+
+import (
+	"bytes"
+	"testing"
+
+	"systolicdb/internal/relation"
+)
+
+// FuzzMatchString cross-checks the systolic matcher against bytes.Index
+// semantics on arbitrary inputs (no wildcards in this harness, so the two
+// must agree exactly).
+func FuzzMatchString(f *testing.F) {
+	f.Add("ab", "abcabab")
+	f.Add("a", "")
+	f.Add("xyz", "xyxyxyz")
+	f.Add("aaa", "aaaaaa")
+	f.Fuzz(func(t *testing.T, pattern, text string) {
+		if len(pattern) == 0 || len(pattern) > 16 || len(text) > 256 {
+			t.Skip()
+		}
+		for i := 0; i < len(pattern); i++ {
+			if pattern[i] == '?' {
+				t.Skip() // wildcard semantics diverge from bytes.Index
+			}
+		}
+		pos, _, err := Match(toElems(pattern), toElems(text))
+		if err != nil {
+			t.Fatalf("Match failed: %v", err)
+		}
+		for p := range pos {
+			want := bytes.Equal([]byte(text[p:p+len(pattern)]), []byte(pattern))
+			if pos[p] != want {
+				t.Errorf("alignment %d: got %v, want %v (pattern %q in %q)",
+					p, pos[p], want, pattern, text)
+			}
+		}
+	})
+}
+
+func toElems(s string) []relation.Element {
+	out := make([]relation.Element, len(s))
+	for i := 0; i < len(s); i++ { // byte-wise; `range` would skip inside runes
+		out[i] = relation.Element(s[i])
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package patternmatch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdb/internal/relation"
+)
+
+func TestMatchStringBasics(t *testing.T) {
+	pos, st, err := MatchString("aba", "abababa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 4}
+	if len(pos) != len(want) {
+		t.Fatalf("positions = %v, want %v", pos, want)
+	}
+	for i := range want {
+		if pos[i] != want[i] {
+			t.Fatalf("positions = %v, want %v", pos, want)
+		}
+	}
+	if st.Pulses == 0 {
+		t.Error("no pulses recorded")
+	}
+}
+
+func TestMatchStringNoMatch(t *testing.T) {
+	pos, _, err := MatchString("xyz", "abababa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 0 {
+		t.Errorf("positions = %v, want none", pos)
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	pos, _, err := MatchString("a?a", "abacada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 4}
+	if len(pos) != len(want) {
+		t.Fatalf("positions = %v, want %v", pos, want)
+	}
+	all, _, err := MatchString("???", "abcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Errorf("all-wildcard positions = %v, want 2 alignments", all)
+	}
+}
+
+func TestPatternLongerThanText(t *testing.T) {
+	bits, _, err := Match([]relation.Element{1, 2, 3}, []relation.Element{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != 0 {
+		t.Errorf("bits = %v, want empty", bits)
+	}
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	if _, _, err := Match(nil, []relation.Element{1}); err == nil {
+		t.Error("empty pattern not rejected")
+	}
+}
+
+func TestSingleCharPattern(t *testing.T) {
+	bits, _, err := Match([]relation.Element{5}, []relation.Element{5, 6, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Errorf("bits = %v, want %v", bits, want)
+		}
+	}
+}
+
+func TestMatchAgainstReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 50; trial++ {
+		L := 1 + rng.Intn(5)
+		N := L + rng.Intn(30)
+		pat := make([]relation.Element, L)
+		for i := range pat {
+			if rng.Intn(6) == 0 {
+				pat[i] = Wildcard
+			} else {
+				pat[i] = relation.Element(rng.Intn(3))
+			}
+		}
+		text := make([]relation.Element, N)
+		for i := range text {
+			text[i] = relation.Element(rng.Intn(3))
+		}
+		got, _, err := Match(pat, text)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := Reference(pat, text)
+		for p := range want {
+			if got[p] != want[p] {
+				t.Fatalf("trial %d: alignment %d = %v, want %v (pat=%v text=%v)",
+					trial, p, got[p], want[p], pat, text)
+			}
+		}
+	}
+}
+
+func TestMatchStringMultiByteText(t *testing.T) {
+	// Regression for a bug found by FuzzMatchString: `for i := range s`
+	// over a string visits rune starts only, so multi-byte UTF-8 text
+	// used to leave zero-valued elements and produce phantom matches.
+	pos, _, err := MatchString("\x00", "̨") // U+0328 is 2 bytes, no NUL
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 0 {
+		t.Errorf("NUL pattern matched inside a multi-byte rune at %v", pos)
+	}
+	pos, _, err = MatchString("é", "café")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 1 || pos[0] != 3 {
+		t.Errorf("multi-byte pattern positions = %v, want [3]", pos)
+	}
+}
+
+func TestThroughputOneAlignmentPerPulse(t *testing.T) {
+	// Steady-state throughput claim: total pulses = alignments + 2L
+	// (pipeline fill), so pulses grow by 1 per extra text character.
+	pat := []relation.Element{1, 2}
+	short := make([]relation.Element, 20)
+	long := make([]relation.Element, 40)
+	_, stShort, err := Match(pat, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stLong, err := Match(pat, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stLong.Pulses-stShort.Pulses != 20 {
+		t.Errorf("pulse growth %d for 20 extra characters, want 20 (1/pulse throughput)",
+			stLong.Pulses-stShort.Pulses)
+	}
+}
+
+func TestMatchQuickProperty(t *testing.T) {
+	// Property: the array agrees with the reference on arbitrary inputs.
+	f := func(patRaw, textRaw []uint8) bool {
+		if len(patRaw) == 0 {
+			patRaw = []uint8{1}
+		}
+		if len(patRaw) > 8 {
+			patRaw = patRaw[:8]
+		}
+		if len(textRaw) > 64 {
+			textRaw = textRaw[:64]
+		}
+		pat := make([]relation.Element, len(patRaw))
+		for i, v := range patRaw {
+			pat[i] = relation.Element(v % 4)
+		}
+		text := make([]relation.Element, len(textRaw))
+		for i, v := range textRaw {
+			text[i] = relation.Element(v % 4)
+		}
+		got, _, err := Match(pat, text)
+		if err != nil {
+			return false
+		}
+		want := Reference(pat, text)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+package query
+
+import (
+	"fmt"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/lptdisk"
+)
+
+// Optimize rewrites a plan into an equivalent one that exploits the §9
+// machine better. The catalog is needed to resolve schemas (e.g. operand
+// widths for pushing a selection through a join). Rules applied, bottom-up
+// until a fixed point:
+//
+//  1. select(select(e, P), Q)          -> select(e, P ∧ Q)
+//  2. select(intersect/union/difference(l, r), P)
+//     -> op(select(l, P), select(r, P))   [same-schema set operations]
+//  3. select(project(e, cols), P)      -> project(select(e, P'), cols)
+//     with P' rewritten through the column map
+//  4. select(join(l, r), P)            -> join(select(l, P), r) when every
+//     predicate references columns of l (the join result starts with l's
+//     columns unchanged)
+//  5. dedup(dedup(e))                  -> dedup(e)
+//  6. dedup(project(e, cols))          -> project(e, cols)   [project dedups]
+//  7. dedup(union(l, r))               -> union(l, r)        [union dedups]
+//  8. dedup(intersect(l, r))           -> intersect(dedup(l), r)
+//     [membership testing preserves A's duplicates; dedup A first instead]
+//  9. project(project(e, c1), c2)      -> project(e, c1∘c2)
+//
+// The goal of the selection rules is to sink every Select onto a Scan, at
+// which point Compile turns it into logic-per-track disk filtering ("some
+// simple queries never have to be processed outside the disks"). Every
+// rewrite preserves results; TestOptimizePreservesResults checks the whole
+// rule set against unoptimized execution on randomized plans.
+func Optimize(n Node, cat Catalog) (Node, error) {
+	for i := 0; i < 32; i++ { // fixed-point iteration with a safety bound
+		rewritten, changed, err := rewrite(n, cat)
+		if err != nil {
+			return nil, err
+		}
+		n = rewritten
+		if !changed {
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// width returns the output width of a plan node.
+func width(n Node, cat Catalog) (int, error) {
+	switch op := n.(type) {
+	case Scan:
+		r, ok := cat[op.Name]
+		if !ok {
+			return 0, fmt.Errorf("query: unknown relation %q", op.Name)
+		}
+		return r.Width(), nil
+	case Intersect:
+		return width(op.L, cat)
+	case Difference:
+		return width(op.L, cat)
+	case Union:
+		return width(op.L, cat)
+	case Dedup:
+		return width(op.Child, cat)
+	case Select:
+		return width(op.Child, cat)
+	case Project:
+		return len(op.Cols), nil
+	case Join:
+		lw, err := width(op.L, cat)
+		if err != nil {
+			return 0, err
+		}
+		rw, err := width(op.R, cat)
+		if err != nil {
+			return 0, err
+		}
+		// Equi-joins drop R's join columns; θ-joins keep everything.
+		drop := 0
+		equi := true
+		for _, o := range op.Spec.Ops {
+			if o != cells.EQ {
+				equi = false
+			}
+		}
+		if op.Spec.Ops == nil {
+			equi = true
+		}
+		if equi {
+			seen := map[int]bool{}
+			for _, c := range op.Spec.BCols {
+				if !seen[c] {
+					seen[c] = true
+					drop++
+				}
+			}
+		}
+		return lw + rw - drop, nil
+	case Divide:
+		return len(op.AQuot), nil
+	}
+	return 0, fmt.Errorf("query: unknown node %T", n)
+}
+
+// rewrite applies one bottom-up pass of the rules.
+func rewrite(n Node, cat Catalog) (Node, bool, error) {
+	switch op := n.(type) {
+	case Scan:
+		return op, false, nil
+
+	case Intersect:
+		l, cl, err := rewrite(op.L, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		r, cr, err := rewrite(op.R, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		return Intersect{L: l, R: r}, cl || cr, nil
+
+	case Difference:
+		l, cl, err := rewrite(op.L, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		r, cr, err := rewrite(op.R, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		return Difference{L: l, R: r}, cl || cr, nil
+
+	case Union:
+		l, cl, err := rewrite(op.L, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		r, cr, err := rewrite(op.R, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		return Union{L: l, R: r}, cl || cr, nil
+
+	case Join:
+		l, cl, err := rewrite(op.L, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		r, cr, err := rewrite(op.R, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		return Join{L: l, R: r, Spec: op.Spec}, cl || cr, nil
+
+	case Divide:
+		l, cl, err := rewrite(op.L, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		r, cr, err := rewrite(op.R, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		return Divide{L: l, R: r, AQuot: op.AQuot, ADiv: op.ADiv, BCols: op.BCols}, cl || cr, nil
+
+	case Dedup:
+		child, changed, err := rewrite(op.Child, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		switch inner := child.(type) {
+		case Dedup: // rule 5
+			return inner, true, nil
+		case Project: // rule 6
+			return inner, true, nil
+		case Union: // rule 7
+			return inner, true, nil
+		case Intersect: // rule 8
+			return Intersect{L: Dedup{Child: inner.L}, R: inner.R}, true, nil
+		}
+		return Dedup{Child: child}, changed, nil
+
+	case Project:
+		child, changed, err := rewrite(op.Child, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		if inner, ok := child.(Project); ok { // rule 9
+			composed := make([]int, len(op.Cols))
+			valid := true
+			for i, c := range op.Cols {
+				if c < 0 || c >= len(inner.Cols) {
+					valid = false
+					break
+				}
+				composed[i] = inner.Cols[c]
+			}
+			if valid {
+				return Project{Child: inner.Child, Cols: composed}, true, nil
+			}
+		}
+		return Project{Child: child, Cols: op.Cols}, changed, nil
+
+	case Select:
+		child, changed, err := rewrite(op.Child, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		switch inner := child.(type) {
+		case Select: // rule 1
+			merged := append(append(lptdisk.Query{}, inner.Query...), op.Query...)
+			return Select{Child: inner.Child, Query: merged}, true, nil
+		case Intersect: // rule 2
+			return Intersect{
+				L: Select{Child: inner.L, Query: op.Query},
+				R: Select{Child: inner.R, Query: op.Query},
+			}, true, nil
+		case Union:
+			return Union{
+				L: Select{Child: inner.L, Query: op.Query},
+				R: Select{Child: inner.R, Query: op.Query},
+			}, true, nil
+		case Difference:
+			return Difference{
+				L: Select{Child: inner.L, Query: op.Query},
+				R: Select{Child: inner.R, Query: op.Query},
+			}, true, nil
+		case Project: // rule 3
+			mapped := make(lptdisk.Query, len(op.Query))
+			valid := true
+			for i, p := range op.Query {
+				if p.Col < 0 || p.Col >= len(inner.Cols) {
+					valid = false
+					break
+				}
+				mapped[i] = lptdisk.Predicate{Col: inner.Cols[p.Col], Op: p.Op, Value: p.Value}
+			}
+			if valid {
+				return Project{
+					Child: Select{Child: inner.Child, Query: mapped},
+					Cols:  inner.Cols,
+				}, true, nil
+			}
+		case Join: // rule 4: push predicates that only touch L's columns
+			lw, err := width(inner.L, cat)
+			if err != nil {
+				return nil, false, err
+			}
+			allLeft := len(op.Query) > 0
+			for _, p := range op.Query {
+				if p.Col < 0 || p.Col >= lw {
+					allLeft = false
+					break
+				}
+			}
+			if allLeft {
+				return Join{
+					L:    Select{Child: inner.L, Query: op.Query},
+					R:    inner.R,
+					Spec: inner.Spec,
+				}, true, nil
+			}
+		}
+		return Select{Child: child, Query: op.Query}, changed, nil
+	}
+	return nil, false, fmt.Errorf("query: unknown node %T", n)
+}

@@ -1,0 +1,170 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"systolicdb/internal/baseline"
+	"systolicdb/internal/cells"
+	"systolicdb/internal/workload"
+)
+
+func TestParseScan(t *testing.T) {
+	n, err := Parse("scan(A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := n.(Scan); !ok || s.Name != "A" {
+		t.Errorf("parsed %#v", n)
+	}
+}
+
+func TestParseComposite(t *testing.T) {
+	n, err := Parse("union( intersect(scan(A), scan(B)), dedup(scan(C)) )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := Render(n)
+	for _, frag := range []string{"union", "intersect", "scan(A)", "scan(B)", "dedup", "scan(C)"} {
+		if !strings.Contains(rendered, frag) {
+			t.Errorf("rendered %q missing %q", rendered, frag)
+		}
+	}
+}
+
+func TestParseProject(t *testing.T) {
+	n, err := Parse("project(scan(A), 0, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := n.(Project)
+	if !ok || len(p.Cols) != 2 || p.Cols[0] != 0 || p.Cols[1] != 2 {
+		t.Errorf("parsed %#v", n)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	n, err := Parse("join(scan(A), scan(B), 0=1, 1=0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := n.(Join)
+	if !ok {
+		t.Fatalf("parsed %#v", n)
+	}
+	if len(j.Spec.ACols) != 2 || j.Spec.ACols[0] != 0 || j.Spec.BCols[0] != 1 {
+		t.Errorf("spec %+v", j.Spec)
+	}
+	if _, err := Parse("join(scan(A), scan(B), 0<1)"); err == nil {
+		t.Error("join with θ operator not rejected (theta() required)")
+	}
+}
+
+func TestParseTheta(t *testing.T) {
+	n, err := Parse("theta(scan(A), scan(B), 0>=1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := n.(Join)
+	if j.Spec.Ops[0] != cells.GE {
+		t.Errorf("op %v, want >=", j.Spec.Ops[0])
+	}
+	for _, src := range []string{"0<1", "0<=1", "0>1", "0!=1", "0=1"} {
+		if _, err := Parse("theta(scan(A), scan(B), " + src + ")"); err != nil {
+			t.Errorf("theta %q rejected: %v", src, err)
+		}
+	}
+}
+
+func TestParseDivide(t *testing.T) {
+	n, err := Parse("divide(scan(A), scan(B), quot=0+1, div=2, by=0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := n.(Divide)
+	if !ok {
+		t.Fatalf("parsed %#v", n)
+	}
+	if len(d.AQuot) != 2 || d.AQuot[1] != 1 || len(d.ADiv) != 1 || d.ADiv[0] != 2 || d.BCols[0] != 0 {
+		t.Errorf("groups %v %v %v", d.AQuot, d.ADiv, d.BCols)
+	}
+	if _, err := Parse("divide(scan(A), scan(B), quot=0)"); err == nil {
+		t.Error("incomplete divide groups not rejected")
+	}
+	if _, err := Parse("divide(scan(A), scan(B), bogus=0)"); err == nil {
+		t.Error("unknown group not rejected")
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	n, err := Parse("select(scan(A), 0<5, 1>=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := n.(Select)
+	if !ok || len(s.Query) != 2 {
+		t.Fatalf("parsed %#v", n)
+	}
+	if s.Query[0].Op != cells.LT || s.Query[0].Value != 5 {
+		t.Errorf("predicate 0 = %+v", s.Query[0])
+	}
+	if s.Query[1].Op != cells.GE || s.Query[1].Col != 1 {
+		t.Errorf("predicate 1 = %+v", s.Query[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"scan",
+		"scan()",
+		"scan(A",
+		"scan(A) trailing",
+		"bogus(scan(A))",
+		"project(scan(A))",
+		"select(scan(A))",
+		"join(scan(A), scan(B))",
+		"intersect(scan(A))",
+		"select(scan(A), x<5)",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: not rejected", src)
+		}
+	}
+}
+
+func TestParsedPlanExecutes(t *testing.T) {
+	a, b, err := workload.OverlapPair(90, 20, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := Catalog{"A": a, "B": b}
+	plan, err := Parse("union(intersect(scan(A), scan(B)), difference(scan(A), scan(B)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Execute(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (A∩B) ∪ (A−B) = A.
+	want, err := baseline.RemoveDuplicatesHash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsSet(want) {
+		t.Error("parsed plan produced wrong result")
+	}
+}
+
+func TestParseNegativeConstant(t *testing.T) {
+	n, err := Parse("select(scan(A), 0>-3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.(Select)
+	if s.Query[0].Value != -3 {
+		t.Errorf("value = %d, want -3", s.Query[0].Value)
+	}
+}

@@ -1,0 +1,324 @@
+// Package query provides a small relational-algebra plan representation,
+// a host executor that evaluates plans directly on the systolic array
+// drivers, and a compiler that lowers plans onto the §9 machine as
+// transactions (lists of machine.Task).
+//
+// The paper's §9 scenario — "to process all of the operations required in a
+// single transaction or a set of transactions, an integrated system
+// containing several systolic arrays is needed" — is exactly what
+// Compile + machine.Run model; the host executor is the single-array,
+// operation-at-a-time view used everywhere else in the repository.
+package query
+
+import (
+	"fmt"
+
+	"systolicdb/internal/dedup"
+	"systolicdb/internal/division"
+	"systolicdb/internal/intersect"
+	"systolicdb/internal/join"
+	"systolicdb/internal/lptdisk"
+	"systolicdb/internal/machine"
+	"systolicdb/internal/relation"
+)
+
+// Node is a relational-algebra plan node.
+type Node interface {
+	// label returns a short operator name for plan rendering.
+	label() string
+	children() []Node
+}
+
+// Scan reads a named base relation from the catalog.
+type Scan struct{ Name string }
+
+// Intersect is C = L ∩ R.
+type Intersect struct{ L, R Node }
+
+// Difference is C = L - R.
+type Difference struct{ L, R Node }
+
+// Union is C = L ∪ R.
+type Union struct{ L, R Node }
+
+// Dedup removes duplicate tuples from its child.
+type Dedup struct{ Child Node }
+
+// Project projects the child onto Cols and removes duplicates.
+type Project struct {
+	Child Node
+	Cols  []int
+}
+
+// Join joins L and R under Spec.
+type Join struct {
+	L, R Node
+	Spec join.Spec
+}
+
+// Divide divides L by R over the given column groups.
+type Divide struct {
+	L, R               Node
+	AQuot, ADiv, BCols []int
+}
+
+// Select filters its child through a logic-per-track disk query (§9's
+// "simple queries [that] never have to be processed outside the disks").
+// Machine compilation requires the child to be a Scan, because the
+// selection physically happens at the disk heads during the load; the host
+// executor accepts any child.
+type Select struct {
+	Child Node
+	Query lptdisk.Query
+}
+
+func (s Scan) label() string          { return fmt.Sprintf("scan(%s)", s.Name) }
+func (Select) label() string          { return "select" }
+func (n Select) children() []Node     { return []Node{n.Child} }
+func (Intersect) label() string       { return "intersect" }
+func (Difference) label() string      { return "difference" }
+func (Union) label() string           { return "union" }
+func (Dedup) label() string           { return "dedup" }
+func (p Project) label() string       { return fmt.Sprintf("project%v", p.Cols) }
+func (Join) label() string            { return "join" }
+func (Divide) label() string          { return "divide" }
+func (Scan) children() []Node         { return nil }
+func (n Intersect) children() []Node  { return []Node{n.L, n.R} }
+func (n Difference) children() []Node { return []Node{n.L, n.R} }
+func (n Union) children() []Node      { return []Node{n.L, n.R} }
+func (n Dedup) children() []Node      { return []Node{n.Child} }
+func (n Project) children() []Node    { return []Node{n.Child} }
+func (n Join) children() []Node       { return []Node{n.L, n.R} }
+func (n Divide) children() []Node     { return []Node{n.L, n.R} }
+
+// Catalog maps base-relation names to relations.
+type Catalog map[string]*relation.Relation
+
+// Execute evaluates a plan on the host, running every operator on its
+// systolic array (one operation at a time, no machine-level scheduling).
+func Execute(n Node, cat Catalog) (*relation.Relation, error) {
+	if n == nil {
+		return nil, fmt.Errorf("query: nil plan node")
+	}
+	switch op := n.(type) {
+	case Scan:
+		r, ok := cat[op.Name]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q", op.Name)
+		}
+		return r, nil
+	case Intersect:
+		l, r, err := execPair(op.L, op.R, cat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := intersect.Intersection(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rel, nil
+	case Difference:
+		l, r, err := execPair(op.L, op.R, cat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := intersect.Difference(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rel, nil
+	case Union:
+		l, r, err := execPair(op.L, op.R, cat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dedup.Union(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rel, nil
+	case Dedup:
+		c, err := Execute(op.Child, cat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dedup.RemoveDuplicates(c)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rel, nil
+	case Project:
+		c, err := Execute(op.Child, cat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dedup.Project(c, op.Cols)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rel, nil
+	case Join:
+		l, r, err := execPair(op.L, op.R, cat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := join.Join(l, r, op.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rel, nil
+	case Divide:
+		l, r, err := execPair(op.L, op.R, cat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := division.Divide(l, r, op.AQuot, op.ADiv, op.BCols)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rel, nil
+	case Select:
+		c, err := Execute(op.Child, cat)
+		if err != nil {
+			return nil, err
+		}
+		if err := op.Query.Validate(c.Schema()); err != nil {
+			return nil, err
+		}
+		keep := make([]bool, c.Cardinality())
+		for i := range keep {
+			keep[i] = op.Query.Matches(c.Tuple(i))
+		}
+		return c.Select(keep, true)
+	}
+	return nil, fmt.Errorf("query: unsupported plan node %T", n)
+}
+
+func execPair(l, r Node, cat Catalog) (*relation.Relation, *relation.Relation, error) {
+	lr, err := Execute(l, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	rr, err := Execute(r, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lr, rr, nil
+}
+
+// Compile lowers a plan to a machine transaction. Every Scan becomes an
+// OpLoad of the catalog relation; every operator becomes one task; the
+// returned output name identifies the final result in machine.Result.
+func Compile(n Node, cat Catalog) (tasks []machine.Task, output string, err error) {
+	c := &compiler{cat: cat, loaded: make(map[string]string)}
+	output, err = c.lower(n)
+	if err != nil {
+		return nil, "", err
+	}
+	return c.tasks, output, nil
+}
+
+type compiler struct {
+	cat    Catalog
+	tasks  []machine.Task
+	loaded map[string]string // base relation -> output name of its load task
+	n      int
+}
+
+func (c *compiler) fresh(prefix string) string {
+	c.n++
+	return fmt.Sprintf("%s_%d", prefix, c.n)
+}
+
+func (c *compiler) add(t machine.Task) string {
+	t.ID = fmt.Sprintf("t%d", len(c.tasks))
+	c.tasks = append(c.tasks, t)
+	return t.Output
+}
+
+func (c *compiler) lower(n Node) (string, error) {
+	switch op := n.(type) {
+	case Scan:
+		if name, ok := c.loaded[op.Name]; ok {
+			return name, nil
+		}
+		r, ok := c.cat[op.Name]
+		if !ok {
+			return "", fmt.Errorf("query: unknown relation %q", op.Name)
+		}
+		out := c.add(machine.Task{Op: machine.OpLoad, Base: r, Output: op.Name})
+		c.loaded[op.Name] = out
+		return out, nil
+	case Intersect:
+		return c.binary(machine.OpIntersect, "inter", op.L, op.R, nil, nil)
+	case Difference:
+		return c.binary(machine.OpDifference, "diff", op.L, op.R, nil, nil)
+	case Union:
+		return c.binary(machine.OpUnion, "union", op.L, op.R, nil, nil)
+	case Dedup:
+		in, err := c.lower(op.Child)
+		if err != nil {
+			return "", err
+		}
+		return c.add(machine.Task{Op: machine.OpDedup, Inputs: []string{in}, Output: c.fresh("dedup")}), nil
+	case Project:
+		in, err := c.lower(op.Child)
+		if err != nil {
+			return "", err
+		}
+		return c.add(machine.Task{Op: machine.OpProject, Inputs: []string{in},
+			Cols: op.Cols, Output: c.fresh("proj")}), nil
+	case Join:
+		spec := op.Spec
+		return c.binary(machine.OpJoin, "join", op.L, op.R, &spec, nil)
+	case Divide:
+		return c.binary(machine.OpDivide, "quot", op.L, op.R, nil,
+			&machine.DivideSpec{AQuot: op.AQuot, ADiv: op.ADiv, BCols: op.BCols})
+	case Select:
+		scan, ok := op.Child.(Scan)
+		if !ok {
+			return "", fmt.Errorf("query: machine selection happens at the disk heads; Select's child must be a Scan, not %T", op.Child)
+		}
+		r, have := c.cat[scan.Name]
+		if !have {
+			return "", fmt.Errorf("query: unknown relation %q", scan.Name)
+		}
+		// Selection-at-load is never memoised: two different Selects
+		// over the same base relation are two different disk passes.
+		return c.add(machine.Task{Op: machine.OpLoad, Base: r, Select: op.Query,
+			Output: c.fresh("sel_" + scan.Name)}), nil
+	}
+	return "", fmt.Errorf("query: unsupported plan node %T", n)
+}
+
+func (c *compiler) binary(op machine.OpKind, prefix string, l, r Node, js *join.Spec, ds *machine.DivideSpec) (string, error) {
+	li, err := c.lower(l)
+	if err != nil {
+		return "", err
+	}
+	ri, err := c.lower(r)
+	if err != nil {
+		return "", err
+	}
+	return c.add(machine.Task{Op: op, Inputs: []string{li, ri},
+		Join: js, Divide: ds, Output: c.fresh(prefix)}), nil
+}
+
+// Render returns a one-line textual form of the plan for logging.
+func Render(n Node) string {
+	if n == nil {
+		return "<nil>"
+	}
+	kids := n.children()
+	if len(kids) == 0 {
+		return n.label()
+	}
+	s := n.label() + "("
+	for i, k := range kids {
+		if i > 0 {
+			s += ", "
+		}
+		s += Render(k)
+	}
+	return s + ")"
+}

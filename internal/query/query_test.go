@@ -1,0 +1,180 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"systolicdb/internal/baseline"
+	"systolicdb/internal/join"
+	"systolicdb/internal/machine"
+	"systolicdb/internal/workload"
+)
+
+func catalog(t *testing.T) Catalog {
+	t.Helper()
+	a, b, err := workload.OverlapPair(1, 20, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := workload.WithDuplicates(2, 15, 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Catalog{"A": a, "B": b, "C": c}
+}
+
+func TestExecuteScan(t *testing.T) {
+	cat := catalog(t)
+	r, err := Execute(Scan{"A"}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != cat["A"] {
+		t.Error("scan did not return the catalog relation")
+	}
+	if _, err := Execute(Scan{"missing"}, cat); err == nil {
+		t.Error("unknown relation not rejected")
+	}
+}
+
+func TestExecuteComposite(t *testing.T) {
+	cat := catalog(t)
+	// (A ∩ B) ∪ dedup(C)
+	plan := Union{
+		L: Intersect{Scan{"A"}, Scan{"B"}},
+		R: Dedup{Scan{"C"}},
+	}
+	got, err := Execute(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := baseline.IntersectionHash(cat["A"], cat["B"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.UnionHash(inter, cat["C"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsSet(want) {
+		t.Error("composite plan result differs from baseline composition")
+	}
+}
+
+func TestExecuteAllOperators(t *testing.T) {
+	cat := catalog(t)
+	plans := []Node{
+		Difference{Scan{"A"}, Scan{"B"}},
+		Project{Child: Scan{"A"}, Cols: []int{0}},
+		Join{L: Scan{"A"}, R: Scan{"B"}, Spec: join.Spec{ACols: []int{0}, BCols: []int{0}}},
+	}
+	for _, p := range plans {
+		if _, err := Execute(p, cat); err != nil {
+			t.Errorf("plan %s failed: %v", Render(p), err)
+		}
+	}
+}
+
+func TestExecuteDivide(t *testing.T) {
+	a, b, err := workload.DivisionCase(3, 6, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := Catalog{"A": a, "B": b}
+	got, err := Execute(Divide{L: Scan{"A"}, R: Scan{"B"}, AQuot: []int{0}, ADiv: []int{1}, BCols: []int{0}}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.Divide(a, b, []int{0}, []int{1}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsSet(want) {
+		t.Error("division plan differs from baseline")
+	}
+}
+
+func TestCompileAndRunMatchesHostExecute(t *testing.T) {
+	cat := catalog(t)
+	plan := Project{
+		Child: Join{
+			L:    Intersect{Scan{"A"}, Scan{"B"}},
+			R:    Scan{"C"},
+			Spec: join.Spec{ACols: []int{0}, BCols: []int{0}},
+		},
+		Cols: []int{0, 1},
+	}
+	hostResult, err := Execute(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, out, err := Compile(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.Default1980(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relations[out].EqualAsSet(hostResult) {
+		t.Error("machine execution differs from host execution")
+	}
+	// One load per distinct base relation (A, B, C), even though A and B
+	// could appear multiple times.
+	loads := 0
+	for _, task := range tasks {
+		if task.Op == machine.OpLoad {
+			loads++
+		}
+	}
+	if loads != 3 {
+		t.Errorf("%d load tasks, want 3", loads)
+	}
+}
+
+func TestCompileMemoisesScans(t *testing.T) {
+	cat := catalog(t)
+	plan := Union{L: Scan{"A"}, R: Scan{"A"}}
+	tasks, _, err := Compile(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := 0
+	for _, task := range tasks {
+		if task.Op == machine.OpLoad {
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Errorf("scan of same relation loaded %d times, want 1", loads)
+	}
+}
+
+func TestCompileUnknownRelation(t *testing.T) {
+	if _, _, err := Compile(Scan{"nope"}, Catalog{}); err == nil {
+		t.Error("unknown relation not rejected at compile time")
+	}
+}
+
+func TestRender(t *testing.T) {
+	plan := Union{L: Intersect{Scan{"A"}, Scan{"B"}}, R: Dedup{Scan{"C"}}}
+	s := Render(plan)
+	for _, frag := range []string{"union", "intersect", "scan(A)", "scan(B)", "dedup", "scan(C)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendered plan %q missing %q", s, frag)
+		}
+	}
+	if Render(nil) != "<nil>" {
+		t.Error("nil plan rendering wrong")
+	}
+}
+
+func TestExecuteNil(t *testing.T) {
+	if _, err := Execute(nil, Catalog{}); err == nil {
+		t.Error("nil plan not rejected")
+	}
+}

@@ -1,0 +1,180 @@
+package relation
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Domain is an underlying domain in the sense of paper §2.3: a set of values
+// of some external type, each "uniquely and reversably encoded into an
+// integer". The integer encodings are what is stored in relations; "the
+// list of encodings is stored separately" — that list is this type.
+//
+// A Domain is identified by its name. Two schema columns are drawn from the
+// same underlying domain iff their *Domain pointers are Same. Encoding is
+// only needed at the human I/O boundary, exactly as the paper observes; the
+// systolic arrays never consult a Domain.
+//
+// Domain is safe for concurrent use.
+type Domain struct {
+	name string
+
+	mu   sync.RWMutex
+	kind domainKind
+	// Dictionary state for DictDomain.
+	toInt   map[string]Element
+	fromInt map[Element]string
+	next    Element
+}
+
+type domainKind int
+
+const (
+	intKind  domainKind = iota // identity encoding
+	dictKind                   // dictionary encoding for strings
+	boolKind                   // FALSE=0, TRUE=1
+	dateKind                   // days since 1970-01-01
+)
+
+// IntDomain returns a domain whose values are integers encoded as
+// themselves (the identity encoding).
+func IntDomain(name string) *Domain {
+	return &Domain{name: name, kind: intKind}
+}
+
+// DictDomain returns a domain that encodes strings by interning them in a
+// dictionary, assigning consecutive integers in first-seen order.
+func DictDomain(name string) *Domain {
+	return &Domain{
+		name:    name,
+		kind:    dictKind,
+		toInt:   make(map[string]Element),
+		fromInt: make(map[Element]string),
+	}
+}
+
+// BoolDomain returns a domain encoding false as 0 and true as 1.
+func BoolDomain(name string) *Domain {
+	return &Domain{name: name, kind: boolKind}
+}
+
+// DateDomain returns a domain encoding calendar dates as days since
+// 1970-01-01 (UTC).
+func DateDomain(name string) *Domain {
+	return &Domain{name: name, kind: dateKind}
+}
+
+// Name returns the domain's name.
+func (d *Domain) Name() string { return d.name }
+
+// Same reports whether d and e are the same underlying domain. Identity of
+// the Domain object is what matters: two separately constructed dictionaries
+// are different domains even if they share a name, mirroring the physical
+// "separately stored list of encodings".
+func (d *Domain) Same(e *Domain) bool { return d == e }
+
+// EncodeInt encodes an integer value. Valid only for IntDomain.
+func (d *Domain) EncodeInt(v int64) (Element, error) {
+	if d.kind != intKind {
+		return 0, fmt.Errorf("relation: domain %q does not encode integers", d.name)
+	}
+	if Element(v) == Null {
+		return 0, fmt.Errorf("relation: integer %d collides with the reserved null element", v)
+	}
+	return Element(v), nil
+}
+
+// DecodeInt decodes an element of an IntDomain.
+func (d *Domain) DecodeInt(e Element) (int64, error) {
+	if d.kind != intKind {
+		return 0, fmt.Errorf("relation: domain %q does not decode integers", d.name)
+	}
+	return int64(e), nil
+}
+
+// EncodeString interns a string in a DictDomain, returning its code. The
+// same string always returns the same code (the encoding is a function);
+// distinct strings receive distinct codes (it is reversible).
+func (d *Domain) EncodeString(s string) (Element, error) {
+	if d.kind != dictKind {
+		return 0, fmt.Errorf("relation: domain %q does not encode strings", d.name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.toInt[s]; ok {
+		return e, nil
+	}
+	e := d.next
+	d.next++
+	d.toInt[s] = e
+	d.fromInt[e] = s
+	return e, nil
+}
+
+// DecodeString reverses EncodeString.
+func (d *Domain) DecodeString(e Element) (string, error) {
+	if d.kind != dictKind {
+		return "", fmt.Errorf("relation: domain %q does not decode strings", d.name)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.fromInt[e]
+	if !ok {
+		return "", fmt.Errorf("relation: element %d not present in domain %q", e, d.name)
+	}
+	return s, nil
+}
+
+// EncodeBool encodes a boolean (false=0, true=1). Valid only for BoolDomain.
+func (d *Domain) EncodeBool(v bool) (Element, error) {
+	if d.kind != boolKind {
+		return 0, fmt.Errorf("relation: domain %q does not encode booleans", d.name)
+	}
+	if v {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// DecodeBool reverses EncodeBool.
+func (d *Domain) DecodeBool(e Element) (bool, error) {
+	if d.kind != boolKind {
+		return false, fmt.Errorf("relation: domain %q does not decode booleans", d.name)
+	}
+	switch e {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("relation: element %d is not a boolean encoding", e)
+}
+
+// EncodeDate encodes a calendar date as days since the Unix epoch (UTC).
+func (d *Domain) EncodeDate(t time.Time) (Element, error) {
+	if d.kind != dateKind {
+		return 0, fmt.Errorf("relation: domain %q does not encode dates", d.name)
+	}
+	days := t.UTC().Truncate(24*time.Hour).Unix() / 86400
+	return Element(days), nil
+}
+
+// DecodeDate reverses EncodeDate.
+func (d *Domain) DecodeDate(e Element) (time.Time, error) {
+	if d.kind != dateKind {
+		return time.Time{}, fmt.Errorf("relation: domain %q does not decode dates", d.name)
+	}
+	return time.Unix(int64(e)*86400, 0).UTC(), nil
+}
+
+// Size returns the number of encodings held by a DictDomain, or -1 for
+// domains with implicit (unbounded) encodings.
+func (d *Domain) Size() int {
+	if d.kind != dictKind {
+		return -1
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.toInt)
+}

@@ -1,0 +1,155 @@
+package relation
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIntDomainRoundTrip(t *testing.T) {
+	d := IntDomain("ints")
+	e, err := d.EncodeInt(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.DecodeInt(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("round trip = %d", v)
+	}
+	if _, err := d.EncodeInt(int64(Null)); err == nil {
+		t.Error("null collision not rejected")
+	}
+	if _, err := d.EncodeString("x"); err == nil {
+		t.Error("string encode on int domain not rejected")
+	}
+}
+
+func TestDictDomain(t *testing.T) {
+	d := DictDomain("names")
+	e1, err := d.EncodeString("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := d.EncodeString("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 == e2 {
+		t.Error("distinct strings share a code")
+	}
+	again, err := d.EncodeString("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != e1 {
+		t.Error("re-encoding changed the code")
+	}
+	s, err := d.DecodeString(e2)
+	if err != nil || s != "bob" {
+		t.Errorf("decode = %q, %v", s, err)
+	}
+	if _, err := d.DecodeString(Element(999)); err == nil {
+		t.Error("unknown code not rejected")
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d", d.Size())
+	}
+	if IntDomain("x").Size() != -1 {
+		t.Error("implicit domain size should be -1")
+	}
+}
+
+func TestDictDomainConcurrent(t *testing.T) {
+	d := DictDomain("c")
+	done := make(chan Element, 100)
+	for i := 0; i < 100; i++ {
+		go func() {
+			e, err := d.EncodeString("same")
+			if err != nil {
+				t.Error(err)
+			}
+			done <- e
+		}()
+	}
+	first := <-done
+	for i := 1; i < 100; i++ {
+		if e := <-done; e != first {
+			t.Fatal("concurrent interning produced different codes")
+		}
+	}
+}
+
+func TestBoolDomain(t *testing.T) {
+	d := BoolDomain("flags")
+	et, err := d.EncodeBool(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := d.EncodeBool(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et != 1 || ef != 0 {
+		t.Errorf("encodings = %d, %d", et, ef)
+	}
+	v, err := d.DecodeBool(et)
+	if err != nil || !v {
+		t.Errorf("decode true failed: %v %v", v, err)
+	}
+	if _, err := d.DecodeBool(5); err == nil {
+		t.Error("non-boolean code not rejected")
+	}
+}
+
+func TestDateDomain(t *testing.T) {
+	d := DateDomain("dates")
+	day := time.Date(1980, time.May, 14, 0, 0, 0, 0, time.UTC) // SIGMOD 1980 opening day
+	e, err := d.EncodeDate(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.DecodeDate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(day) {
+		t.Errorf("round trip = %v, want %v", back, day)
+	}
+}
+
+func TestDomainIdentity(t *testing.T) {
+	a, b := IntDomain("same"), IntDomain("same")
+	if a.Same(b) {
+		t.Error("separately constructed domains reported identical")
+	}
+	if !a.Same(a) {
+		t.Error("domain not identical to itself")
+	}
+	if a.Name() != "same" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestWrongKindErrors(t *testing.T) {
+	d := DictDomain("d")
+	if _, err := d.EncodeInt(1); err == nil {
+		t.Error("int encode on dict domain not rejected")
+	}
+	if _, err := d.DecodeInt(1); err == nil {
+		t.Error("int decode on dict domain not rejected")
+	}
+	if _, err := d.EncodeBool(true); err == nil {
+		t.Error("bool encode on dict domain not rejected")
+	}
+	if _, err := d.DecodeBool(1); err == nil {
+		t.Error("bool decode on dict domain not rejected")
+	}
+	if _, err := d.EncodeDate(time.Now()); err == nil {
+		t.Error("date encode on dict domain not rejected")
+	}
+	if _, err := d.DecodeDate(1); err == nil {
+		t.Error("date decode on dict domain not rejected")
+	}
+}

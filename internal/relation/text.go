@@ -1,0 +1,186 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements a small line-oriented text format for relations, so
+// relations can be round-tripped through files and the command-line tools:
+//
+//	# comment
+//	id	name	salary
+//	1	alice	120
+//	2	bob	90
+//
+// The first non-comment line is the header (column names); every following
+// line is one tuple. Fields are TAB- or comma-separated. Values are parsed
+// per column domain: IntDomain fields as integers, DictDomain fields as
+// interned strings, BoolDomain fields as true/false, DateDomain fields as
+// YYYY-MM-DD.
+
+// ParseTable reads a relation in the text format from r, interpreting each
+// column with the domains of the given schema (whose column order must
+// match the header).
+func ParseTable(r io.Reader, schema *Schema) (*Relation, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("relation: nil schema")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		rel       *Relation
+		sawHeader bool
+		lineNo    int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := splitFields(line)
+		if !sawHeader {
+			if len(fields) != schema.Width() {
+				return nil, fmt.Errorf("relation: line %d: header has %d columns, schema has %d", lineNo, len(fields), schema.Width())
+			}
+			for i, name := range fields {
+				if schema.Col(i).Name != name {
+					return nil, fmt.Errorf("relation: line %d: header column %d is %q, schema says %q", lineNo, i, name, schema.Col(i).Name)
+				}
+			}
+			sawHeader = true
+			var err error
+			rel, err = NewRelation(schema, nil)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if len(fields) != schema.Width() {
+			return nil, fmt.Errorf("relation: line %d: %d fields, want %d", lineNo, len(fields), schema.Width())
+		}
+		tuple := make(Tuple, schema.Width())
+		for i, f := range fields {
+			e, err := parseField(schema.Col(i).Domain, f)
+			if err != nil {
+				return nil, fmt.Errorf("relation: line %d column %q: %w", lineNo, schema.Col(i).Name, err)
+			}
+			tuple[i] = e
+		}
+		if err := rel.Append(tuple); err != nil {
+			return nil, fmt.Errorf("relation: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("relation: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("relation: input has no header line")
+	}
+	return rel, nil
+}
+
+// FormatTable writes the relation in the text format, decoding each element
+// through its column's domain.
+func FormatTable(w io.Writer, r *Relation) error {
+	if r == nil {
+		return fmt.Errorf("relation: nil relation")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(strings.Join(r.Schema().Names(), "\t") + "\n"); err != nil {
+		return err
+	}
+	for i := 0; i < r.Cardinality(); i++ {
+		t := r.Tuple(i)
+		fields := make([]string, len(t))
+		for k, e := range t {
+			s, err := formatField(r.Schema().Col(k).Domain, e)
+			if err != nil {
+				return err
+			}
+			fields[k] = s
+		}
+		if _, err := bw.WriteString(strings.Join(fields, "\t") + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func splitFields(line string) []string {
+	var fields []string
+	if strings.Contains(line, "\t") {
+		fields = strings.Split(line, "\t")
+	} else {
+		fields = strings.Split(line, ",")
+	}
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+	return fields
+}
+
+func parseDate(s string) (time.Time, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("not a date (want YYYY-MM-DD): %q", s)
+	}
+	return t, nil
+}
+
+func parseField(d *Domain, s string) (Element, error) {
+	switch d.kind {
+	case intKind:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("not an integer: %q", s)
+		}
+		return d.EncodeInt(v)
+	case dictKind:
+		return d.EncodeString(s)
+	case boolKind:
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return 0, fmt.Errorf("not a boolean: %q", s)
+		}
+		return d.EncodeBool(v)
+	case dateKind:
+		t, err := parseDate(s)
+		if err != nil {
+			return 0, err
+		}
+		return d.EncodeDate(t)
+	}
+	return 0, fmt.Errorf("unknown domain kind")
+}
+
+func formatField(d *Domain, e Element) (string, error) {
+	switch d.kind {
+	case intKind:
+		v, err := d.DecodeInt(e)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(v, 10), nil
+	case dictKind:
+		return d.DecodeString(e)
+	case boolKind:
+		v, err := d.DecodeBool(e)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatBool(v), nil
+	case dateKind:
+		t, err := d.DecodeDate(e)
+		if err != nil {
+			return "", err
+		}
+		return t.Format("2006-01-02"), nil
+	}
+	return "", fmt.Errorf("unknown domain kind")
+}

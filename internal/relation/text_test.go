@@ -1,0 +1,130 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mixedSchema(t *testing.T) (*Schema, *Domain, *Domain) {
+	t.Helper()
+	ints := IntDomain("ids")
+	names := DictDomain("names")
+	flags := BoolDomain("flags")
+	dates := DateDomain("dates")
+	s, err := NewSchema(
+		Column{Name: "id", Domain: ints},
+		Column{Name: "name", Domain: names},
+		Column{Name: "active", Domain: flags},
+		Column{Name: "hired", Domain: dates},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, names, flags
+}
+
+const sampleTable = `# employee sample
+id	name	active	hired
+1	alice	true	1980-05-14
+2	bob	false	1979-10-01
+3	alice	true	1980-05-14
+`
+
+func TestParseTable(t *testing.T) {
+	s, names, _ := mixedSchema(t)
+	r, err := ParseTable(strings.NewReader(sampleTable), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cardinality() != 3 {
+		t.Fatalf("parsed %d tuples, want 3", r.Cardinality())
+	}
+	// Both alices intern to the same code.
+	if r.Tuple(0)[1] != r.Tuple(2)[1] {
+		t.Error("repeated string interned to different codes")
+	}
+	got, err := names.DecodeString(r.Tuple(1)[1])
+	if err != nil || got != "bob" {
+		t.Errorf("name decode = %q, %v", got, err)
+	}
+	// Booleans and dates decode per their domains.
+	act, err := s.Col(2).Domain.DecodeBool(r.Tuple(1)[2])
+	if err != nil || act {
+		t.Errorf("active decode = %v, %v", act, err)
+	}
+	d, err := s.Col(3).Domain.DecodeDate(r.Tuple(0)[3])
+	if err != nil || !d.Equal(time.Date(1980, 5, 14, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("date decode = %v, %v", d, err)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	s, _, _ := mixedSchema(t)
+	orig, err := ParseTable(strings.NewReader(sampleTable), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FormatTable(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTable(&buf, s)
+	if err != nil {
+		t.Fatalf("reparsing formatted output: %v\n%s", err, buf.String())
+	}
+	if !back.EqualAsMultiset(orig) {
+		t.Errorf("round trip changed the relation:\n%s\nvs\n%s", orig, back)
+	}
+}
+
+func TestParseTableCommaSeparated(t *testing.T) {
+	dom := IntDomain("d")
+	s := MustSchema(Column{Name: "x", Domain: dom}, Column{Name: "y", Domain: dom})
+	r, err := ParseTable(strings.NewReader("x, y\n1, 2\n3, 4\n"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cardinality() != 2 || r.Tuple(1)[1] != 4 {
+		t.Errorf("comma parse wrong: %v", r)
+	}
+}
+
+func TestParseTableErrors(t *testing.T) {
+	dom := IntDomain("d")
+	s := MustSchema(Column{Name: "x", Domain: dom})
+	cases := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"comments only", "# nothing\n"},
+		{"wrong header name", "y\n1\n"},
+		{"wrong header width", "x\ty\n1\t2\n"},
+		{"wrong field count", "x\n1\t2\n"},
+		{"non-integer", "x\nfoo\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTable(strings.NewReader(c.input), s); err == nil {
+			t.Errorf("%s: not rejected", c.name)
+		}
+	}
+	if _, err := ParseTable(strings.NewReader("x\n1\n"), nil); err == nil {
+		t.Error("nil schema not rejected")
+	}
+	bools := MustSchema(Column{Name: "b", Domain: BoolDomain("b")})
+	if _, err := ParseTable(strings.NewReader("b\nmaybe\n"), bools); err == nil {
+		t.Error("bad boolean not rejected")
+	}
+	dates := MustSchema(Column{Name: "d", Domain: DateDomain("d")})
+	if _, err := ParseTable(strings.NewReader("d\nyesterday\n"), dates); err == nil {
+		t.Error("bad date not rejected")
+	}
+}
+
+func TestFormatTableNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FormatTable(&buf, nil); err == nil {
+		t.Error("nil relation not rejected")
+	}
+}

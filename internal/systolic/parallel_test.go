@@ -1,0 +1,150 @@
+package systolic
+
+import (
+	"testing"
+
+	"systolicdb/internal/relation"
+)
+
+// compareCell duplicates the comparison-processor program locally so the
+// engine package can test parallel equivalence without importing the cells
+// package (which would create an import cycle in tests).
+type compareCell struct{}
+
+func (compareCell) Step(in Inputs) Outputs {
+	var out Outputs
+	if in.N.HasVal {
+		out.S = in.N
+	}
+	if in.S.HasVal {
+		out.N = in.S
+	}
+	if in.W.HasFlag {
+		t := in.W
+		if in.N.HasVal && in.S.HasVal {
+			t.Flag = t.Flag && in.N.Val == in.S.Val
+		}
+		out.E = t
+	}
+	return out
+}
+func (compareCell) Reset() {}
+
+// buildComparisonGrid wires a small 2-D comparison problem (identical
+// relations so every diagonal matches) and returns the grid plus a place
+// the east-side results accumulate.
+func buildComparisonGrid(t *testing.T, n, m int) (*Grid, *[]bool) {
+	t.Helper()
+	rows := 2*n - 1
+	g, err := NewGrid(rows, m, func(_, _ int) Cell { return compareCell{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := func(i int) []relation.Element {
+		out := make([]relation.Element, m)
+		for k := range out {
+			out[k] = relation.Element(i*m + k)
+		}
+		return out
+	}
+	alpha := 0
+	for k := 0; k < m; k++ {
+		k := k
+		feed := func(p int) Token {
+			q := p - alpha - k
+			if q >= 0 && q%2 == 0 && q/2 < n {
+				return ValToken(tuple(q / 2)[k], Tag{})
+			}
+			return Empty
+		}
+		if err := g.Feed(North, k, feed); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Feed(South, k, feed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		r := r
+		if err := g.Feed(West, r, func(p int) Token {
+			// A TRUE for every scheduled pair start (parity check only).
+			if (p-r+n-1)%2 == 0 {
+				return FlagToken(true, Tag{})
+			}
+			return Empty
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := &[]bool{}
+	for r := 0; r < rows; r++ {
+		if err := g.Drain(East, r, func(_ int, tok Token) {
+			if tok.HasFlag {
+				*results = append(*results, tok.Flag)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, results
+}
+
+func TestParallelRunMatchesSerial(t *testing.T) {
+	const n, m, pulses = 12, 3, 60
+	serialGrid, serialRes := buildComparisonGrid(t, n, m)
+	serialGrid.Reset()
+	serialGrid.Run(pulses)
+	serialStats := serialGrid.Stats()
+
+	for _, workers := range []int{2, 4, 16, 100} {
+		g, res := buildComparisonGrid(t, n, m)
+		g.SetParallelism(workers)
+		g.Reset()
+		g.Run(pulses)
+		st := g.Stats()
+		if st != serialStats {
+			t.Errorf("workers=%d: stats %+v differ from serial %+v", workers, st, serialStats)
+		}
+		if len(*res) != len(*serialRes) {
+			t.Fatalf("workers=%d: %d results vs serial %d", workers, len(*res), len(*serialRes))
+		}
+		for i := range *res {
+			if (*res)[i] != (*serialRes)[i] {
+				t.Fatalf("workers=%d: result %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelWithTracer(t *testing.T) {
+	g, _ := buildComparisonGrid(t, 4, 2)
+	count := 0
+	g.SetTracer(tracerFunc(func(s Snapshot) { count++ }))
+	g.SetParallelism(4)
+	g.Reset()
+	g.Run(10)
+	if count != 10 {
+		t.Errorf("tracer observed %d pulses, want 10", count)
+	}
+}
+
+func BenchmarkGridSerialVsParallel(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "serial", 4: "parallel4"}[workers], func(b *testing.B) {
+			rows, cols := 256, 16
+			g, err := NewGrid(rows, cols, func(_, _ int) Cell { return compareCell{} })
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := g.Feed(North, 0, func(p int) Token { return ValToken(relation.Element(p), Tag{}) }); err != nil {
+				b.Fatal(err)
+			}
+			g.SetParallelism(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Reset()
+				g.Run(64)
+			}
+		})
+	}
+}

@@ -1,0 +1,446 @@
+// Package systolic implements the synchronous processor-array simulator
+// underlying every array in Kung & Lehman (1980).
+//
+// The model follows paper §2.1-2.2 exactly: a rectangular, orthogonally
+// connected grid of processors (linear arrays are grids with one column).
+// Each processor has input lines and output lines on its four sides. Time
+// advances in global "pulses". At each pulse every processor latches the
+// tokens on its input lines, performs its short computation, and presents
+// new tokens on its output lines, which its neighbours will latch at the
+// next pulse. All data therefore moves synchronously at one cell per pulse,
+// and a cell's behaviour is a pure function of its latched inputs and
+// internal registers — the simulator double-buffers all wires so that
+// evaluation order within a pulse is immaterial.
+//
+// Tokens entering the grid boundary are produced by Feeders (the "staggered"
+// input schedules of §3) and tokens leaving the boundary are delivered to
+// Sinks. An optional Tracer observes the latched state each pulse, enabling
+// the data-movement snapshots of Figures 3-4, 4-1 and 7-2.
+package systolic
+
+import (
+	"fmt"
+	"sync"
+
+	"systolicdb/internal/relation"
+)
+
+// Tag carries provenance for a token: which relation, tuple and element it
+// originated from. Tags exist only for tracing and for tests that validate
+// the positional timing schedules; cell algorithms never read them, because
+// the hardware they model has no such information.
+type Tag struct {
+	Rel   string // relation label, e.g. "A" or "B"
+	Tuple int    // tuple index within the relation (0-based)
+	Elem  int    // element index within the tuple (0-based)
+	Valid bool
+}
+
+// Token is the value carried by one wire during one pulse. A token may
+// carry a data element (HasVal), a boolean (HasFlag), both, or neither (an
+// idle wire). The comparison array's vertical wires carry elements and its
+// horizontal wires carry booleans; the division array's horizontal wires
+// carry both (the y value and its match bit), which is why a single token
+// type supports both payloads.
+type Token struct {
+	Val     relation.Element
+	Flag    bool
+	HasVal  bool
+	HasFlag bool
+	Tag     Tag
+}
+
+// Empty is the idle-wire token.
+var Empty Token
+
+// ValToken returns a data-carrying token.
+func ValToken(v relation.Element, tag Tag) Token {
+	return Token{Val: v, HasVal: true, Tag: tag}
+}
+
+// FlagToken returns a boolean-carrying token.
+func FlagToken(b bool, tag Tag) Token {
+	return Token{Flag: b, HasFlag: true, Tag: tag}
+}
+
+// Present reports whether the token carries any payload.
+func (t Token) Present() bool { return t.HasVal || t.HasFlag }
+
+// String renders the token compactly for traces.
+func (t Token) String() string {
+	switch {
+	case t.HasVal && t.HasFlag:
+		return fmt.Sprintf("%d/%v", t.Val, t.Flag)
+	case t.HasVal:
+		return fmt.Sprintf("%d", t.Val)
+	case t.HasFlag:
+		if t.Flag {
+			return "T"
+		}
+		return "F"
+	}
+	return "."
+}
+
+// Inputs holds the tokens latched on a cell's four input lines at one pulse
+// (paper Figure 2-2: the processor prototype's input lines).
+type Inputs struct {
+	N, S, E, W Token
+}
+
+// Any reports whether any input line carries a payload this pulse.
+func (in Inputs) Any() bool {
+	return in.N.Present() || in.S.Present() || in.E.Present() || in.W.Present()
+}
+
+// Outputs holds the tokens a cell presents on its four output lines.
+type Outputs struct {
+	N, S, E, W Token
+}
+
+// Cell is the algorithm executed by one processor (paper §2.2: "it is the
+// algorithm actually executed by each processor that determines the function
+// of the array"). Step must be a pure function of the latched inputs and
+// the cell's internal registers. Reset restores the power-on register
+// state, allowing a grid to be reused across runs.
+type Cell interface {
+	Step(in Inputs) Outputs
+	Reset()
+}
+
+// Feeder produces the token entering one boundary port at each pulse. The
+// staggered input schedules of §3 are implemented as feeders.
+type Feeder func(pulse int) Token
+
+// Sink receives a token leaving one boundary port at a given pulse.
+type Sink func(pulse int, tok Token)
+
+// Side identifies one side of the grid for feeder/sink registration.
+type Side int
+
+// Grid sides.
+const (
+	North Side = iota // top edge: feeds the N inputs of row 0 / receives N outputs
+	South             // bottom edge
+	East              // right edge
+	West              // left edge
+)
+
+func (s Side) String() string {
+	switch s {
+	case North:
+		return "north"
+	case South:
+		return "south"
+	case East:
+		return "east"
+	case West:
+		return "west"
+	}
+	return fmt.Sprintf("side(%d)", int(s))
+}
+
+// Stats aggregates activity counters for a run, used by the §8 utilization
+// experiments (E14) and by the perf model cross-checks.
+type Stats struct {
+	Pulses      int // pulses executed
+	Cells       int // number of processors in the grid
+	CellSteps   int // Pulses * Cells
+	ActiveSteps int // cell-steps during which at least one input was present
+}
+
+// Utilization returns ActiveSteps / CellSteps, the fraction of processor
+// time spent with work available (paper §8: "only half of the processors in
+// a systolic array are busy at any one time").
+func (s Stats) Utilization() float64 {
+	if s.CellSteps == 0 {
+		return 0
+	}
+	return float64(s.ActiveSteps) / float64(s.CellSteps)
+}
+
+// Snapshot is the latched state of the whole grid at one pulse, offered to
+// the Tracer after inputs are latched and before outputs replace them. The
+// Latched slices are reused across pulses: a Tracer that retains snapshots
+// must deep-copy them during Observe (trace.Recorder does).
+type Snapshot struct {
+	Pulse   int
+	Rows    int
+	Cols    int
+	Latched [][]Inputs // [row][col]
+}
+
+// Tracer observes per-pulse snapshots (see cmd/trace).
+type Tracer interface {
+	Observe(Snapshot)
+}
+
+// Grid is a rows x cols orthogonally connected processor array (Figure
+// 2-1a); rows or cols of 1 give the linearly connected array (Figure 2-1b).
+type Grid struct {
+	rows, cols int
+	cells      [][]Cell
+
+	feeders map[portKey]Feeder
+	sinks   map[portKey]Sink
+
+	outs     [][]Outputs // outputs presented at the previous pulse
+	stats    Stats
+	trace    Tracer
+	workers  int        // goroutines used per pulse (<=1: serial)
+	latchBuf [][]Inputs // reusable latch buffer for parallel stepping
+}
+
+type portKey struct {
+	side  Side
+	index int // column index for North/South, row index for East/West
+}
+
+// NewGrid builds a grid. The build function supplies the cell for each
+// (row, col); it must not return nil.
+func NewGrid(rows, cols int, build func(row, col int) Cell) (*Grid, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("systolic: grid dimensions %dx%d must be positive", rows, cols)
+	}
+	g := &Grid{
+		rows:    rows,
+		cols:    cols,
+		cells:   make([][]Cell, rows),
+		feeders: make(map[portKey]Feeder),
+		sinks:   make(map[portKey]Sink),
+		outs:    make([][]Outputs, rows),
+	}
+	for r := 0; r < rows; r++ {
+		g.cells[r] = make([]Cell, cols)
+		g.outs[r] = make([]Outputs, cols)
+		for c := 0; c < cols; c++ {
+			cell := build(r, c)
+			if cell == nil {
+				return nil, fmt.Errorf("systolic: build returned nil cell at (%d,%d)", r, c)
+			}
+			g.cells[r][c] = cell
+		}
+	}
+	return g, nil
+}
+
+// Rows returns the number of rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// Cols returns the number of columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// Cell returns the processor at (row, col).
+func (g *Grid) Cell(row, col int) Cell { return g.cells[row][col] }
+
+// Feed registers the feeder for a boundary input port. For North/South the
+// index is a column; for East/West it is a row. Feeding a port twice
+// replaces the earlier feeder.
+func (g *Grid) Feed(side Side, index int, f Feeder) error {
+	if err := g.checkPort(side, index); err != nil {
+		return err
+	}
+	g.feeders[portKey{side, index}] = f
+	return nil
+}
+
+// Drain registers the sink for a boundary output port.
+func (g *Grid) Drain(side Side, index int, s Sink) error {
+	if err := g.checkPort(side, index); err != nil {
+		return err
+	}
+	g.sinks[portKey{side, index}] = s
+	return nil
+}
+
+func (g *Grid) checkPort(side Side, index int) error {
+	var limit int
+	switch side {
+	case North, South:
+		limit = g.cols
+	case East, West:
+		limit = g.rows
+	default:
+		return fmt.Errorf("systolic: invalid side %v", side)
+	}
+	if index < 0 || index >= limit {
+		return fmt.Errorf("systolic: port %v[%d] out of range [0,%d)", side, index, limit)
+	}
+	return nil
+}
+
+// SetTracer installs a tracer (nil disables tracing).
+func (g *Grid) SetTracer(t Tracer) { g.trace = t }
+
+// SetParallelism sets how many goroutines step the grid each pulse. Values
+// below 2 select the serial path. Because every cell's outputs depend only
+// on the previous pulse's latched state, rows can be latched and stepped
+// concurrently without changing any result — the synchronous-hardware
+// property the engine models is exactly what makes this safe. Parallel runs
+// produce bit-identical results and statistics to serial runs (tested), but
+// only pay off on grids with thousands of cells.
+func (g *Grid) SetParallelism(workers int) { g.workers = workers }
+
+// Reset clears all wires and statistics and resets every cell's registers.
+func (g *Grid) Reset() {
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			g.cells[r][c].Reset()
+			g.outs[r][c] = Outputs{}
+		}
+	}
+	g.stats = Stats{Cells: g.rows * g.cols}
+}
+
+// Stats returns the accumulated run statistics.
+func (g *Grid) Stats() Stats { return g.stats }
+
+// feed returns the boundary token for a port, or Empty if no feeder is
+// registered.
+func (g *Grid) feed(side Side, index, pulse int) Token {
+	if f, ok := g.feeders[portKey{side, index}]; ok {
+		return f(pulse)
+	}
+	return Empty
+}
+
+// drain delivers a boundary token to its sink, if any.
+func (g *Grid) drain(side Side, index, pulse int, tok Token) {
+	if s, ok := g.sinks[portKey{side, index}]; ok {
+		s(pulse, tok)
+	}
+}
+
+// Run advances the grid by the given number of pulses. It may be called
+// repeatedly; pulse numbering continues across calls until Reset.
+func (g *Grid) Run(pulses int) {
+	if g.stats.Cells == 0 {
+		g.stats.Cells = g.rows * g.cols
+	}
+	for p := 0; p < pulses; p++ {
+		g.step()
+	}
+}
+
+// step executes one pulse: latch inputs everywhere, trace, step all cells,
+// deliver boundary outputs.
+func (g *Grid) step() {
+	pulse := g.stats.Pulses
+
+	// Phase 1: latch inputs for every cell from the previous pulse's
+	// outputs and from the boundary feeders.
+	if g.latchBuf == nil {
+		g.latchBuf = make([][]Inputs, g.rows)
+		for r := range g.latchBuf {
+			g.latchBuf[r] = make([]Inputs, g.cols)
+		}
+	}
+	latched := g.latchBuf
+
+	latchRows := func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			for c := 0; c < g.cols; c++ {
+				var in Inputs
+				if r == 0 {
+					in.N = g.feed(North, c, pulse)
+				} else {
+					in.N = g.outs[r-1][c].S
+				}
+				if r == g.rows-1 {
+					in.S = g.feed(South, c, pulse)
+				} else {
+					in.S = g.outs[r+1][c].N
+				}
+				if c == 0 {
+					in.W = g.feed(West, r, pulse)
+				} else {
+					in.W = g.outs[r][c-1].E
+				}
+				if c == g.cols-1 {
+					in.E = g.feed(East, r, pulse)
+				} else {
+					in.E = g.outs[r][c+1].W
+				}
+				latched[r][c] = in
+			}
+		}
+	}
+	// stepRows computes outputs for a row range and returns how many
+	// cells in it were active.
+	stepRows := func(r0, r1 int) int {
+		active := 0
+		for r := r0; r < r1; r++ {
+			for c := 0; c < g.cols; c++ {
+				in := latched[r][c]
+				if in.Any() {
+					active++
+				}
+				g.outs[r][c] = g.cells[r][c].Step(in)
+			}
+		}
+		return active
+	}
+
+	workers := g.workers
+	if workers > g.rows {
+		workers = g.rows
+	}
+	if workers >= 2 {
+		// Parallel path: partition rows. Feeders may be shared between
+		// edge rows, so they must be pure functions of the pulse (all
+		// schedule feeders in this repository are).
+		g.forEachRowChunk(workers, func(r0, r1 int) int { latchRows(r0, r1); return 0 })
+		if g.trace != nil {
+			g.trace.Observe(Snapshot{Pulse: pulse, Rows: g.rows, Cols: g.cols, Latched: latched})
+		}
+		g.stats.ActiveSteps += g.forEachRowChunk(workers, stepRows)
+	} else {
+		latchRows(0, g.rows)
+		if g.trace != nil {
+			g.trace.Observe(Snapshot{Pulse: pulse, Rows: g.rows, Cols: g.cols, Latched: latched})
+		}
+		g.stats.ActiveSteps += stepRows(0, g.rows)
+	}
+	g.stats.CellSteps += g.rows * g.cols
+
+	// Phase 3 (below): deliver boundary outputs to sinks. An output presented at
+	// pulse p is considered to leave the array at pulse p (it would be
+	// latched by an external consumer at p+1; the off-by-one is uniform
+	// and hidden inside the array drivers).
+	for c := 0; c < g.cols; c++ {
+		g.drain(North, c, pulse, g.outs[0][c].N)
+		g.drain(South, c, pulse, g.outs[g.rows-1][c].S)
+	}
+	for r := 0; r < g.rows; r++ {
+		g.drain(West, r, pulse, g.outs[r][0].W)
+		g.drain(East, r, pulse, g.outs[r][g.cols-1].E)
+	}
+
+	g.stats.Pulses++
+}
+
+// forEachRowChunk runs fn over ~equal row ranges on the given number of
+// goroutines and returns the summed results.
+func (g *Grid) forEachRowChunk(workers int, fn func(r0, r1 int) int) int {
+	chunk := (g.rows + workers - 1) / workers
+	results := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := min(r0+chunk, g.rows)
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(w, r0, r1 int) {
+			defer wg.Done()
+			results[w] = fn(r0, r1)
+		}(w, r0, r1)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += r
+	}
+	return total
+}

@@ -1,0 +1,293 @@
+// Package workload provides deterministic synthetic relation generators for
+// the experiment harness. The paper evaluates its arrays analytically on a
+// "typical relation" (§8); the experiments in this repository additionally
+// sweep the knobs that the paper's arguments depend on — overlap between
+// relations (intersection selectivity), duplication rate (remove-
+// duplicates), match factor (join fan-out, up to the degenerate |A||B|
+// case), and divisor coverage (division) — so every generator controls one
+// of those knobs explicitly.
+//
+// All generators are pure functions of their seed: the same parameters
+// always produce the same relations, so experiments are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"systolicdb/internal/relation"
+)
+
+// SharedDomain is the domain used by all generated columns, so generated
+// relations are union-compatible with each other when widths agree.
+var SharedDomain = relation.IntDomain("workload")
+
+// Schema returns an m-column schema over the shared workload domain with
+// columns named c0, c1, ...
+func Schema(m int) (*relation.Schema, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("workload: width %d must be positive", m)
+	}
+	cols := make([]relation.Column, m)
+	for i := range cols {
+		cols[i] = relation.Column{Name: fmt.Sprintf("c%d", i), Domain: SharedDomain}
+	}
+	return relation.NewSchema(cols...)
+}
+
+// Uniform generates n tuples of width m with elements drawn uniformly from
+// [0, domain).
+func Uniform(seed int64, n, m int, domain int64) (*relation.Relation, error) {
+	if n < 0 || domain <= 0 {
+		return nil, fmt.Errorf("workload: invalid parameters n=%d domain=%d", n, domain)
+	}
+	s, err := Schema(m)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		t := make(relation.Tuple, m)
+		for k := range t {
+			t[k] = relation.Element(rng.Int63n(domain))
+		}
+		tuples[i] = t
+	}
+	return relation.NewRelation(s, tuples)
+}
+
+// OverlapPair generates two duplicate-free relations of n tuples each such
+// that exactly round(overlap*n) tuples of A also appear in B. overlap is
+// the intersection selectivity knob for experiments E3/E4.
+func OverlapPair(seed int64, n, m int, overlap float64) (a, b *relation.Relation, err error) {
+	if overlap < 0 || overlap > 1 {
+		return nil, nil, fmt.Errorf("workload: overlap %.2f out of [0,1]", overlap)
+	}
+	if n < 0 {
+		return nil, nil, fmt.Errorf("workload: negative cardinality")
+	}
+	s, err := Schema(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	shared := int(overlap*float64(n) + 0.5)
+	// Disjoint id spaces guarantee exact overlap: shared tuples use ids
+	// [0, shared), A-only [n, 2n), B-only [2n, 3n). The id is spread
+	// across columns so every column participates in the comparison.
+	mk := func(id int64) relation.Tuple {
+		t := make(relation.Tuple, m)
+		for k := range t {
+			t[k] = relation.Element(id*int64(m) + int64(k))
+		}
+		return t
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var aT, bT []relation.Tuple
+	for i := 0; i < shared; i++ {
+		aT = append(aT, mk(int64(i)))
+		bT = append(bT, mk(int64(i)))
+	}
+	for i := shared; i < n; i++ {
+		aT = append(aT, mk(int64(n+i)))
+		bT = append(bT, mk(int64(2*n+i)))
+	}
+	rng.Shuffle(len(aT), func(i, j int) { aT[i], aT[j] = aT[j], aT[i] })
+	rng.Shuffle(len(bT), func(i, j int) { bT[i], bT[j] = bT[j], bT[i] })
+	if a, err = relation.NewRelation(s, aT); err != nil {
+		return nil, nil, err
+	}
+	if b, err = relation.NewRelation(s, bT); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// WithDuplicates generates a multi-relation of n tuples in which
+// approximately dupRate of the tuples are repeats of earlier tuples — the
+// duplication knob for experiment E5.
+func WithDuplicates(seed int64, n, m int, dupRate float64) (*relation.Relation, error) {
+	if dupRate < 0 || dupRate > 1 {
+		return nil, fmt.Errorf("workload: dupRate %.2f out of [0,1]", dupRate)
+	}
+	s, err := Schema(m)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tuples := make([]relation.Tuple, 0, n)
+	next := int64(0)
+	for i := 0; i < n; i++ {
+		if len(tuples) > 0 && rng.Float64() < dupRate {
+			tuples = append(tuples, tuples[rng.Intn(len(tuples))].Clone())
+			continue
+		}
+		t := make(relation.Tuple, m)
+		for k := range t {
+			t[k] = relation.Element(next*int64(m) + int64(k))
+		}
+		next++
+		tuples = append(tuples, t)
+	}
+	return relation.NewRelation(s, tuples)
+}
+
+// JoinPair generates relations A(n x m) and B(n x m) whose first columns
+// are join keys with the given match factor: each tuple of A matches on
+// average matchFactor tuples of B in column 0. matchFactor = float64(n)
+// gives the degenerate all-match case of §6.2.
+func JoinPair(seed int64, nA, nB, m int, matchFactor float64) (a, b *relation.Relation, err error) {
+	if matchFactor < 0 {
+		return nil, nil, fmt.Errorf("workload: negative match factor")
+	}
+	s, err := Schema(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Keys are drawn uniformly from a key space of size
+	// nB/matchFactor (clamped to >= 1): each A key then matches ~
+	// nB / keySpace = matchFactor B tuples.
+	keySpace := int64(1)
+	if matchFactor > 0 {
+		keySpace = int64(float64(nB)/matchFactor + 0.5)
+	}
+	if keySpace < 1 {
+		keySpace = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(n int, tag int64) []relation.Tuple {
+		tuples := make([]relation.Tuple, n)
+		for i := range tuples {
+			t := make(relation.Tuple, m)
+			t[0] = relation.Element(rng.Int63n(keySpace))
+			for k := 1; k < m; k++ {
+				t[k] = relation.Element(tag*1_000_000 + int64(i)*int64(m) + int64(k))
+			}
+			tuples[i] = t
+		}
+		return tuples
+	}
+	if matchFactor == 0 {
+		// Disjoint key spaces: no matches at all.
+		aT := mk(nA, 1)
+		for _, t := range aT {
+			t[0] += relation.Element(keySpace)
+		}
+		bT := mk(nB, 2)
+		if a, err = relation.NewRelation(s, aT); err != nil {
+			return nil, nil, err
+		}
+		if b, err = relation.NewRelation(s, bT); err != nil {
+			return nil, nil, err
+		}
+		return a, b, nil
+	}
+	if a, err = relation.NewRelation(s, mk(nA, 1)); err != nil {
+		return nil, nil, err
+	}
+	if b, err = relation.NewRelation(s, mk(nB, 2)); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// ZipfJoinPair generates join relations whose key column follows a Zipf
+// distribution with exponent s over the given key space — the skewed
+// workloads where nested-loop output sizes explode. The systolic join
+// array's pulse count is data-independent (a hardware guarantee the
+// experiments verify against this generator), while the TRUE-t_ij count
+// grows with skew.
+func ZipfJoinPair(seed int64, nA, nB, m int, s float64, keys int) (a, b *relation.Relation, err error) {
+	if s < 1.01 {
+		s = 1.01 // rand.Zipf requires s > 1
+	}
+	if keys < 1 {
+		keys = 1
+	}
+	schema, err := Schema(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(keys-1))
+	mk := func(n int, tag int64) []relation.Tuple {
+		tuples := make([]relation.Tuple, n)
+		for i := range tuples {
+			t := make(relation.Tuple, m)
+			t[0] = relation.Element(z.Uint64())
+			for k := 1; k < m; k++ {
+				t[k] = relation.Element(tag*1_000_000 + int64(i)*int64(m) + int64(k))
+			}
+			tuples[i] = t
+		}
+		return tuples
+	}
+	if a, err = relation.NewRelation(schema, mk(nA, 1)); err != nil {
+		return nil, nil, err
+	}
+	if b, err = relation.NewRelation(schema, mk(nB, 2)); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// DivisionCase generates a binary dividend A(x, y) over nX distinct x
+// values and a unary divisor B of nY elements, in which each x co-occurs
+// with a random subset of the divisor; coverage is the probability that an
+// x covers the entire divisor (and therefore enters the quotient).
+func DivisionCase(seed int64, nX, nY int, coverage float64) (a, b *relation.Relation, err error) {
+	if nX < 0 || nY <= 0 {
+		return nil, nil, fmt.Errorf("workload: invalid division shape %dx%d", nX, nY)
+	}
+	if coverage < 0 || coverage > 1 {
+		return nil, nil, fmt.Errorf("workload: coverage %.2f out of [0,1]", coverage)
+	}
+	xDom := relation.IntDomain("division.x")
+	yDom := relation.IntDomain("division.y")
+	aSchema, err := relation.NewSchema(
+		relation.Column{Name: "x", Domain: xDom},
+		relation.Column{Name: "y", Domain: yDom})
+	if err != nil {
+		return nil, nil, err
+	}
+	bSchema, err := relation.NewSchema(relation.Column{Name: "y", Domain: yDom})
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var aT []relation.Tuple
+	for x := 0; x < nX; x++ {
+		if rng.Float64() < coverage {
+			// Full coverage: x gets every divisor element.
+			for y := 0; y < nY; y++ {
+				aT = append(aT, relation.Tuple{relation.Element(x), relation.Element(y)})
+			}
+			continue
+		}
+		// Partial coverage: a strict, non-empty subset.
+		miss := rng.Intn(nY)
+		for y := 0; y < nY; y++ {
+			if y == miss {
+				continue
+			}
+			aT = append(aT, relation.Tuple{relation.Element(x), relation.Element(y)})
+		}
+		if nY == 1 {
+			// Can't have a non-empty strict subset of one element;
+			// give it a y outside the divisor instead.
+			aT = append(aT, relation.Tuple{relation.Element(x), relation.Element(nY)})
+		}
+	}
+	rng.Shuffle(len(aT), func(i, j int) { aT[i], aT[j] = aT[j], aT[i] })
+	var bT []relation.Tuple
+	for y := 0; y < nY; y++ {
+		bT = append(bT, relation.Tuple{relation.Element(y)})
+	}
+	if a, err = relation.NewRelation(aSchema, aT); err != nil {
+		return nil, nil, err
+	}
+	if b, err = relation.NewRelation(bSchema, bT); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	a, err := Uniform(7, 20, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Uniform(7, 20, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualAsMultiset(b) {
+		t.Error("same seed produced different relations")
+	}
+	c, err := Uniform(8, 20, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EqualAsMultiset(c) {
+		t.Error("different seeds produced identical relations (suspicious)")
+	}
+	if a.Cardinality() != 20 || a.Width() != 3 {
+		t.Errorf("shape %dx%d, want 20x3", a.Cardinality(), a.Width())
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := Uniform(1, -1, 2, 10); err == nil {
+		t.Error("negative n not rejected")
+	}
+	if _, err := Uniform(1, 5, 0, 10); err == nil {
+		t.Error("zero width not rejected")
+	}
+	if _, err := Uniform(1, 5, 2, 0); err == nil {
+		t.Error("zero domain not rejected")
+	}
+}
+
+func TestOverlapPairExact(t *testing.T) {
+	for _, overlap := range []float64{0, 0.25, 0.5, 1} {
+		a, b, err := OverlapPair(3, 40, 2, overlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.HasDuplicates() || b.HasDuplicates() {
+			t.Fatalf("overlap %.2f: generated duplicates", overlap)
+		}
+		shared := 0
+		for i := 0; i < a.Cardinality(); i++ {
+			if b.Contains(a.Tuple(i)) {
+				shared++
+			}
+		}
+		want := int(overlap*40 + 0.5)
+		if shared != want {
+			t.Errorf("overlap %.2f: %d shared tuples, want %d", overlap, shared, want)
+		}
+	}
+	if _, _, err := OverlapPair(1, 10, 2, 1.5); err == nil {
+		t.Error("overlap > 1 not rejected")
+	}
+}
+
+func TestWithDuplicatesRates(t *testing.T) {
+	none, err := WithDuplicates(5, 50, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.HasDuplicates() {
+		t.Error("dupRate 0 produced duplicates")
+	}
+	heavy, err := WithDuplicates(5, 50, 2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !heavy.HasDuplicates() {
+		t.Error("dupRate 0.9 produced no duplicates")
+	}
+	distinct := heavy.Dedup().Cardinality()
+	if distinct >= 30 {
+		t.Errorf("dupRate 0.9 left %d distinct of 50 (expected far fewer)", distinct)
+	}
+	if _, err := WithDuplicates(1, 10, 2, -0.1); err == nil {
+		t.Error("negative dupRate not rejected")
+	}
+}
+
+func TestJoinPairMatchFactor(t *testing.T) {
+	a, b, err := JoinPair(9, 50, 50, 2, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := 0
+	for i := 0; i < a.Cardinality(); i++ {
+		for j := 0; j < b.Cardinality(); j++ {
+			if a.Tuple(i)[0] == b.Tuple(j)[0] {
+				matches++
+			}
+		}
+	}
+	perA := float64(matches) / 50
+	if perA < 0.5 || perA > 8 {
+		t.Errorf("match factor %.2f far from requested 2.0", perA)
+	}
+}
+
+func TestJoinPairZeroMatches(t *testing.T) {
+	a, b, err := JoinPair(2, 20, 20, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Cardinality(); i++ {
+		for j := 0; j < b.Cardinality(); j++ {
+			if a.Tuple(i)[0] == b.Tuple(j)[0] {
+				t.Fatalf("match factor 0 produced a match")
+			}
+		}
+	}
+}
+
+func TestJoinPairDegenerate(t *testing.T) {
+	a, b, err := JoinPair(4, 10, 10, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key space collapses to 1: every pair matches.
+	for i := 0; i < a.Cardinality(); i++ {
+		for j := 0; j < b.Cardinality(); j++ {
+			if a.Tuple(i)[0] != b.Tuple(j)[0] {
+				t.Fatal("degenerate join workload has non-matching pair")
+			}
+		}
+	}
+}
+
+func TestZipfJoinPairSkew(t *testing.T) {
+	a, b, err := ZipfJoinPair(11, 200, 200, 2, 2.0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cardinality() != 200 || b.Cardinality() != 200 {
+		t.Fatalf("shape wrong: %d / %d", a.Cardinality(), b.Cardinality())
+	}
+	// Under Zipf(2.0), the most frequent key must dominate.
+	counts := map[int64]int{}
+	for i := 0; i < a.Cardinality(); i++ {
+		counts[int64(a.Tuple(i)[0])]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 80 {
+		t.Errorf("hottest key has %d of 200 tuples; expected heavy skew", max)
+	}
+	// Determinism and parameter clamping.
+	a2, _, err := ZipfJoinPair(11, 200, 200, 2, 2.0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualAsMultiset(a2) {
+		t.Error("same seed produced different skewed relations")
+	}
+	if _, _, err := ZipfJoinPair(1, 10, 10, 2, 0.5, 0); err != nil {
+		t.Errorf("clamped parameters rejected: %v", err)
+	}
+}
+
+func TestDivisionCaseCoverage(t *testing.T) {
+	a, b, err := DivisionCase(6, 10, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cardinality() != 4 {
+		t.Fatalf("divisor size %d, want 4", b.Cardinality())
+	}
+	// Full coverage: every x has all 4 divisor values.
+	perX := make(map[int64]map[int64]bool)
+	for i := 0; i < a.Cardinality(); i++ {
+		tu := a.Tuple(i)
+		if perX[int64(tu[0])] == nil {
+			perX[int64(tu[0])] = make(map[int64]bool)
+		}
+		perX[int64(tu[0])][int64(tu[1])] = true
+	}
+	if len(perX) != 10 {
+		t.Errorf("%d distinct x, want 10", len(perX))
+	}
+	for x, ys := range perX {
+		if len(ys) != 4 {
+			t.Errorf("x=%d covers %d divisor values, want 4", x, len(ys))
+		}
+	}
+
+	none, _, err := DivisionCase(6, 10, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perX = make(map[int64]map[int64]bool)
+	for i := 0; i < none.Cardinality(); i++ {
+		tu := none.Tuple(i)
+		if perX[int64(tu[0])] == nil {
+			perX[int64(tu[0])] = make(map[int64]bool)
+		}
+		perX[int64(tu[0])][int64(tu[1])] = true
+	}
+	for x, ys := range perX {
+		full := true
+		for y := 0; y < 4; y++ {
+			if !ys[int64(y)] {
+				full = false
+			}
+		}
+		if full {
+			t.Errorf("coverage 0: x=%d still covers the whole divisor", x)
+		}
+	}
+}
+
+func TestDivisionCaseValidation(t *testing.T) {
+	if _, _, err := DivisionCase(1, 5, 0, 0.5); err == nil {
+		t.Error("empty divisor shape not rejected")
+	}
+	if _, _, err := DivisionCase(1, 5, 3, 2); err == nil {
+		t.Error("coverage > 1 not rejected")
+	}
+}

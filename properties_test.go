@@ -1,0 +1,229 @@
+package systolicdb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests of relational-algebra laws, evaluated entirely on the
+// systolic arrays through the public API. Each law is checked with
+// testing/quick over small random relations drawn from a tiny domain so
+// matches, duplicates and overlaps are frequent.
+
+var propDomain = IntDomain("prop")
+
+func propSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "x", Domain: propDomain},
+		Column{Name: "y", Domain: propDomain},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// toRelation converts raw fuzz input into a non-empty relation over a
+// 4-value-per-column domain.
+func toRelation(t *testing.T, s *Schema, raw [][2]uint8) *Relation {
+	t.Helper()
+	rows := make([]Tuple, 0, len(raw)+1)
+	for _, r := range raw {
+		rows = append(rows, Tuple{Element(r[0] % 4), Element(r[1] % 4)})
+	}
+	if len(rows) == 0 {
+		rows = append(rows, Tuple{0, 0})
+	}
+	if len(rows) > 16 {
+		rows = rows[:16]
+	}
+	r, err := NewRelation(s, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPropertyIntersectionCommutative(t *testing.T) {
+	s := propSchema(t)
+	f := func(aRaw, bRaw [][2]uint8) bool {
+		a, b := toRelation(t, s, aRaw), toRelation(t, s, bRaw)
+		ab, err := Intersect(a, b)
+		if err != nil {
+			return false
+		}
+		ba, err := Intersect(b, a)
+		if err != nil {
+			return false
+		}
+		return ab.Relation.EqualAsSet(ba.Relation)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDifferenceLaws(t *testing.T) {
+	s := propSchema(t)
+	f := func(aRaw [][2]uint8) bool {
+		a := toRelation(t, s, aRaw)
+		// A - A = ∅
+		selfDiff, err := Difference(a, a)
+		if err != nil || selfDiff.Relation.Cardinality() != 0 {
+			return false
+		}
+		// A - ∅ = A (as a multi-relation)
+		empty, err := NewRelation(a.Schema(), nil)
+		if err != nil {
+			return false
+		}
+		noDiff, err := Difference(a, empty)
+		if err != nil {
+			return false
+		}
+		return noDiff.Relation.EqualAsMultiset(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDedupIdempotent(t *testing.T) {
+	s := propSchema(t)
+	f := func(aRaw [][2]uint8) bool {
+		a := toRelation(t, s, aRaw)
+		once, err := RemoveDuplicates(a)
+		if err != nil {
+			return false
+		}
+		twice, err := RemoveDuplicates(once.Relation)
+		if err != nil {
+			return false
+		}
+		return twice.Relation.EqualAsMultiset(once.Relation)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyProjectionAllColumnsIsDedup(t *testing.T) {
+	s := propSchema(t)
+	f := func(aRaw [][2]uint8) bool {
+		a := toRelation(t, s, aRaw)
+		proj, err := Project(a, []int{0, 1})
+		if err != nil {
+			return false
+		}
+		dd, err := RemoveDuplicates(a)
+		if err != nil {
+			return false
+		}
+		return proj.Relation.EqualAsSet(dd.Relation)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyJoinPairCountSymmetric(t *testing.T) {
+	s := propSchema(t)
+	f := func(aRaw, bRaw [][2]uint8) bool {
+		a, b := toRelation(t, s, aRaw), toRelation(t, s, bRaw)
+		ab, err := EquiJoin(a, b, 0, 0)
+		if err != nil {
+			return false
+		}
+		ba, err := EquiJoin(b, a, 0, 0)
+		if err != nil {
+			return false
+		}
+		return ab.Relation.Cardinality() == ba.Relation.Cardinality()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDivisionAntiMonotone(t *testing.T) {
+	// Growing the divisor can only shrink the quotient.
+	xd := IntDomain("propx")
+	yd := IntDomain("propy")
+	as, err := NewSchema(Column{Name: "x", Domain: xd}, Column{Name: "y", Domain: yd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := NewSchema(Column{Name: "y", Domain: yd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pairsRaw [][2]uint8, extra uint8) bool {
+		pairs := make([]Tuple, 0, len(pairsRaw)+1)
+		for _, p := range pairsRaw {
+			pairs = append(pairs, Tuple{Element(p[0] % 3), Element(p[1] % 3)})
+		}
+		if len(pairs) == 0 {
+			pairs = append(pairs, Tuple{0, 0})
+		}
+		if len(pairs) > 12 {
+			pairs = pairs[:12]
+		}
+		a, err := NewRelation(as, pairs)
+		if err != nil {
+			return false
+		}
+		small, err := NewRelation(bs, []Tuple{{Element(extra % 3)}})
+		if err != nil {
+			return false
+		}
+		big, err := NewRelation(bs, []Tuple{{Element(extra % 3)}, {Element((extra + 1) % 3)}})
+		if err != nil {
+			return false
+		}
+		qSmall, err := Divide(a, small, []int{0}, []int{1}, []int{0})
+		if err != nil {
+			return false
+		}
+		qBig, err := Divide(a, big, []int{0}, []int{1}, []int{0})
+		if err != nil {
+			return false
+		}
+		// Every x in the big-divisor quotient is in the small one.
+		for i := 0; i < qBig.Relation.Cardinality(); i++ {
+			if !qSmall.Relation.Contains(qBig.Relation.Tuple(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDeviceEquivalence(t *testing.T) {
+	// A tiled device computes the same intersection as the unbounded
+	// array for every input and capacity.
+	s := propSchema(t)
+	f := func(aRaw, bRaw [][2]uint8, capRaw uint8) bool {
+		a, b := toRelation(t, s, aRaw), toRelation(t, s, bRaw)
+		capacity := int(capRaw%7) + 1
+		dev, err := NewDevice(capacity, capacity)
+		if err != nil {
+			return false
+		}
+		tiled, err := dev.Intersect(a, b)
+		if err != nil {
+			return false
+		}
+		mono, err := Intersect(a, b)
+		if err != nil {
+			return false
+		}
+		return tiled.Relation.EqualAsMultiset(mono.Relation)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+package systolicdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"systolicdb/internal/baseline"
+	"systolicdb/internal/cells"
+	"systolicdb/internal/workload"
+)
+
+// The soak suite cross-validates every systolic operator against the
+// conventional-host baselines over a broad randomized space of shapes and
+// value distributions. Counts shrink under -short.
+
+func soakTrials(t *testing.T) int {
+	t.Helper()
+	if testing.Short() {
+		return 10
+	}
+	return 60
+}
+
+func TestSoakIntersectionDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7001))
+	for trial := 0; trial < soakTrials(t); trial++ {
+		nA, nB := 1+rng.Intn(24), 1+rng.Intn(24)
+		m := 1 + rng.Intn(4)
+		dom := int64(1 + rng.Intn(6))
+		a, err := workload.Uniform(rng.Int63(), nA, m, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.Uniform(rng.Int63(), nB, m, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, err := Intersect(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wantI, err := baseline.IntersectionHash(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inter.Relation.EqualAsMultiset(wantI) {
+			t.Fatalf("trial %d (nA=%d nB=%d m=%d dom=%d): intersection mismatch", trial, nA, nB, m, dom)
+		}
+		diff, err := Difference(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD, err := baseline.DifferenceHash(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diff.Relation.EqualAsMultiset(wantD) {
+			t.Fatalf("trial %d: difference mismatch", trial)
+		}
+	}
+}
+
+func TestSoakDedupUnionProject(t *testing.T) {
+	rng := rand.New(rand.NewSource(7002))
+	for trial := 0; trial < soakTrials(t); trial++ {
+		n := 1 + rng.Intn(30)
+		m := 1 + rng.Intn(3)
+		a, err := workload.WithDuplicates(rng.Int63(), n, m, rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dd, err := RemoveDuplicates(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDD, err := baseline.RemoveDuplicatesHash(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dd.Relation.EqualAsMultiset(wantDD) {
+			t.Fatalf("trial %d: dedup mismatch", trial)
+		}
+
+		b, err := workload.WithDuplicates(rng.Int63(), 1+rng.Intn(20), m, rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := Union(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantU, err := baseline.UnionHash(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !u.Relation.EqualAsSet(wantU) {
+			t.Fatalf("trial %d: union mismatch", trial)
+		}
+
+		cols := []int{rng.Intn(m)}
+		p, err := Project(a, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantP, err := baseline.Project(a, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Relation.EqualAsSet(wantP) {
+			t.Fatalf("trial %d: projection mismatch", trial)
+		}
+	}
+}
+
+func TestSoakJoins(t *testing.T) {
+	rng := rand.New(rand.NewSource(7003))
+	ops := []Op{EQ, NE, LT, LE, GT, GE}
+	for trial := 0; trial < soakTrials(t); trial++ {
+		nA, nB := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := 2
+		dom := int64(1 + rng.Intn(5))
+		a, err := workload.Uniform(rng.Int63(), nA, m, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.Uniform(rng.Int63(), nB, m, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := ops[rng.Intn(len(ops))]
+		res, err := ThetaJoin(a, b, 0, 1, op)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := baseline.JoinPairsNested(a, b, baseline.JoinSpec{
+			ACols: []int{0}, BCols: []int{1}, Ops: []cells.Op{op}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Relation.Cardinality() != len(want) {
+			t.Fatalf("trial %d: θ-join (%v) %d pairs, want %d", trial, op, res.Relation.Cardinality(), len(want))
+		}
+	}
+}
+
+func TestSoakDivision(t *testing.T) {
+	rng := rand.New(rand.NewSource(7004))
+	for trial := 0; trial < soakTrials(t); trial++ {
+		nX := 1 + rng.Intn(10)
+		nY := 1 + rng.Intn(5)
+		a, b, err := workload.DivisionCase(rng.Int63(), nX, nY, rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Divide(a, b, []int{0}, []int{1}, []int{0})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := baseline.Divide(a, b, []int{0}, []int{1}, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.Relation.EqualAsSet(want) {
+			t.Fatalf("trial %d: division mismatch (nX=%d nY=%d)", trial, nX, nY)
+		}
+	}
+}
+
+func TestSoakDeviceTiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7005))
+	for trial := 0; trial < soakTrials(t)/2; trial++ {
+		n := 4 + rng.Intn(28)
+		a, err := workload.Uniform(rng.Int63(), n, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.Uniform(rng.Int63(), n, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := NewDevice(1+rng.Intn(8), 1+rng.Intn(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tiled, err := dev.Intersect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := baseline.IntersectionHash(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tiled.Relation.EqualAsMultiset(want) {
+			t.Fatalf("trial %d: tiled intersection mismatch", trial)
+		}
+	}
+}
+
+// TestSoakShuffleInvariance checks the metamorphic property that permuting
+// input tuple order never changes any operator's result as a set.
+func TestSoakShuffleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7006))
+	s, err := workload.Schema(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffle := func(r *Relation) *Relation {
+		tuples := r.Tuples()
+		rng.Shuffle(len(tuples), func(i, j int) { tuples[i], tuples[j] = tuples[j], tuples[i] })
+		out, err := NewRelation(s, tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	for trial := 0; trial < soakTrials(t)/2; trial++ {
+		a, err := workload.Uniform(rng.Int63(), 1+rng.Intn(16), 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.Uniform(rng.Int63(), 1+rng.Intn(16), 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, sb := shuffle(a), shuffle(b)
+
+		checks := []struct {
+			name string
+			run  func(x, y *Relation) (*Relation, error)
+		}{
+			{"intersect", func(x, y *Relation) (*Relation, error) {
+				r, err := Intersect(x, y)
+				if err != nil {
+					return nil, err
+				}
+				return r.Relation, nil
+			}},
+			{"union", func(x, y *Relation) (*Relation, error) {
+				r, err := Union(x, y)
+				if err != nil {
+					return nil, err
+				}
+				return r.Relation, nil
+			}},
+			{"join", func(x, y *Relation) (*Relation, error) {
+				r, err := EquiJoin(x, y, 0, 0)
+				if err != nil {
+					return nil, err
+				}
+				return r.Relation, nil
+			}},
+		}
+		for _, c := range checks {
+			orig, err := c.run(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perm, err := c.run(sa, sb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !orig.EqualAsSet(perm) {
+				t.Fatalf("trial %d: %s not shuffle-invariant", trial, c.name)
+			}
+		}
+	}
+}
+
+// TestSoakMachineVsHost compiles random plans and checks machine execution
+// against host execution.
+func TestSoakMachineVsHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7007))
+	for trial := 0; trial < soakTrials(t)/3; trial++ {
+		a, err := workload.Uniform(rng.Int63(), 8+rng.Intn(16), 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.Uniform(rng.Int63(), 8+rng.Intn(16), 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat := Catalog{"A": a, "B": b}
+		plans := []PlanNode{
+			IntersectPlan{L: ScanPlan{Name: "A"}, R: ScanPlan{Name: "B"}},
+			UnionPlan{L: ScanPlan{Name: "A"}, R: ScanPlan{Name: "B"}},
+			ProjectPlan{Child: JoinPlan{L: ScanPlan{Name: "A"}, R: ScanPlan{Name: "B"},
+				Spec: JoinSpec{ACols: []int{0}, BCols: []int{0}}}, Cols: []int{0}},
+		}
+		plan := plans[rng.Intn(len(plans))]
+		host, err := ExecutePlan(plan, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks, out, err := CompilePlan(plan, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMachine1980(4 + rng.Intn(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Relations[out].EqualAsSet(host) {
+			t.Fatalf("trial %d: machine result differs from host (%s)", trial,
+				fmt.Sprintf("%T", plan))
+		}
+	}
+}

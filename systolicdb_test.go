@@ -1,0 +1,345 @@
+package systolicdb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func schema2(t *testing.T, dom *Domain) *Schema {
+	t.Helper()
+	s, err := NewSchema(Column{Name: "x", Domain: dom}, Column{Name: "y", Domain: dom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func rel(t *testing.T, s *Schema, rows ...[]int64) *Relation {
+	t.Helper()
+	tuples := make([]Tuple, len(rows))
+	for i, r := range rows {
+		tu := make(Tuple, len(r))
+		for k := range tu {
+			tu[k] = Element(r[k])
+		}
+		tuples[i] = tu
+	}
+	r, err := NewRelation(s, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dom := IntDomain("d")
+	s := schema2(t, dom)
+	a := rel(t, s, []int64{1, 1}, []int64{2, 2}, []int64{3, 3})
+	b := rel(t, s, []int64{2, 2}, []int64{4, 4})
+
+	inter, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Relation.Cardinality() != 1 {
+		t.Errorf("intersection size %d, want 1", inter.Relation.Cardinality())
+	}
+	if inter.Stats.Pulses == 0 || inter.Stats.ModeledTime == 0 {
+		t.Errorf("stats not populated: %+v", inter.Stats)
+	}
+
+	diff, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Relation.Cardinality() != 2 {
+		t.Errorf("difference size %d, want 2", diff.Relation.Cardinality())
+	}
+
+	uni, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.Relation.Cardinality() != 4 {
+		t.Errorf("union size %d, want 4", uni.Relation.Cardinality())
+	}
+
+	j, err := EquiJoin(a, b, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Relation.Cardinality() != 1 {
+		t.Errorf("join size %d, want 1", j.Relation.Cardinality())
+	}
+
+	gt, err := ThetaJoin(a, b, 0, 0, GT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Relation.Cardinality() != 1 { // only 3 > 2
+		t.Errorf("GT join size %d, want 1", gt.Relation.Cardinality())
+	}
+}
+
+func TestCompareLinearArray(t *testing.T) {
+	eq, st, err := Compare(Tuple{1, 2, 3}, Tuple{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("equal tuples compared unequal")
+	}
+	if st.Pulses != 3 {
+		t.Errorf("linear comparison took %d pulses, want m=3", st.Pulses)
+	}
+}
+
+func TestRemoveDuplicatesAndProject(t *testing.T) {
+	dom := IntDomain("d")
+	s := schema2(t, dom)
+	a := rel(t, s, []int64{1, 10}, []int64{1, 20}, []int64{1, 10})
+	dd, err := RemoveDuplicates(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Relation.Cardinality() != 2 {
+		t.Errorf("dedup size %d, want 2", dd.Relation.Cardinality())
+	}
+	p, err := Project(a, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Relation.Cardinality() != 1 {
+		t.Errorf("projection size %d, want 1", p.Relation.Cardinality())
+	}
+	pn, err := ProjectNames(a, []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn.Relation.Cardinality() != 2 {
+		t.Errorf("named projection size %d, want 2", pn.Relation.Cardinality())
+	}
+}
+
+func TestDividePublic(t *testing.T) {
+	xd, yd := IntDomain("x"), IntDomain("y")
+	as, err := NewSchema(Column{Name: "x", Domain: xd}, Column{Name: "y", Domain: yd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := NewSchema(Column{Name: "y", Domain: yd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewRelation(as, []Tuple{{1, 10}, {1, 20}, {2, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRelation(bs, []Tuple{{10}, {20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Divide(a, b, []int{0}, []int{1}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Relation.Cardinality() != 1 || q.Relation.Tuple(0)[0] != 1 {
+		t.Errorf("quotient = %v, want {1}", q.Relation)
+	}
+}
+
+func TestDivideHWPublic(t *testing.T) {
+	xd, yd := IntDomain("hx"), IntDomain("hy")
+	as, err := NewSchema(
+		Column{Name: "x1", Domain: xd},
+		Column{Name: "x2", Domain: xd},
+		Column{Name: "y1", Domain: yd},
+		Column{Name: "y2", Domain: yd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := NewSchema(Column{Name: "y1", Domain: yd}, Column{Name: "y2", Domain: yd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewRelation(as, []Tuple{
+		{1, 1, 10, 11}, {1, 1, 20, 21},
+		{2, 2, 10, 11},
+		{3, 3, 20, 21}, {3, 3, 10, 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRelation(bs, []Tuple{{10, 11}, {20, 21}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := DivideHW(a, b, []int{0, 1}, []int{2, 3}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interned, err := Divide(a, b, []int{0, 1}, []int{2, 3}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hw.Relation.EqualAsSet(interned.Relation) {
+		t.Errorf("hardware division\n%v\ndiffers from interned\n%v", hw.Relation, interned.Relation)
+	}
+	// (1,1) and (3,3) cover both divisor tuples; (2,2) does not.
+	if hw.Relation.Cardinality() != 2 {
+		t.Errorf("quotient size %d, want 2", hw.Relation.Cardinality())
+	}
+}
+
+func TestDeviceTiling(t *testing.T) {
+	dom := IntDomain("d")
+	s := schema2(t, dom)
+	var rows [][]int64
+	for i := int64(0); i < 20; i++ {
+		rows = append(rows, []int64{i % 7, i % 7})
+	}
+	a := rel(t, s, rows...)
+	b := rel(t, s, []int64{1, 1}, []int64{3, 3})
+
+	dev, err := NewDevice(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Tiles(20, 2) != 5 {
+		t.Errorf("tiles = %d, want 5", dev.Tiles(20, 2))
+	}
+	tiled, err := dev.Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tiled.Relation.EqualAsMultiset(mono.Relation) {
+		t.Error("device-tiled intersection differs from monolithic")
+	}
+	if tiled.Stats.Tiles != 5 {
+		t.Errorf("stats tiles = %d, want 5", tiled.Stats.Tiles)
+	}
+
+	tj, err := dev.Join(a, b, JoinSpec{ACols: []int{0}, BCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj, err := EquiJoin(a, b, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tj.Relation.EqualAsMultiset(mj.Relation) {
+		t.Error("device-tiled join differs from monolithic")
+	}
+
+	td, err := dev.Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !td.Relation.EqualAsMultiset(md.Relation) {
+		t.Error("device-tiled difference differs from monolithic")
+	}
+
+	tr, err := dev.RemoveDuplicates(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := RemoveDuplicates(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Relation.EqualAsMultiset(mr.Relation) {
+		t.Error("device-tiled dedup differs from monolithic")
+	}
+
+	if _, err := NewDevice(0, 4); err == nil {
+		t.Error("zero-capacity device not rejected")
+	}
+}
+
+func TestMachineAndPlans(t *testing.T) {
+	dom := IntDomain("d")
+	s := schema2(t, dom)
+	a := rel(t, s, []int64{1, 1}, []int64{2, 2}, []int64{3, 3})
+	b := rel(t, s, []int64{2, 2}, []int64{3, 3}, []int64{4, 4})
+	cat := Catalog{"A": a, "B": b}
+	plan := UnionPlan{
+		L: IntersectPlan{L: ScanPlan{Name: "A"}, R: ScanPlan{Name: "B"}},
+		R: DifferencePlan{L: ScanPlan{Name: "A"}, R: ScanPlan{Name: "B"}},
+	}
+	host, err := ExecutePlan(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (A∩B) ∪ (A-B) = A.
+	if !host.EqualAsSet(a) {
+		t.Error("plan algebra identity failed")
+	}
+	tasks, out, err := CompilePlan(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine1980(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relations[out].EqualAsSet(host) {
+		t.Error("machine plan result differs from host result")
+	}
+	if res.Makespan <= 0 {
+		t.Error("machine makespan not populated")
+	}
+}
+
+func TestAlgebraicPropertiesOnArrays(t *testing.T) {
+	// De-Morgan-ish identity on the arrays themselves:
+	// |A ∩ B| + |A ∪ B| == |dedup A| + |dedup B| for duplicate-free A, B.
+	dom := IntDomain("q")
+	s := schema2(t, dom)
+	f := func(aRaw, bRaw []uint8) bool {
+		toRel := func(raw []uint8) *Relation {
+			seen := map[uint8]bool{}
+			var rows []Tuple
+			for _, v := range raw {
+				v %= 8
+				if !seen[v] {
+					seen[v] = true
+					rows = append(rows, Tuple{Element(v), Element(v)})
+				}
+			}
+			if len(rows) == 0 {
+				rows = []Tuple{{9, 9}}
+			}
+			r, err := NewRelation(s, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		a, b := toRel(aRaw), toRel(bRaw)
+		inter, err := Intersect(a, b)
+		if err != nil {
+			return false
+		}
+		uni, err := Union(a, b)
+		if err != nil {
+			return false
+		}
+		return inter.Relation.Cardinality()+uni.Relation.Cardinality() ==
+			a.Cardinality()+b.Cardinality()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
