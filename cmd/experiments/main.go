@@ -7,6 +7,7 @@
 //	experiments            # run everything
 //	experiments -exp E12   # run one experiment
 //	experiments -list      # list experiment ids
+//	experiments -metrics   # append the unified metrics registry dump
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"systolicdb/internal/obs"
 )
 
 // experiment is one reproducible unit with an id matching DESIGN.md.
@@ -33,6 +36,7 @@ func register(id, title string, run func() error) {
 func main() {
 	exp := flag.String("exp", "", "run only the experiment with this id (e.g. E12)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metrics := flag.Bool("metrics", false, "print the metrics registry (text exposition) after the experiments")
 	flag.Parse()
 
 	sort.Slice(experiments, func(i, j int) bool {
@@ -63,6 +67,20 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches %q (use -list)\n", *exp)
 		os.Exit(2)
+	}
+	if *metrics {
+		printMetrics()
+	}
+}
+
+// printMetrics dumps the unified cost profile accumulated across every
+// experiment that ran: grid pulses, decomposition tiles, machine schedules
+// and query spans all land in the same obs.Default registry.
+func printMetrics() {
+	fmt.Println("=== metrics ===")
+	if err := obs.Default.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"systolicdb/internal/obs"
+)
 
 // TestAllExperimentsReproduce runs every registered experiment end to end —
 // the integration test that the full paper reproduction holds together.
@@ -21,5 +26,24 @@ func TestAllExperimentsReproduce(t *testing.T) {
 func TestExpNum(t *testing.T) {
 	if expNum("E12") != 12 || expNum("E1") != 1 {
 		t.Error("experiment id parsing broken")
+	}
+}
+
+// TestMetricsSection checks that running any array experiment populates the
+// unified metrics registry, so the -metrics section is never empty.
+func TestMetricsSection(t *testing.T) {
+	for _, e := range experiments {
+		if e.id == "E1" {
+			if err := e.run(); err != nil {
+				t.Fatalf("E1 failed: %v", err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := obs.Default.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("systolic_pulses_total")) {
+		t.Errorf("metrics section missing grid pulse counter:\n%s", buf.String())
 	}
 }

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"systolicdb/internal/cells"
@@ -29,6 +30,7 @@ import (
 	"systolicdb/internal/join"
 	"systolicdb/internal/lptdisk"
 	"systolicdb/internal/machine"
+	"systolicdb/internal/obs"
 	"systolicdb/internal/patternmatch"
 	"systolicdb/internal/perf"
 	"systolicdb/internal/query"
@@ -37,9 +39,13 @@ import (
 	"systolicdb/internal/workload"
 )
 
+// validOps lists every supported -op mode; the usage string and the
+// unknown-operation error both derive from it so they cannot drift apart.
+const validOps = "intersect | difference | union | dedup | project | join | theta-join | divide | select | match | query"
+
 func main() {
 	var (
-		op       = flag.String("op", "intersect", "operation: intersect | difference | union | dedup | project | join | theta-join | divide")
+		op       = flag.String("op", "intersect", "operation: "+validOps)
 		n        = flag.Int("n", 16, "tuples per relation")
 		m        = flag.Int("m", 2, "elements per tuple")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -54,27 +60,45 @@ func main() {
 		q        = flag.String("q", "", "plan for -op query, e.g. \"project(join(scan(A), scan(B), 0=0), 0)\"")
 		onMach   = flag.Bool("machine", false, "run -op query on the §9 crossbar machine and print the schedule")
 		quiet    = flag.Bool("quiet", false, "suppress relation dumps, print stats only")
+		metrics  = flag.Bool("metrics", false, "emit the run's metrics registry (text and JSON) after the result")
 	)
 	flag.Parse()
 
+	var err error
 	switch *op {
 	case "match":
-		if err := runMatch(*pattern, *text); err != nil {
-			fmt.Fprintln(os.Stderr, "systolicdb:", err)
-			os.Exit(1)
-		}
-		return
+		err = runMatch(*pattern, *text)
 	case "query":
-		if err := runQuery(*q, *n, *m, *seed, *match, *onMach, *quiet); err != nil {
-			fmt.Fprintln(os.Stderr, "systolicdb:", err)
-			os.Exit(1)
-		}
-		return
+		err = runQuery(*q, *n, *m, *seed, *match, *onMach, *quiet, *metrics)
+	default:
+		err = run(*op, *n, *m, *seed, *overlap, *dup, *match, *theta, *divisor, *coverage, *quiet)
 	}
-	if err := run(*op, *n, *m, *seed, *overlap, *dup, *match, *theta, *divisor, *coverage, *quiet); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "systolicdb:", err)
 		os.Exit(1)
 	}
+	if *metrics {
+		if err := dumpMetrics(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "systolicdb:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics writes the process-wide metrics registry as a text exposition
+// followed by a JSON document, giving every CLI run a machine-readable cost
+// profile.
+func dumpMetrics(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "\n=== metrics (text) ==="); err != nil {
+		return err
+	}
+	if err := obs.Default.WriteText(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "=== metrics (json) ==="); err != nil {
+		return err
+	}
+	return obs.Default.WriteJSON(w)
 }
 
 func printStats(st systolic.Stats) {
@@ -241,14 +265,18 @@ func run(op string, n, m int, seed int64, overlap, dup, match float64, theta str
 		printStats(res.Stats)
 
 	default:
-		return fmt.Errorf("unknown operation %q", op)
+		return fmt.Errorf("unknown operation %q (valid: %s)", op, validOps)
 	}
 	return nil
 }
 
 // runQuery parses and runs a plan over a generated two-relation catalog:
-// A and B are join-workload relations of n tuples and m columns.
-func runQuery(src string, n, m int, seed int64, match float64, onMachine, quiet bool) error {
+// A and B are join-workload relations of n tuples and m columns. With
+// metrics enabled and no -machine flag, the plan is additionally compiled
+// and run on the default §9 machine (result discarded) so the emitted cost
+// profile covers device busy time and tile scheduling as well as the host
+// executor's per-node spans.
+func runQuery(src string, n, m int, seed int64, match float64, onMachine, quiet, metrics bool) error {
 	if src == "" {
 		return fmt.Errorf("-op query needs -q \"<plan>\" (e.g. \"intersect(scan(A), scan(B))\")")
 	}
@@ -273,26 +301,43 @@ func runQuery(src string, n, m int, seed int64, match float64, onMachine, quiet 
 			return err
 		}
 		dump("result", res, quiet)
+		if metrics {
+			if _, err := runOnMachine(plan, cat, quiet, false); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
-	tasks, out, err := query.Compile(plan, cat)
+	res, err := runOnMachine(plan, cat, quiet, true)
 	if err != nil {
 		return err
+	}
+	fmt.Println()
+	return res.RenderGantt(os.Stdout, 72)
+}
+
+// runOnMachine compiles the plan onto the default 1980 machine and runs the
+// transaction, optionally dumping the result relation.
+func runOnMachine(plan query.Node, cat query.Catalog, quiet, show bool) (*machine.Result, error) {
+	tasks, out, err := query.Compile(plan, cat)
+	if err != nil {
+		return nil, err
 	}
 	mach, err := machine.Default1980(64)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res, err := mach.Run(tasks)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := res.Validate(); err != nil {
-		return err
+		return nil, err
 	}
-	dump("result", res.Relations[out], quiet)
-	fmt.Println()
-	return res.RenderGantt(os.Stdout, 72)
+	if show {
+		dump("result", res.Relations[out], quiet)
+	}
+	return res, nil
 }
 
 func runMatch(pattern, text string) error {

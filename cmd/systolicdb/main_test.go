@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"strings"
@@ -48,11 +49,28 @@ func TestRunAllOperations(t *testing.T) {
 }
 
 func TestRunUnknownOp(t *testing.T) {
-	if err := run("bogus", 8, 2, 1, 0.5, 0.5, 1, ">", 3, 0.5, true); err == nil {
-		t.Error("unknown op not rejected")
+	err := run("bogus", 8, 2, 1, 0.5, 0.5, 1, ">", 3, 0.5, true)
+	if err == nil {
+		t.Fatal("unknown op not rejected")
+	}
+	// The error must enumerate every valid mode, including the ones that
+	// are dispatched before run() (select, match, query).
+	for _, mode := range []string{"intersect", "difference", "union", "dedup", "project",
+		"join", "theta-join", "divide", "select", "match", "query"} {
+		if !strings.Contains(err.Error(), mode) {
+			t.Errorf("unknown-op error does not list %q: %v", mode, err)
+		}
 	}
 	if err := run("theta-join", 8, 2, 1, 0.5, 0.5, 1, "??", 3, 0.5, true); err == nil {
 		t.Error("unknown θ operator not rejected")
+	}
+}
+
+func TestUsageStringListsAllModes(t *testing.T) {
+	for _, mode := range []string{"select", "match", "query"} {
+		if !strings.Contains(validOps, mode) {
+			t.Errorf("-op usage string omits %q: %s", mode, validOps)
+		}
 	}
 }
 
@@ -67,21 +85,71 @@ func TestRunMatchCLI(t *testing.T) {
 
 func TestRunQueryCLI(t *testing.T) {
 	out := capture(t, func() error {
-		return runQuery("intersect(scan(A), scan(B))", 10, 2, 1, 1, false, true)
+		return runQuery("intersect(scan(A), scan(B))", 10, 2, 1, 1, false, true, false)
 	})
 	if !strings.Contains(out, "intersect(scan(A), scan(B))") || !strings.Contains(out, "optimized:") {
 		t.Errorf("query output missing plan or optimization line:\n%s", out)
 	}
 	out = capture(t, func() error {
-		return runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, true, true)
+		return runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, true, true, false)
 	})
 	if !strings.Contains(out, "makespan") {
 		t.Errorf("machine query output missing gantt:\n%s", out)
 	}
-	if err := runQuery("", 4, 2, 1, 1, false, true); err == nil {
+	if err := runQuery("", 4, 2, 1, 1, false, true, false); err == nil {
 		t.Error("empty query not rejected")
 	}
-	if err := runQuery("scan(", 4, 2, 1, 1, false, true); err == nil {
+	if err := runQuery("scan(", 4, 2, 1, 1, false, true, false); err == nil {
 		t.Error("malformed query not rejected")
+	}
+}
+
+// TestMetricsDump exercises the acceptance scenario: a -op query -metrics
+// run must emit a non-empty dump covering grid pulses, tile counts,
+// per-device busy time and per-plan-node spans, in text and JSON forms.
+func TestMetricsDump(t *testing.T) {
+	out := capture(t, func() error {
+		if err := runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, false, true, true); err != nil {
+			return err
+		}
+		return dumpMetrics(os.Stdout)
+	})
+	if !strings.Contains(out, "=== metrics (text) ===") || !strings.Contains(out, "=== metrics (json) ===") {
+		t.Fatalf("metrics dump missing section headers:\n%s", out)
+	}
+	text := out[strings.Index(out, "=== metrics (text) ==="):strings.Index(out, "=== metrics (json) ===")]
+	jsonPart := out[strings.Index(out, "=== metrics (json) ===")+len("=== metrics (json) ===")+1:]
+
+	for _, want := range []string{
+		"systolic_pulses_total",                           // grid pulses
+		"decompose_tiles_total",                           // tile counts
+		`machine_device_busy_seconds_sum{device="join0"}`, // per-device busy time
+		`query_node_host_seconds_count{node="join"}`,      // per-plan-node spans
+		`query_node_pulses_total{node="project"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text metrics missing %q:\n%s", want, text)
+		}
+	}
+	var doc struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(jsonPart), &doc); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, jsonPart)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Error("metrics JSON is empty")
+	}
+	names := make(map[string]bool)
+	for _, m := range doc.Metrics {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"systolic_pulses_total", "decompose_tiles_total",
+		"machine_device_busy_seconds", "query_node_host_seconds"} {
+		if !names[want] {
+			t.Errorf("metrics JSON missing %q", want)
+		}
 	}
 }

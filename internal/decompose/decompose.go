@@ -18,8 +18,17 @@ import (
 
 	"systolicdb/internal/comparison"
 	"systolicdb/internal/intersect"
+	"systolicdb/internal/obs"
 	"systolicdb/internal/relation"
 	"systolicdb/internal/systolic"
+)
+
+// Every executed tile records into obs.Default: how many tiles ran, and the
+// distribution of per-tile pulse counts (the unit a multi-device scheduler
+// balances across arrays).
+var (
+	mTiles      = obs.Default.Counter("decompose_tiles_total", nil)
+	mTilePulses = obs.Default.Histogram("decompose_tile_pulses", nil, nil)
 )
 
 // ArraySize is the capacity of the fixed physical array: the maximum
@@ -63,6 +72,8 @@ func (s *Stats) add(t systolic.Stats) {
 	s.CellSteps += t.CellSteps
 	s.ActiveSteps += t.ActiveSteps
 	s.PerTilePulses = append(s.PerTilePulses, t.Pulses)
+	mTiles.Inc()
+	mTilePulses.Observe(float64(t.Pulses))
 }
 
 // TiledT computes the full matrix T for a problem larger than the physical

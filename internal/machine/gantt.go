@@ -8,10 +8,19 @@ import (
 )
 
 // Validate checks the physical consistency of a transaction schedule: every
-// event well-formed, and no resource (device or disk) executing two
-// operations at once. The scheduler maintains these invariants by
-// construction; Validate lets callers and tests verify them independently.
+// event well-formed, every event booked on a resource the machine actually
+// has (when Resources is populated, as machine.Run always does), and no
+// resource (device or disk) executing two operations at once. The scheduler
+// maintains these invariants by construction; Validate lets callers and
+// tests verify them independently.
 func (r *Result) Validate() error {
+	var known map[string]bool
+	if len(r.Resources) > 0 {
+		known = make(map[string]bool, len(r.Resources))
+		for _, name := range r.Resources {
+			known[name] = true
+		}
+	}
 	byResource := make(map[string][]Event)
 	for _, ev := range r.Events {
 		if ev.End < ev.Start {
@@ -19,6 +28,9 @@ func (r *Result) Validate() error {
 		}
 		if ev.End > r.Makespan {
 			return fmt.Errorf("machine: event %q ends at %v after the makespan %v", ev.Task, ev.End, r.Makespan)
+		}
+		if known != nil && !known[ev.Resource] {
+			return fmt.Errorf("machine: event %q scheduled on unconfigured resource %q", ev.Task, ev.Resource)
 		}
 		byResource[ev.Resource] = append(byResource[ev.Resource], ev)
 	}

@@ -25,12 +25,14 @@ package machine
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"systolicdb/internal/decompose"
 	"systolicdb/internal/division"
 	"systolicdb/internal/join"
 	"systolicdb/internal/lptdisk"
+	"systolicdb/internal/obs"
 	"systolicdb/internal/perf"
 	"systolicdb/internal/relation"
 )
@@ -140,6 +142,11 @@ type Config struct {
 	// they are finally combined." When false (the default) a whole
 	// operation runs its tiles sequentially on one device.
 	TileParallel bool
+
+	// Metrics selects the registry transaction-level metrics (per-device
+	// busy/idle time, memory-module contention, per-task queue wait) are
+	// recorded into. Nil selects obs.Default.
+	Metrics *obs.Registry
 }
 
 // DivideSpec carries the column groups of a division task.
@@ -180,6 +187,12 @@ type Result struct {
 	Events    []Event
 	Makespan  time.Duration // end of the last event
 	BusyTime  time.Duration // sum of event durations; BusyTime > Makespan means overlap
+
+	// Resources lists every schedulable resource of the machine that ran
+	// the transaction ("disk" plus each configured device name). Validate
+	// uses it to reject events booked on resources the machine does not
+	// have.
+	Resources []string
 }
 
 // Concurrency returns BusyTime / Makespan — the §9 pipelining/concurrency
@@ -433,8 +446,19 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 	var diskFree time.Duration
 	nextMem := 0
 
-	res := &Result{Relations: rels}
+	res := &Result{Relations: rels, Resources: m.resources()}
 	done := make(map[string]bool)
+
+	// Contention bookkeeping for the metrics flush: how long each event
+	// queued behind busy resources, and how long each output memory module
+	// alone delayed a start.
+	type waitRec struct {
+		op        OpKind
+		queueWait time.Duration
+		memModule int // -1 when no memory wait occurred
+		memWait   time.Duration
+	}
+	var waits []waitRec
 
 	remaining := len(tasks)
 	for remaining > 0 {
@@ -467,7 +491,13 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 				if t.Base == nil {
 					return nil, fmt.Errorf("machine: load task %q has no base relation", t.ID)
 				}
-				start := maxDur(inputsReady, diskFree, memFree[nextMem])
+				base := maxDur(inputsReady, diskFree)
+				start := maxDur(base, memFree[nextMem])
+				w := waitRec{op: t.Op, queueWait: start - inputsReady, memModule: -1}
+				if start > base {
+					w.memModule, w.memWait = nextMem, start-base
+				}
+				waits = append(waits, w)
 				loaded := t.Base
 				dur := m.cfg.Disk.TimeToRead(m.relationBytes(t.Base))
 				if t.Select != nil {
@@ -506,6 +536,7 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 				start := maxDur(inputsReady, diskFree)
 				end := start + m.cfg.Disk.TimeToRead(m.relationBytes(r))
 				diskFree = end
+				waits = append(waits, waitRec{op: t.Op, queueWait: start - inputsReady, memModule: -1})
 				ev = Event{Task: t.ID, Op: t.Op, Resource: "disk", Memory: -1, Start: start, End: end}
 
 			default:
@@ -538,7 +569,14 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 					// §9 intra-operator parallelism: spread the §8
 					// tiles across every device of the right kind; the
 					// partial results combine in the output memory.
-					evs = m.scheduleTiles(t, kind, out, inputsReady, devFree, memFree, nextMem)
+					evs, err = m.scheduleTiles(t, kind, out, inputsReady, devFree, memFree, nextMem)
+					if err != nil {
+						return nil, err
+					}
+					if memFree[nextMem] > inputsReady {
+						waits = append(waits, waitRec{op: t.Op, queueWait: memFree[nextMem] - inputsReady,
+							memModule: nextMem, memWait: memFree[nextMem] - inputsReady})
+					}
 					var opEnd time.Duration
 					for _, e := range evs {
 						if e.End > opEnd {
@@ -552,6 +590,11 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 					break
 				}
 				start := maxDur(bestStart, memFree[nextMem])
+				w := waitRec{op: t.Op, queueWait: start - inputsReady, memModule: -1}
+				if start > bestStart {
+					w.memModule, w.memWait = nextMem, start-bestStart
+				}
+				waits = append(waits, w)
 				end := start + m.cfg.Tech.PulseTime(out.pulses)
 				devFree[dev.Name] = end
 				memFree[nextMem] = end
@@ -588,16 +631,62 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 		}
 	}
 	sort.Slice(res.Events, func(i, j int) bool { return res.Events[i].Start < res.Events[j].Start })
+
+	// Flush the transaction's cost profile into the metrics registry.
+	reg := m.registry()
+	reg.Counter("machine_transactions_total", nil).Inc()
+	reg.Gauge("machine_makespan_seconds", nil).Set(res.Makespan.Seconds())
+	reg.Gauge("machine_busy_seconds", nil).Set(res.BusyTime.Seconds())
+	reg.Gauge("machine_concurrency", nil).Set(res.Concurrency())
+	busy := make(map[string]time.Duration)
+	for _, ev := range res.Events {
+		reg.Counter("machine_events_total", obs.Labels{"op": ev.Op.String()}).Inc()
+		busy[ev.Resource] += ev.End - ev.Start
+	}
+	for _, name := range res.Resources {
+		l := obs.Labels{"device": name}
+		reg.Histogram("machine_device_busy_seconds", l, nil).Observe(busy[name].Seconds())
+		reg.Histogram("machine_device_idle_seconds", l, nil).Observe((res.Makespan - busy[name]).Seconds())
+	}
+	for _, w := range waits {
+		reg.Histogram("machine_task_queue_wait_seconds", obs.Labels{"op": w.op.String()}, nil).
+			Observe(w.queueWait.Seconds())
+		if w.memModule >= 0 {
+			reg.Histogram("machine_memory_wait_seconds",
+				obs.Labels{"module": strconv.Itoa(w.memModule)}, nil).Observe(w.memWait.Seconds())
+		}
+	}
 	return res, nil
+}
+
+// registry returns the metrics registry configured for this machine
+// (obs.Default unless Config.Metrics overrides it).
+func (m *Machine) registry() *obs.Registry {
+	if m.cfg.Metrics != nil {
+		return m.cfg.Metrics
+	}
+	return obs.Default
+}
+
+// resources returns every schedulable resource name: the disk plus all
+// configured devices.
+func (m *Machine) resources() []string {
+	out := []string{"disk"}
+	for _, d := range m.cfg.Devices {
+		out = append(out, d.Name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // scheduleTiles distributes an operation's decomposition tiles across every
 // device of the given kind, longest tiles first (LPT list scheduling), and
 // returns one event per tile. The output memory module gates the start (the
 // partial results combine there) and the caller marks it busy until the
-// last tile finishes.
+// last tile finishes. A configuration with no device of the required kind
+// is an error: tiles must never be booked on a nonexistent resource.
 func (m *Machine) scheduleTiles(t *Task, kind DeviceKind, out opResult, inputsReady time.Duration,
-	devFree map[string]time.Duration, memFree []time.Duration, mem int) []Event {
+	devFree map[string]time.Duration, memFree []time.Duration, mem int) ([]Event, error) {
 
 	earliest := maxDur(inputsReady, memFree[mem])
 	tiles := append([]int(nil), out.tilePulses...)
@@ -617,6 +706,9 @@ func (m *Machine) scheduleTiles(t *Task, kind DeviceKind, out opResult, inputsRe
 				best, bestStart = name, s
 			}
 		}
+		if best == "" {
+			return nil, fmt.Errorf("machine: no %v device configured for task %q (tile %d)", kind, t.ID, idx)
+		}
 		end := bestStart + m.cfg.Tech.PulseTime(pulses)
 		devFree[best] = end
 		evs = append(evs, Event{
@@ -630,7 +722,7 @@ func (m *Machine) scheduleTiles(t *Task, kind DeviceKind, out opResult, inputsRe
 			Tiles:    1,
 		})
 	}
-	return evs
+	return evs, nil
 }
 
 func maxDur(ds ...time.Duration) time.Duration {

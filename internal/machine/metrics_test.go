@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"systolicdb/internal/decompose"
+	"systolicdb/internal/join"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/perf"
+	"systolicdb/internal/workload"
+)
+
+// TestRunRecordsMetrics verifies a transaction flushes its cost profile —
+// per-device busy/idle time, per-op queue waits, transaction gauges — into
+// the configured registry.
+func TestRunRecordsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	size := decompose.ArraySize{MaxA: 32, MaxB: 32}
+	m, err := New(Config{
+		Memories: 2,
+		Devices: []DeviceConfig{
+			{Name: "i0", Kind: DevIntersect, Size: size},
+			{Name: "j0", Kind: DevJoin, Size: size},
+		},
+		Tech:    perf.Conservative1980,
+		Disk:    perf.Disk1980,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, err := workload.JoinPair(3, 16, 16, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run([]Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpJoin, Inputs: []string{"A", "B"}, Output: "AB",
+			Join: &join.Spec{ACols: []int{0}, BCols: []int{0}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("machine_transactions_total", nil).Value(); got != 1 {
+		t.Errorf("machine_transactions_total = %d, want 1", got)
+	}
+	if got := reg.Counter("machine_events_total", obs.Labels{"op": "join"}).Value(); got != 1 {
+		t.Errorf("machine_events_total{op=join} = %d, want 1", got)
+	}
+	busy := reg.Histogram("machine_device_busy_seconds", obs.Labels{"device": "j0"}, nil)
+	if busy.Count() != 1 || busy.Sum() <= 0 {
+		t.Errorf("join-device busy time not recorded: count=%d sum=%v", busy.Count(), busy.Sum())
+	}
+	idle := reg.Histogram("machine_device_idle_seconds", obs.Labels{"device": "j0"}, nil)
+	if idle.Count() != 1 {
+		t.Errorf("join-device idle time not recorded")
+	}
+	if got := reg.Gauge("machine_makespan_seconds", nil).Value(); got != res.Makespan.Seconds() {
+		t.Errorf("makespan gauge = %v, want %v", got, res.Makespan.Seconds())
+	}
+	waits := reg.Histogram("machine_task_queue_wait_seconds", obs.Labels{"op": "join"}, nil)
+	if waits.Count() != 1 {
+		t.Errorf("join queue wait not recorded")
+	}
+	// The second load queues behind the disk serving the first: some
+	// nonzero load queue wait must be visible.
+	loadWaits := reg.Histogram("machine_task_queue_wait_seconds", obs.Labels{"op": "load"}, nil)
+	if loadWaits.Count() != 2 || loadWaits.Sum() <= 0 {
+		t.Errorf("load queue waits = (count %d, sum %v), want 2 with positive sum",
+			loadWaits.Count(), loadWaits.Sum())
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `machine_device_busy_seconds_sum{device="j0"}`) {
+		t.Errorf("text exposition missing device busy line:\n%s", buf.String())
+	}
+}

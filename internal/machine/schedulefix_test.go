@@ -1,0 +1,124 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"systolicdb/internal/decompose"
+	"systolicdb/internal/join"
+	"systolicdb/internal/perf"
+	"systolicdb/internal/workload"
+)
+
+// intersectOnlyMachine has devices of exactly one kind, so any other kind
+// is unsatisfiable.
+func intersectOnlyMachine(t *testing.T, tileParallel bool) *Machine {
+	t.Helper()
+	m, err := New(Config{
+		Memories: 2,
+		Devices: []DeviceConfig{
+			{Name: "i0", Kind: DevIntersect, Size: decompose.ArraySize{MaxA: 8, MaxB: 8}},
+		},
+		Tech:         perf.Conservative1980,
+		Disk:         perf.Disk1980,
+		TileParallel: tileParallel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMissingDeviceKindErrors pins the fix for the silent tile-scheduler
+// misassignment: a transaction needing a device kind the config lacks must
+// fail with a configuration error, never produce a schedule.
+func TestMissingDeviceKindErrors(t *testing.T) {
+	for _, tileParallel := range []bool{false, true} {
+		a, b, err := workload.JoinPair(7, 24, 24, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := intersectOnlyMachine(t, tileParallel)
+		_, err = m.Run([]Task{
+			{Op: OpLoad, Base: a, Output: "A"},
+			{Op: OpLoad, Base: b, Output: "B"},
+			{Op: OpJoin, Inputs: []string{"A", "B"}, Output: "AB",
+				Join: &join.Spec{ACols: []int{0}, BCols: []int{0}}},
+		})
+		if err == nil {
+			t.Fatalf("tileParallel=%v: join on a machine without a join device did not error", tileParallel)
+		}
+		if !strings.Contains(err.Error(), "join-array") {
+			t.Errorf("tileParallel=%v: error does not name the missing device kind: %v", tileParallel, err)
+		}
+	}
+}
+
+// TestScheduleTilesNoDeviceErrors calls the tile scheduler directly with a
+// kind the config cannot satisfy. Before the fix it silently booked every
+// tile on a "" resource with zero start time; now it must refuse.
+func TestScheduleTilesNoDeviceErrors(t *testing.T) {
+	m := intersectOnlyMachine(t, true)
+	task := &Task{ID: "t0", Op: OpJoin}
+	out := opResult{tilePulses: []int{10, 20}}
+	evs, err := m.scheduleTiles(task, DevJoin, out, 0,
+		map[string]time.Duration{}, make([]time.Duration, 2), 0)
+	if err == nil {
+		t.Fatalf("scheduleTiles with no device of the kind returned %d events, want error", len(evs))
+	}
+	if !strings.Contains(err.Error(), "join-array") {
+		t.Errorf("error does not name the missing device kind: %v", err)
+	}
+}
+
+// TestRunPopulatesResources checks that every schedule carries the machine's
+// resource list and that the scheduler only books configured resources.
+func TestRunPopulatesResources(t *testing.T) {
+	a, b, err := workload.OverlapPair(11, 20, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := intersectOnlyMachine(t, false)
+	res, err := m.Run([]Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpIntersect, Inputs: []string{"A", "B"}, Output: "C"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"disk", "i0"}
+	if len(res.Resources) != len(want) || res.Resources[0] != want[0] || res.Resources[1] != want[1] {
+		t.Errorf("Resources = %v, want %v", res.Resources, want)
+	}
+	if err := res.Validate(); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}
+
+// TestValidateRejectsUnknownResource pins the new Validate check: an event
+// booked on a resource the machine does not have (e.g. the old "" bug) is
+// an error.
+func TestValidateRejectsUnknownResource(t *testing.T) {
+	res := &Result{
+		Makespan:  time.Millisecond,
+		Resources: []string{"disk", "join0"},
+		Events: []Event{
+			{Task: "t0.tile0", Resource: "", Start: 0, End: time.Millisecond},
+		},
+	}
+	err := res.Validate()
+	if err == nil {
+		t.Fatal("event on unconfigured \"\" resource not rejected")
+	}
+	if !strings.Contains(err.Error(), "unconfigured resource") {
+		t.Errorf("unexpected error: %v", err)
+	}
+
+	// Legacy results without a resource list still validate structurally.
+	res.Resources = nil
+	if err := res.Validate(); err != nil {
+		t.Errorf("result without resource list should skip the check: %v", err)
+	}
+}

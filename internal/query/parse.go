@@ -43,7 +43,13 @@ type parser struct {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("query: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+	return p.errAt(p.pos, format, args...)
+}
+
+// errAt reports an error at an explicit offset, for productions that have
+// already consumed part of a malformed token.
+func (p *parser) errAt(offset int, format string, args ...any) error {
+	return fmt.Errorf("query: offset %d: %s", offset, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) skipSpace() {
@@ -91,15 +97,20 @@ func (p *parser) number() (int64, error) {
 	if p.pos < len(p.src) && (p.src[p.pos] == '-' || p.src[p.pos] == '+') {
 		p.pos++
 	}
+	digits := p.pos
 	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
 		p.pos++
 	}
-	if p.pos == start {
-		return 0, p.errf("expected number")
+	if p.pos == digits {
+		// Report at the number's start, not past a consumed bare sign.
+		return 0, p.errAt(start, "expected number")
 	}
 	v, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
 	if err != nil {
-		return 0, p.errf("bad number %q", p.src[start:p.pos])
+		return 0, p.errAt(start, "bad number %q", p.src[start:p.pos])
+	}
+	if relation.Element(v) == relation.Null {
+		return 0, p.errAt(start, "constant %d is the reserved null element and cannot appear in a plan", v)
 	}
 	return v, nil
 }

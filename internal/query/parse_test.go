@@ -1,11 +1,13 @@
 package query
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"systolicdb/internal/baseline"
 	"systolicdb/internal/cells"
+	"systolicdb/internal/relation"
 	"systolicdb/internal/workload"
 )
 
@@ -166,5 +168,44 @@ func TestParseNegativeConstant(t *testing.T) {
 	s := n.(Select)
 	if s.Query[0].Value != -3 {
 		t.Errorf("value = %d, want -3", s.Query[0].Value)
+	}
+}
+
+// TestParseBareSignOffset pins the number() offset fix: a bare sign with no
+// digits must report the error at the sign, not one past it.
+func TestParseBareSignOffset(t *testing.T) {
+	// Offsets:      0123456789012345678
+	_, err := Parse("select(scan(A), 0>-)")
+	if err == nil {
+		t.Fatal("bare '-' accepted as number")
+	}
+	if !strings.Contains(err.Error(), "offset 18") {
+		t.Errorf("bare-sign error reports wrong offset (want 18, the '-'): %v", err)
+	}
+	_, err = Parse("select(scan(A), 0>+)")
+	if err == nil {
+		t.Fatal("bare '+' accepted as number")
+	}
+	if !strings.Contains(err.Error(), "offset 18") {
+		t.Errorf("bare-sign error reports wrong offset (want 18, the '+'): %v", err)
+	}
+}
+
+// TestParseRejectsNullSentinel pins the guard against constants equal to
+// relation.Null: such a plan could never execute (relations cannot hold
+// Null) and previously failed much later with a confusing error, or not at
+// all.
+func TestParseRejectsNullSentinel(t *testing.T) {
+	src := fmt.Sprintf("select(scan(A), 0<%d)", relation.Null)
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("constant %d (the reserved null element) accepted", relation.Null)
+	}
+	if !strings.Contains(err.Error(), "reserved null") {
+		t.Errorf("null-constant error unclear: %v", err)
+	}
+	// Neighbouring values stay legal.
+	if _, err := Parse(fmt.Sprintf("select(scan(A), 0<%d)", int64(relation.Null)+1)); err != nil {
+		t.Errorf("null+1 rejected: %v", err)
 	}
 }

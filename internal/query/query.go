@@ -12,6 +12,7 @@ package query
 
 import (
 	"fmt"
+	"time"
 
 	"systolicdb/internal/dedup"
 	"systolicdb/internal/division"
@@ -19,6 +20,8 @@ import (
 	"systolicdb/internal/join"
 	"systolicdb/internal/lptdisk"
 	"systolicdb/internal/machine"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/perf"
 	"systolicdb/internal/relation"
 )
 
@@ -94,104 +97,159 @@ func (n Divide) children() []Node     { return []Node{n.L, n.R} }
 // Catalog maps base-relation names to relations.
 type Catalog map[string]*relation.Relation
 
+// opName returns the stable operator name used as the node label on span
+// metrics (label() is unsuitable: it embeds scan names and column lists,
+// which would make the metric cardinality depend on the query text).
+func opName(n Node) string {
+	switch n.(type) {
+	case Scan:
+		return "scan"
+	case Select:
+		return "select"
+	case Intersect:
+		return "intersect"
+	case Difference:
+		return "difference"
+	case Union:
+		return "union"
+	case Dedup:
+		return "dedup"
+	case Project:
+		return "project"
+	case Join:
+		return "join"
+	case Divide:
+		return "divide"
+	}
+	return fmt.Sprintf("%T", n)
+}
+
+// recordSpan emits one per-plan-node span into obs.Default: host wall-clock
+// time (inclusive of children, as spans are), the node's own simulated
+// pulses, and the simulated time those pulses cost under the conservative
+// 1980 technology.
+func recordSpan(n Node, pulses int, start time.Time) {
+	l := obs.Labels{"node": opName(n)}
+	obs.Default.Timer("query_node_host_seconds", l).Observe(time.Since(start))
+	obs.Default.Counter("query_node_pulses_total", l).Add(int64(pulses))
+	obs.Default.Timer("query_node_sim_seconds", l).Observe(perf.Conservative1980.PulseTime(pulses))
+}
+
 // Execute evaluates a plan on the host, running every operator on its
 // systolic array (one operation at a time, no machine-level scheduling).
+// Each plan node is recorded as a span in obs.Default (see recordSpan).
 func Execute(n Node, cat Catalog) (*relation.Relation, error) {
 	if n == nil {
 		return nil, fmt.Errorf("query: nil plan node")
 	}
+	start := time.Now()
+	rel, pulses, err := eval(n, cat)
+	if err != nil {
+		return nil, err
+	}
+	recordSpan(n, pulses, start)
+	return rel, nil
+}
+
+// eval computes one node, returning the result and the simulated pulse
+// count of the node's own array run (children report their own).
+func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
 	switch op := n.(type) {
 	case Scan:
 		r, ok := cat[op.Name]
 		if !ok {
-			return nil, fmt.Errorf("query: unknown relation %q", op.Name)
+			return nil, 0, fmt.Errorf("query: unknown relation %q", op.Name)
 		}
-		return r, nil
+		return r, 0, nil
 	case Intersect:
 		l, r, err := execPair(op.L, op.R, cat)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		res, err := intersect.Intersection(l, r)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return res.Rel, nil
+		return res.Rel, res.Stats.Pulses, nil
 	case Difference:
 		l, r, err := execPair(op.L, op.R, cat)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		res, err := intersect.Difference(l, r)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return res.Rel, nil
+		return res.Rel, res.Stats.Pulses, nil
 	case Union:
 		l, r, err := execPair(op.L, op.R, cat)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		res, err := dedup.Union(l, r)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return res.Rel, nil
+		return res.Rel, res.Stats.Pulses, nil
 	case Dedup:
 		c, err := Execute(op.Child, cat)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		res, err := dedup.RemoveDuplicates(c)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return res.Rel, nil
+		return res.Rel, res.Stats.Pulses, nil
 	case Project:
 		c, err := Execute(op.Child, cat)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		res, err := dedup.Project(c, op.Cols)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return res.Rel, nil
+		return res.Rel, res.Stats.Pulses, nil
 	case Join:
 		l, r, err := execPair(op.L, op.R, cat)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		res, err := join.Join(l, r, op.Spec)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return res.Rel, nil
+		return res.Rel, res.Stats.Pulses, nil
 	case Divide:
 		l, r, err := execPair(op.L, op.R, cat)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		res, err := division.Divide(l, r, op.AQuot, op.ADiv, op.BCols)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return res.Rel, nil
+		return res.Rel, res.Stats.Pulses, nil
 	case Select:
 		c, err := Execute(op.Child, cat)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if err := op.Query.Validate(c.Schema()); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		keep := make([]bool, c.Cardinality())
 		for i := range keep {
 			keep[i] = op.Query.Matches(c.Tuple(i))
 		}
-		return c.Select(keep, true)
+		sel, err := c.Select(keep, true)
+		if err != nil {
+			return nil, 0, err
+		}
+		return sel, 0, nil
 	}
-	return nil, fmt.Errorf("query: unsupported plan node %T", n)
+	return nil, 0, fmt.Errorf("query: unsupported plan node %T", n)
 }
 
 func execPair(l, r Node, cat Catalog) (*relation.Relation, *relation.Relation, error) {
@@ -209,12 +267,17 @@ func execPair(l, r Node, cat Catalog) (*relation.Relation, *relation.Relation, e
 // Compile lowers a plan to a machine transaction. Every Scan becomes an
 // OpLoad of the catalog relation; every operator becomes one task; the
 // returned output name identifies the final result in machine.Result.
+// Compilation cost and task counts are recorded into obs.Default.
 func Compile(n Node, cat Catalog) (tasks []machine.Task, output string, err error) {
+	stop := obs.Default.Timer("query_compile_host_seconds", nil).Start()
+	defer stop()
 	c := &compiler{cat: cat, loaded: make(map[string]string)}
 	output, err = c.lower(n)
 	if err != nil {
 		return nil, "", err
 	}
+	obs.Default.Counter("query_compile_total", nil).Inc()
+	obs.Default.Counter("query_compile_tasks_total", nil).Add(int64(len(c.tasks)))
 	return c.tasks, output, nil
 }
 

@@ -1,6 +1,8 @@
 package relation
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -78,6 +80,56 @@ func TestDictDomainConcurrent(t *testing.T) {
 		if e := <-done; e != first {
 			t.Fatal("concurrent interning produced different codes")
 		}
+	}
+}
+
+// TestDictDomainConcurrentMixed backs the "safe for concurrent use" doc
+// claim under the race detector: goroutines interleave EncodeString and
+// DecodeString over an overlapping set of strings, and every decode must
+// round-trip to the exact string that was encoded.
+func TestDictDomainConcurrentMixed(t *testing.T) {
+	d := DictDomain("mixed")
+	const goroutines, strs = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < strs; i++ {
+				// Overlapping key space: every goroutine encodes the
+				// same strs strings, in a goroutine-dependent order.
+				s := fmt.Sprintf("key-%d", (i+g*7)%strs)
+				e, err := d.EncodeString(s)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := d.DecodeString(e)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != s {
+					errs <- fmt.Errorf("round trip %q -> %d -> %q", s, e, got)
+					return
+				}
+				// Size may only ever grow; reading it concurrently is
+				// part of the claim.
+				if n := d.Size(); n < 1 || n > strs {
+					errs <- fmt.Errorf("dictionary size %d out of range [1,%d]", n, strs)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := d.Size(); n != strs {
+		t.Errorf("dictionary holds %d strings, want %d", n, strs)
 	}
 }
 

@@ -1,6 +1,8 @@
 package systolic
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"systolicdb/internal/relation"
@@ -125,6 +127,72 @@ func TestParallelWithTracer(t *testing.T) {
 	g.Run(10)
 	if count != 10 {
 		t.Errorf("tracer observed %d pulses, want 10", count)
+	}
+}
+
+// TestConcurrentParallelGridsWithTracing backs the "safe for concurrent
+// use" claim of the parallel stepping path under the race detector: many
+// goroutines each drive their own parallel grid with tracing enabled (the
+// combination that interleaves the latch barrier, the tracer callback and
+// the worker fan-out), all recording into the shared metrics registry, and
+// every one must reproduce the serial result exactly.
+func TestConcurrentParallelGridsWithTracing(t *testing.T) {
+	const n, m, pulses = 8, 2, 40
+	serialGrid, serialRes := buildComparisonGrid(t, n, m)
+	serialGrid.Reset()
+	serialGrid.Run(pulses)
+	serialStats := serialGrid.Stats()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		workers := 2 + i%3
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			g, res := buildComparisonGrid(t, n, m)
+			traced := 0
+			var lastPulse int
+			g.SetTracer(tracerFunc(func(s Snapshot) {
+				// Read through the snapshot the way trace.Recorder
+				// does; with -race this catches any worker writing
+				// the latch buffer while the tracer reads it.
+				for r := 0; r < s.Rows; r++ {
+					for c := 0; c < s.Cols; c++ {
+						_ = s.Latched[r][c].Any()
+					}
+				}
+				lastPulse = s.Pulse
+				traced++
+			}))
+			g.SetParallelism(workers)
+			g.Reset()
+			g.Run(pulses)
+			if traced != pulses || lastPulse != pulses-1 {
+				errs <- fmt.Errorf("workers=%d: traced %d pulses (last %d), want %d", workers, traced, lastPulse, pulses)
+				return
+			}
+			if st := g.Stats(); st != serialStats {
+				errs <- fmt.Errorf("workers=%d: stats %+v differ from serial %+v", workers, st, serialStats)
+				return
+			}
+			if len(*res) != len(*serialRes) {
+				errs <- fmt.Errorf("workers=%d: %d results vs serial %d", workers, len(*res), len(*serialRes))
+				return
+			}
+			for i := range *res {
+				if (*res)[i] != (*serialRes)[i] {
+					errs <- fmt.Errorf("workers=%d: result %d differs", workers, i)
+					return
+				}
+			}
+		}(workers)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -22,7 +22,21 @@ import (
 	"fmt"
 	"sync"
 
+	"systolicdb/internal/obs"
 	"systolicdb/internal/relation"
+)
+
+// Metric handles are cached at package level so the per-Run recording cost
+// is a handful of atomic adds, never a registry lookup. All grids in the
+// process accumulate into the same obs.Default series; per-run figures
+// remain available from Grid.Stats.
+var (
+	mRuns        = obs.Default.Counter("systolic_runs_total", nil)
+	mPulses      = obs.Default.Counter("systolic_pulses_total", nil)
+	mCellSteps   = obs.Default.Counter("systolic_cell_steps_total", nil)
+	mActiveSteps = obs.Default.Counter("systolic_active_steps_total", nil)
+	mUtilization = obs.Default.Gauge("systolic_last_utilization", nil)
+	mRunSeconds  = obs.Default.Timer("systolic_run_host_seconds", nil)
 )
 
 // Tag carries provenance for a token: which relation, tuple and element it
@@ -312,14 +326,24 @@ func (g *Grid) drain(side Side, index, pulse int, tok Token) {
 }
 
 // Run advances the grid by the given number of pulses. It may be called
-// repeatedly; pulse numbering continues across calls until Reset.
+// repeatedly; pulse numbering continues across calls until Reset. Every
+// call records its pulse, cell-step and host wall-clock cost into the
+// obs.Default metrics registry.
 func (g *Grid) Run(pulses int) {
 	if g.stats.Cells == 0 {
 		g.stats.Cells = g.rows * g.cols
 	}
+	before := g.stats
+	stop := mRunSeconds.Start()
 	for p := 0; p < pulses; p++ {
 		g.step()
 	}
+	stop()
+	mRuns.Inc()
+	mPulses.Add(int64(g.stats.Pulses - before.Pulses))
+	mCellSteps.Add(int64(g.stats.CellSteps - before.CellSteps))
+	mActiveSteps.Add(int64(g.stats.ActiveSteps - before.ActiveSteps))
+	mUtilization.Set(g.stats.Utilization())
 }
 
 // step executes one pulse: latch inputs everywhere, trace, step all cells,
