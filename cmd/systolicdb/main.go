@@ -15,6 +15,12 @@
 //	systolicdb -op difference -n 20 -m 2 -overlap 0.5
 //	systolicdb -op select -n 50 -m 2                  # logic-per-track disk (§9)
 //	systolicdb -op match -pattern "pu?se" -text "..." # pattern-match chip (§8)
+//
+// -op query can also run over relations loaded from table files instead of
+// the generated workload, using the same loader as the systolicdbd daemon:
+//
+//	systolicdb -op query -rel emp=emp.tbl -rel dept=dept.tbl \
+//	    -q "project(join(scan(emp), scan(dept), 1=0), 0)"
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"systolicdb/internal/perf"
 	"systolicdb/internal/query"
 	"systolicdb/internal/relation"
+	"systolicdb/internal/server"
 	"systolicdb/internal/systolic"
 	"systolicdb/internal/workload"
 )
@@ -61,7 +68,9 @@ func main() {
 		onMach   = flag.Bool("machine", false, "run -op query on the §9 crossbar machine and print the schedule")
 		quiet    = flag.Bool("quiet", false, "suppress relation dumps, print stats only")
 		metrics  = flag.Bool("metrics", false, "emit the run's metrics registry (text and JSON) after the result")
+		rels     server.RelSpecs
 	)
+	flag.Var(&rels, "rel", "for -op query: load a base relation, name=file.tbl (repeatable; replaces the generated A/B pair)")
 	flag.Parse()
 
 	var err error
@@ -69,7 +78,7 @@ func main() {
 	case "match":
 		err = runMatch(*pattern, *text)
 	case "query":
-		err = runQuery(*q, *n, *m, *seed, *match, *onMach, *quiet, *metrics)
+		err = runQuery(*q, *n, *m, *seed, *match, rels, *onMach, *quiet, *metrics)
 	default:
 		err = run(*op, *n, *m, *seed, *overlap, *dup, *match, *theta, *divisor, *coverage, *quiet)
 	}
@@ -270,13 +279,15 @@ func run(op string, n, m int, seed int64, overlap, dup, match float64, theta str
 	return nil
 }
 
-// runQuery parses and runs a plan over a generated two-relation catalog:
-// A and B are join-workload relations of n tuples and m columns. With
-// metrics enabled and no -machine flag, the plan is additionally compiled
-// and run on the default §9 machine (result discarded) so the emitted cost
-// profile covers device busy time and tile scheduling as well as the host
-// executor's per-node spans.
-func runQuery(src string, n, m int, seed int64, match float64, onMachine, quiet, metrics bool) error {
+// runQuery parses and runs a plan. The catalog is either the relations
+// named by -rel flags (loaded from table files with the daemon's loader, so
+// dictionary/date columns stay union-compatible across files) or, with no
+// -rel flags, a generated pair: A and B are join-workload relations of n
+// tuples and m columns. With metrics enabled and no -machine flag, the plan
+// is additionally compiled and run on the default §9 machine (result
+// discarded) so the emitted cost profile covers device busy time and tile
+// scheduling as well as the host executor's per-node spans.
+func runQuery(src string, n, m int, seed int64, match float64, rels server.RelSpecs, onMachine, quiet, metrics bool) error {
 	if src == "" {
 		return fmt.Errorf("-op query needs -q \"<plan>\" (e.g. \"intersect(scan(A), scan(B))\")")
 	}
@@ -284,11 +295,10 @@ func runQuery(src string, n, m int, seed int64, match float64, onMachine, quiet,
 	if err != nil {
 		return err
 	}
-	a, b, err := workload.JoinPair(seed, n, n, m, match)
+	cat, err := queryCatalog(rels, n, m, seed, match)
 	if err != nil {
 		return err
 	}
-	cat := query.Catalog{"A": a, "B": b}
 	fmt.Printf("plan:      %s\n", query.Render(plan))
 	plan, err = query.Optimize(plan, cat)
 	if err != nil {
@@ -300,7 +310,7 @@ func runQuery(src string, n, m int, seed int64, match float64, onMachine, quiet,
 		if err != nil {
 			return err
 		}
-		dump("result", res, quiet)
+		dumpResult(res, len(rels) > 0, quiet)
 		if metrics {
 			if _, err := runOnMachine(plan, cat, quiet, false); err != nil {
 				return err
@@ -314,6 +324,41 @@ func runQuery(src string, n, m int, seed int64, match float64, onMachine, quiet,
 	}
 	fmt.Println()
 	return res.RenderGantt(os.Stdout, 72)
+}
+
+// dumpResult prints a query result. File-loaded relations carry decodable
+// domains (dictionaries, dates), so their results render as a decoded table
+// rather than the raw §2.3 integer encoding.
+func dumpResult(r *relation.Relation, decoded, quiet bool) {
+	if quiet || !decoded {
+		dump("result", r, quiet)
+		return
+	}
+	fmt.Printf("result (%d tuples):\n", r.Cardinality())
+	if err := relation.FormatTable(os.Stdout, r); err != nil {
+		fmt.Printf("  <%v>\n", err)
+	}
+}
+
+// queryCatalog builds the catalog for -op query: table files when -rel
+// flags were given, the generated A/B join pair otherwise.
+func queryCatalog(rels server.RelSpecs, n, m int, seed int64, match float64) (query.Catalog, error) {
+	if len(rels) > 0 {
+		c := server.NewCatalog()
+		if err := rels.LoadInto(c); err != nil {
+			return nil, err
+		}
+		for _, name := range c.Names() {
+			r, _ := c.Get(name)
+			fmt.Printf("loaded %s: %d tuples, %d columns\n", name, r.Cardinality(), r.Width())
+		}
+		return c.Snapshot(), nil
+	}
+	a, b, err := workload.JoinPair(seed, n, n, m, match)
+	if err != nil {
+		return nil, err
+	}
+	return query.Catalog{"A": a, "B": b}, nil
 }
 
 // runOnMachine compiles the plan onto the default 1980 machine and runs the

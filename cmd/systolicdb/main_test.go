@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"systolicdb/internal/server"
 )
 
 // capture runs f with os.Stdout redirected and returns what it printed.
@@ -85,22 +88,57 @@ func TestRunMatchCLI(t *testing.T) {
 
 func TestRunQueryCLI(t *testing.T) {
 	out := capture(t, func() error {
-		return runQuery("intersect(scan(A), scan(B))", 10, 2, 1, 1, false, true, false)
+		return runQuery("intersect(scan(A), scan(B))", 10, 2, 1, 1, nil, false, true, false)
 	})
 	if !strings.Contains(out, "intersect(scan(A), scan(B))") || !strings.Contains(out, "optimized:") {
 		t.Errorf("query output missing plan or optimization line:\n%s", out)
 	}
 	out = capture(t, func() error {
-		return runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, true, true, false)
+		return runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, nil, true, true, false)
 	})
 	if !strings.Contains(out, "makespan") {
 		t.Errorf("machine query output missing gantt:\n%s", out)
 	}
-	if err := runQuery("", 4, 2, 1, 1, false, true, false); err == nil {
+	if err := runQuery("", 4, 2, 1, 1, nil, false, true, false); err == nil {
 		t.Error("empty query not rejected")
 	}
-	if err := runQuery("scan(", 4, 2, 1, 1, false, true, false); err == nil {
+	if err := runQuery("scan(", 4, 2, 1, 1, nil, false, true, false); err == nil {
 		t.Error("malformed query not rejected")
+	}
+}
+
+// TestRunQueryFromFiles runs -op query over relations loaded from table
+// files with -rel, including a join across two separately loaded files
+// (their dict columns must share a pooled domain to be comparable).
+func TestRunQueryFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	emp := filepath.Join(dir, "emp.tbl")
+	dept := filepath.Join(dir, "dept.tbl")
+	if err := os.WriteFile(emp, []byte("#% types: int, dict:names, int\nid\tname\tdept\n1\talice\t10\n2\tbob\t20\n3\tcarol\t10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dept, []byte("#% types: int, dict:names\ndid\thead\n10\talice\n20\tbob\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rels := server.RelSpecs{{Name: "emp", Path: emp}, {Name: "dept", Path: dept}}
+	out := capture(t, func() error {
+		return runQuery("project(join(scan(emp), scan(dept), 2=0), 1)", 0, 0, 1, 1, rels, false, true, false)
+	})
+	for _, want := range []string{"loaded emp: 3 tuples, 3 columns", "loaded dept: 2 tuples, 2 columns", "result: 3 tuples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Non-quiet file-backed results decode through their domains.
+	out = capture(t, func() error {
+		return runQuery("project(scan(emp), 1)", 0, 0, 1, 1, rels, false, false, false)
+	})
+	if !strings.Contains(out, "alice") || !strings.Contains(out, "bob") {
+		t.Errorf("decoded dump missing dictionary values:\n%s", out)
+	}
+	bad := server.RelSpecs{{Name: "x", Path: filepath.Join(dir, "missing.tbl")}}
+	if err := runQuery("scan(x)", 0, 0, 1, 1, bad, false, true, false); err == nil {
+		t.Error("missing -rel file not rejected")
 	}
 }
 
@@ -109,7 +147,7 @@ func TestRunQueryCLI(t *testing.T) {
 // per-device busy time and per-plan-node spans, in text and JSON forms.
 func TestMetricsDump(t *testing.T) {
 	out := capture(t, func() error {
-		if err := runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, false, true, true); err != nil {
+		if err := runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, nil, false, true, true); err != nil {
 			return err
 		}
 		return dumpMetrics(os.Stdout)

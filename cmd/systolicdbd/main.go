@@ -1,0 +1,98 @@
+// Command systolicdbd is the systolic database network service: a
+// long-lived daemon that owns a catalog of named relations and executes
+// relational-algebra plans for many concurrent clients, on the simulated
+// systolic arrays or the §9 crossbar machine.
+//
+//	systolicdbd -addr 127.0.0.1:8080 -rel emp=employees.tbl
+//
+//	curl -X PUT --data-binary @parts.tbl localhost:8080/relations/parts
+//	curl -X POST -d '{"plan": "dedup(scan(parts))"}' localhost:8080/query
+//	curl localhost:8080/metrics
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: listening stops
+// immediately, in-flight queries drain (bounded by -drain), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"systolicdb/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers = flag.Int("max-concurrent", 4, "queries executing at once (worker pool size)")
+		queue   = flag.Int("queue", 0, "admitted queries that may wait for a worker (0 = 2x workers, -1 = none)")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+		maxWait = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+		array   = flag.Int("array", 64, "device capacity of the §9 machine used by machine queries")
+		drain   = flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
+		rels    server.RelSpecs
+	)
+	flag.Var(&rels, "rel", "preload a relation: name=file.tbl (repeatable; types from a #% types: line)")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *timeout, *maxWait, *array, *drain, rels); err != nil {
+		fmt.Fprintln(os.Stderr, "systolicdbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, timeout, maxWait time.Duration, array int,
+	drain time.Duration, rels server.RelSpecs) error {
+
+	s := server.New(server.Config{
+		MaxConcurrent:  workers,
+		MaxQueue:       queue,
+		DefaultTimeout: timeout,
+		MaxTimeout:     maxWait,
+		ArraySize:      array,
+	})
+	if err := rels.LoadInto(s.Catalog()); err != nil {
+		return err
+	}
+	for _, name := range s.Catalog().Names() {
+		r, _ := s.Catalog().Get(name)
+		fmt.Printf("systolicdbd: loaded %s (%d tuples, %d columns)\n", name, r.Cardinality(), r.Width())
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("systolicdbd: listening on http://%s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.ServeListener(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("systolicdbd: %v, draining (max %v)\n", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Println("systolicdbd: bye")
+		return nil
+	case err := <-errCh:
+		return err // listener failed underneath us
+	}
+}

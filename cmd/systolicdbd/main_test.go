@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"systolicdb/internal/server"
+)
+
+func TestRunBadInputs(t *testing.T) {
+	if err := run("256.0.0.1:-1", 1, 0, time.Second, time.Second, 8, time.Second, nil); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	rels := server.RelSpecs{{Name: "x", Path: filepath.Join(t.TempDir(), "missing.tbl")}}
+	if err := run("127.0.0.1:0", 1, 0, time.Second, time.Second, 8, time.Second, rels); err == nil {
+		t.Error("missing relation file accepted")
+	}
+}
+
+func TestRelSpecsFlag(t *testing.T) {
+	var r server.RelSpecs
+	if err := r.Set("emp=emp.tbl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("emp=other.tbl"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	for _, bad := range []string{"", "noequals", "=x.tbl", "name="} {
+		if err := r.Set(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if r.String() != "emp=emp.tbl" {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port with a
+// preloaded relation, runs one query over HTTP, then delivers SIGTERM and
+// checks the graceful exit path.
+func TestDaemonLifecycle(t *testing.T) {
+	tbl := filepath.Join(t.TempDir(), "emp.tbl")
+	if err := os.WriteFile(tbl, []byte("#% types: int, dict:names\nid\tname\n1\talice\n2\tbob\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture the daemon's stdout through a pipe so the test can read the
+	// chosen port while the daemon keeps running.
+	old := os.Stdout
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = pw
+	defer func() { os.Stdout = old }()
+
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run("127.0.0.1:0", 2, 2, 5*time.Second, time.Minute, 16, 5*time.Second,
+			server.RelSpecs{{Name: "emp", Path: tbl}})
+	}()
+
+	// Watch stdout lines for the listen address.
+	lines := make(chan string, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			default:
+			}
+		}
+	}()
+
+	var base string
+	deadline := time.After(10 * time.Second)
+	for base == "" {
+		select {
+		case l := <-lines:
+			if _, rest, ok := strings.Cut(l, "listening on "); ok {
+				base = strings.TrimSpace(rest)
+			}
+		case err := <-runErr:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-deadline:
+			t.Fatal("daemon never reported its address")
+		}
+	}
+
+	resp, err := http.Get(base + "/relations/emp")
+	if err != nil {
+		t.Fatalf("GET preloaded relation: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "alice") {
+		t.Fatalf("preloaded relation dump: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/query", "application/json",
+		strings.NewReader(`{"plan": "project(scan(emp), 1)"}`))
+	if err != nil {
+		t.Fatalf("POST query: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"rows":2`) {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	pw.Close()
+	wg.Wait()
+}

@@ -1,0 +1,183 @@
+package query
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"systolicdb/internal/obs"
+	"systolicdb/internal/workload"
+)
+
+// optionsCatalog builds a small two-relation catalog for option tests.
+func optionsCatalog(t *testing.T) Catalog {
+	t.Helper()
+	a, b, err := workload.JoinPair(7, 12, 12, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Catalog{"A": a, "B": b}
+}
+
+// TestExecutePrivateRegistry checks that ExecuteCtx with Options.Metrics
+// records spans only into the caller's registry, leaving obs.Default
+// untouched — the isolation the network server depends on.
+func TestExecutePrivateRegistry(t *testing.T) {
+	cat := optionsCatalog(t)
+	plan, err := Parse("intersect(scan(A), scan(B))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Default.Counter("query_node_pulses_total", obs.Labels{"node": "intersect"}).Value()
+
+	reg := obs.NewRegistry()
+	if _, err := ExecuteCtx(context.Background(), plan, cat, &Options{Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := obs.Default.Counter("query_node_pulses_total", obs.Labels{"node": "intersect"}).Value(); got != before {
+		t.Errorf("obs.Default pulses changed %d -> %d despite private registry", before, got)
+	}
+	if reg.Counter("query_node_pulses_total", obs.Labels{"node": "intersect"}).Value() == 0 {
+		t.Error("private registry recorded no intersect pulses")
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `query_node_host_seconds_count{node="scan"}`) {
+		t.Errorf("private registry missing scan span:\n%s", sb.String())
+	}
+}
+
+// TestCompileOptsPrivateRegistry checks the compile-side counters obey
+// Options.Metrics too.
+func TestCompileOptsPrivateRegistry(t *testing.T) {
+	cat := optionsCatalog(t)
+	plan, err := Parse("union(scan(A), scan(B))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Default.Counter("query_compile_total", nil).Value()
+	reg := obs.NewRegistry()
+	tasks, _, err := CompileOpts(plan, cat, &Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default.Counter("query_compile_total", nil).Value(); got != before {
+		t.Errorf("obs.Default compile counter changed %d -> %d", before, got)
+	}
+	if got := reg.Counter("query_compile_tasks_total", nil).Value(); got != int64(len(tasks)) {
+		t.Errorf("private registry counted %d tasks, compiled %d", got, len(tasks))
+	}
+}
+
+// TestExecuteStats checks plan-wide pulse totals accumulate into
+// Options.Stats and match the registry's own account.
+func TestExecuteStats(t *testing.T) {
+	cat := optionsCatalog(t)
+	plan, err := Parse("project(join(scan(A), scan(B), 0=0), 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	var st ExecStats
+	if _, err := ExecuteCtx(context.Background(), plan, cat, &Options{Metrics: reg, Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pulses <= 0 {
+		t.Fatalf("plan-wide pulse total %d, want > 0", st.Pulses)
+	}
+	sum := reg.Counter("query_node_pulses_total", obs.Labels{"node": "join"}).Value() +
+		reg.Counter("query_node_pulses_total", obs.Labels{"node": "project"}).Value()
+	if int64(st.Pulses) != sum {
+		t.Errorf("Stats.Pulses = %d, registry per-node sum = %d", st.Pulses, sum)
+	}
+}
+
+// TestExecuteCtxCancel checks a cancelled context stops the plan between
+// operators with an error that wraps context.Canceled.
+func TestExecuteCtxCancel(t *testing.T) {
+	cat := optionsCatalog(t)
+	plan, err := Parse("join(scan(A), scan(B), 0=0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = ExecuteCtx(ctx, plan, cat, &Options{Metrics: obs.NewRegistry()})
+	if err == nil {
+		t.Fatal("cancelled context did not stop execution")
+	}
+	if !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("cancellation error = %v", err)
+	}
+	if ctx.Err() == nil || !strings.Contains(err.Error(), ctx.Err().Error()) {
+		t.Errorf("error %v does not wrap %v", err, ctx.Err())
+	}
+}
+
+// TestConcurrentExecuteSharedCatalog is the read-only-catalog contract
+// test: many goroutines run different plans against one shared Catalog
+// value (and one shared private registry) at once. Run with -race this
+// fails if Execute ever writes to the catalog or a catalog relation.
+func TestConcurrentExecuteSharedCatalog(t *testing.T) {
+	cat := optionsCatalog(t)
+	plans := []string{
+		"intersect(scan(A), scan(B))",
+		"difference(scan(A), scan(B))",
+		"union(scan(A), scan(B))",
+		"dedup(scan(A))",
+		"project(scan(A), 0)",
+		"join(scan(A), scan(B), 0=0)",
+		"select(scan(A), 0>=0)",
+	}
+	reg := obs.NewRegistry()
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*len(plans))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, src := range plans {
+				plan, err := Parse(src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Half the workers also exercise the optimizer and
+				// compiler, which read the same shared catalog.
+				if w%2 == 0 {
+					if plan, err = Optimize(plan, cat); err != nil {
+						errs <- err
+						return
+					}
+					if _, _, err := CompileOpts(plan, cat, &Options{Metrics: reg}); err != nil {
+						errs <- err
+						return
+					}
+				}
+				res, err := ExecuteCtx(context.Background(), plan, cat, &Options{Metrics: reg})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res == nil {
+					errs <- errHelper(i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type errHelper int
+
+func (e errHelper) Error() string { return "nil result from plan" }

@@ -11,6 +11,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -95,7 +96,45 @@ func (n Join) children() []Node       { return []Node{n.L, n.R} }
 func (n Divide) children() []Node     { return []Node{n.L, n.R} }
 
 // Catalog maps base-relation names to relations.
+//
+// Execute, Optimize and Compile treat the catalog — both the map and every
+// relation reachable from it — as strictly read-only. That makes a Catalog
+// value safe to share between any number of concurrent Execute/Compile
+// calls, which is what the network server relies on: it hands each request
+// a point-in-time snapshot of its catalog, and publishes updates by
+// swapping in a freshly built map (copy-on-write) rather than mutating a
+// map that in-flight queries may be reading. Callers must follow the same
+// rule: never add, remove or replace entries of a catalog that a running
+// query might hold, and never mutate a relation after putting it in one.
 type Catalog map[string]*relation.Relation
+
+// ExecStats accumulates whole-plan totals across every node of one
+// Execute call.
+type ExecStats struct {
+	Pulses int // simulated array pulses summed over all plan nodes
+}
+
+// Options configures ExecuteCtx and CompileOpts.
+type Options struct {
+	// Metrics selects the registry per-node spans and compile counters are
+	// recorded into. Nil selects obs.Default (mirroring
+	// machine.Config.Metrics), so callers that need isolation — the network
+	// server, concurrent tests — can pass a private registry.
+	Metrics *obs.Registry
+
+	// Stats, when non-nil, is filled with plan-wide totals (added to, so a
+	// caller can aggregate several plans into one ExecStats).
+	Stats *ExecStats
+}
+
+// registry resolves the effective metrics registry; usable on a nil
+// receiver.
+func (o *Options) registry() *obs.Registry {
+	if o != nil && o.Metrics != nil {
+		return o.Metrics
+	}
+	return obs.Default
+}
 
 // opName returns the stable operator name used as the node label on span
 // metrics (label() is unsuitable: it embeds scan names and column lists,
@@ -124,36 +163,56 @@ func opName(n Node) string {
 	return fmt.Sprintf("%T", n)
 }
 
-// recordSpan emits one per-plan-node span into obs.Default: host wall-clock
-// time (inclusive of children, as spans are), the node's own simulated
-// pulses, and the simulated time those pulses cost under the conservative
-// 1980 technology.
-func recordSpan(n Node, pulses int, start time.Time) {
+// recordSpan emits one per-plan-node span into the registry: host
+// wall-clock time (inclusive of children, as spans are), the node's own
+// simulated pulses, and the simulated time those pulses cost under the
+// conservative 1980 technology.
+func recordSpan(reg *obs.Registry, n Node, pulses int, start time.Time) {
 	l := obs.Labels{"node": opName(n)}
-	obs.Default.Timer("query_node_host_seconds", l).Observe(time.Since(start))
-	obs.Default.Counter("query_node_pulses_total", l).Add(int64(pulses))
-	obs.Default.Timer("query_node_sim_seconds", l).Observe(perf.Conservative1980.PulseTime(pulses))
+	reg.Timer("query_node_host_seconds", l).Observe(time.Since(start))
+	reg.Counter("query_node_pulses_total", l).Add(int64(pulses))
+	reg.Timer("query_node_sim_seconds", l).Observe(perf.Conservative1980.PulseTime(pulses))
 }
 
 // Execute evaluates a plan on the host, running every operator on its
 // systolic array (one operation at a time, no machine-level scheduling).
 // Each plan node is recorded as a span in obs.Default (see recordSpan).
 func Execute(n Node, cat Catalog) (*relation.Relation, error) {
+	return ExecuteCtx(context.Background(), n, cat, nil)
+}
+
+// ExecuteCtx is Execute with cancellation and per-caller options. The
+// context is checked before every plan node, so a cancelled or timed-out
+// request stops between operators rather than running the whole plan; the
+// partial work already done is still reflected in the metrics registry.
+func ExecuteCtx(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relation, error) {
 	if n == nil {
 		return nil, fmt.Errorf("query: nil plan node")
 	}
+	return exec(ctx, n, cat, o)
+}
+
+// exec evaluates one node (recursively), recording its span and
+// accumulating plan-wide stats.
+func exec(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("query: plan cancelled at %s node: %w", opName(n), err)
+	}
 	start := time.Now()
-	rel, pulses, err := eval(n, cat)
+	rel, pulses, err := eval(ctx, n, cat, o)
 	if err != nil {
 		return nil, err
 	}
-	recordSpan(n, pulses, start)
+	if o != nil && o.Stats != nil {
+		o.Stats.Pulses += pulses
+	}
+	recordSpan(o.registry(), n, pulses, start)
 	return rel, nil
 }
 
 // eval computes one node, returning the result and the simulated pulse
 // count of the node's own array run (children report their own).
-func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
+func eval(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relation, int, error) {
 	switch op := n.(type) {
 	case Scan:
 		r, ok := cat[op.Name]
@@ -162,7 +221,7 @@ func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
 		}
 		return r, 0, nil
 	case Intersect:
-		l, r, err := execPair(op.L, op.R, cat)
+		l, r, err := execPair(ctx, op.L, op.R, cat, o)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -172,7 +231,7 @@ func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
 		}
 		return res.Rel, res.Stats.Pulses, nil
 	case Difference:
-		l, r, err := execPair(op.L, op.R, cat)
+		l, r, err := execPair(ctx, op.L, op.R, cat, o)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -182,7 +241,7 @@ func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
 		}
 		return res.Rel, res.Stats.Pulses, nil
 	case Union:
-		l, r, err := execPair(op.L, op.R, cat)
+		l, r, err := execPair(ctx, op.L, op.R, cat, o)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -192,7 +251,7 @@ func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
 		}
 		return res.Rel, res.Stats.Pulses, nil
 	case Dedup:
-		c, err := Execute(op.Child, cat)
+		c, err := exec(ctx, op.Child, cat, o)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -202,7 +261,7 @@ func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
 		}
 		return res.Rel, res.Stats.Pulses, nil
 	case Project:
-		c, err := Execute(op.Child, cat)
+		c, err := exec(ctx, op.Child, cat, o)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -212,7 +271,7 @@ func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
 		}
 		return res.Rel, res.Stats.Pulses, nil
 	case Join:
-		l, r, err := execPair(op.L, op.R, cat)
+		l, r, err := execPair(ctx, op.L, op.R, cat, o)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -222,7 +281,7 @@ func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
 		}
 		return res.Rel, res.Stats.Pulses, nil
 	case Divide:
-		l, r, err := execPair(op.L, op.R, cat)
+		l, r, err := execPair(ctx, op.L, op.R, cat, o)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -232,7 +291,7 @@ func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
 		}
 		return res.Rel, res.Stats.Pulses, nil
 	case Select:
-		c, err := Execute(op.Child, cat)
+		c, err := exec(ctx, op.Child, cat, o)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -252,12 +311,12 @@ func eval(n Node, cat Catalog) (*relation.Relation, int, error) {
 	return nil, 0, fmt.Errorf("query: unsupported plan node %T", n)
 }
 
-func execPair(l, r Node, cat Catalog) (*relation.Relation, *relation.Relation, error) {
-	lr, err := Execute(l, cat)
+func execPair(ctx context.Context, l, r Node, cat Catalog, o *Options) (*relation.Relation, *relation.Relation, error) {
+	lr, err := exec(ctx, l, cat, o)
 	if err != nil {
 		return nil, nil, err
 	}
-	rr, err := Execute(r, cat)
+	rr, err := exec(ctx, r, cat, o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -269,15 +328,22 @@ func execPair(l, r Node, cat Catalog) (*relation.Relation, *relation.Relation, e
 // returned output name identifies the final result in machine.Result.
 // Compilation cost and task counts are recorded into obs.Default.
 func Compile(n Node, cat Catalog) (tasks []machine.Task, output string, err error) {
-	stop := obs.Default.Timer("query_compile_host_seconds", nil).Start()
+	return CompileOpts(n, cat, nil)
+}
+
+// CompileOpts is Compile recording into the registry selected by o (see
+// Options.Metrics); a nil o behaves exactly like Compile.
+func CompileOpts(n Node, cat Catalog, o *Options) (tasks []machine.Task, output string, err error) {
+	reg := o.registry()
+	stop := reg.Timer("query_compile_host_seconds", nil).Start()
 	defer stop()
 	c := &compiler{cat: cat, loaded: make(map[string]string)}
 	output, err = c.lower(n)
 	if err != nil {
 		return nil, "", err
 	}
-	obs.Default.Counter("query_compile_total", nil).Inc()
-	obs.Default.Counter("query_compile_tasks_total", nil).Add(int64(len(c.tasks)))
+	reg.Counter("query_compile_total", nil).Inc()
+	reg.Counter("query_compile_tasks_total", nil).Add(int64(len(c.tasks)))
 	return c.tasks, output, nil
 }
 

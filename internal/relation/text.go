@@ -22,6 +22,14 @@ import (
 // per column domain: IntDomain fields as integers, DictDomain fields as
 // interned strings, BoolDomain fields as true/false, DateDomain fields as
 // YYYY-MM-DD.
+//
+// A field may be written as a Go double-quoted string ("a\tb", "x, y", ...)
+// when its raw form would be ambiguous: FormatTable quotes any value that
+// is empty, begins with '#' or '"', contains a separator, quote or control
+// character, or carries leading/trailing whitespace (bare fields are
+// whitespace-trimmed on parse). This makes ParseTable ∘ FormatTable the
+// identity for every encodable value, which the round-trip property test
+// checks exhaustively.
 
 // ParseTable reads a relation in the text format from r, interpreting each
 // column with the domains of the given schema (whose column order must
@@ -43,7 +51,10 @@ func ParseTable(r io.Reader, schema *Schema) (*Relation, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := splitFields(line)
+		fields, err := splitFields(line)
+		if err != nil {
+			return nil, fmt.Errorf("relation: line %d: %w", lineNo, err)
+		}
 		if !sawHeader {
 			if len(fields) != schema.Width() {
 				return nil, fmt.Errorf("relation: line %d: header has %d columns, schema has %d", lineNo, len(fields), schema.Width())
@@ -54,7 +65,6 @@ func ParseTable(r io.Reader, schema *Schema) (*Relation, error) {
 				}
 			}
 			sawHeader = true
-			var err error
 			rel, err = NewRelation(schema, nil)
 			if err != nil {
 				return nil, err
@@ -92,7 +102,11 @@ func FormatTable(w io.Writer, r *Relation) error {
 		return fmt.Errorf("relation: nil relation")
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(strings.Join(r.Schema().Names(), "\t") + "\n"); err != nil {
+	header := make([]string, r.Schema().Width())
+	for i, name := range r.Schema().Names() {
+		header[i] = quoteField(name)
+	}
+	if _, err := bw.WriteString(strings.Join(header, "\t") + "\n"); err != nil {
 		return err
 	}
 	for i := 0; i < r.Cardinality(); i++ {
@@ -103,7 +117,7 @@ func FormatTable(w io.Writer, r *Relation) error {
 			if err != nil {
 				return err
 			}
-			fields[k] = s
+			fields[k] = quoteField(s)
 		}
 		if _, err := bw.WriteString(strings.Join(fields, "\t") + "\n"); err != nil {
 			return err
@@ -112,17 +126,111 @@ func FormatTable(w io.Writer, r *Relation) error {
 	return bw.Flush()
 }
 
-func splitFields(line string) []string {
+// quoteField renders one field for FormatTable, double-quoting it whenever
+// the raw form would not survive splitFields: empty fields, fields with
+// leading/trailing whitespace (bare fields are trimmed on parse), fields
+// containing a separator, quote, backslash or control character, and
+// fields starting with '#' (which would be misread as a comment when in
+// the first column; quoted in any column, to keep the rule simple).
+func quoteField(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.TrimSpace(s) != s ||
+		strings.ContainsAny(s, "\t,\"\\") ||
+		strings.ContainsFunc(s, func(r rune) bool { return r < 0x20 || r == 0x7f }) ||
+		s[0] == '#' {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// splitFields breaks one line into fields. The separator is TAB if the
+// line contains a TAB outside double quotes, comma otherwise (matching the
+// writer, which always emits TABs and quotes embedded ones). A field whose
+// first non-space character is '"' is parsed as a Go quoted string; bare
+// fields are whitespace-trimmed.
+func splitFields(line string) ([]string, error) {
+	sep := byte(',')
+	if tabOutsideQuotes(line) {
+		sep = '\t'
+	}
 	var fields []string
-	if strings.Contains(line, "\t") {
-		fields = strings.Split(line, "\t")
-	} else {
-		fields = strings.Split(line, ",")
+	i := 0
+	for {
+		// Skip leading spaces of the field (but never the separator).
+		for i < len(line) && (line[i] == ' ' || (line[i] == '\t' && sep != '\t')) {
+			i++
+		}
+		if i < len(line) && line[i] == '"' {
+			end, err := quotedEnd(line, i)
+			if err != nil {
+				return nil, err
+			}
+			f, err := strconv.Unquote(line[i : end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field %s: %v", line[i:end+1], err)
+			}
+			fields = append(fields, f)
+			i = end + 1
+			// Only spaces may follow a closing quote before the separator.
+			for i < len(line) && (line[i] == ' ' || (line[i] == '\t' && sep != '\t')) {
+				i++
+			}
+			if i >= len(line) {
+				return fields, nil
+			}
+			if line[i] != sep {
+				return nil, fmt.Errorf("unexpected %q after quoted field", string(line[i]))
+			}
+			i++
+			continue
+		}
+		start := i
+		for i < len(line) && line[i] != sep {
+			i++
+		}
+		fields = append(fields, strings.TrimSpace(line[start:i]))
+		if i >= len(line) {
+			return fields, nil
+		}
+		i++ // consume the separator
 	}
-	for i := range fields {
-		fields[i] = strings.TrimSpace(fields[i])
+}
+
+// tabOutsideQuotes reports whether the line contains a TAB that is not
+// inside a double-quoted field.
+func tabOutsideQuotes(line string) bool {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped character
+			}
+		case '"':
+			inQuote = !inQuote
+		case '\t':
+			if !inQuote {
+				return true
+			}
+		}
 	}
-	return fields
+	return false
+}
+
+// quotedEnd returns the index of the closing quote of the double-quoted
+// string starting at line[start].
+func quotedEnd(line string, start int) (int, error) {
+	for i := start + 1; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			i++
+		case '"':
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unterminated quoted field: %s", line[start:])
 }
 
 func parseDate(s string) (time.Time, error) {

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"systolicdb/internal/query"
+	"systolicdb/internal/relation"
+)
+
+const employeesTable = `#% types: int, dict:names, bool, date
+# employees
+id	name	active	hired
+1	alice	true	1980-05-14
+2	bob	false	1979-10-01
+3	carol	true	1980-02-02
+`
+
+func TestCatalogParseTableTypes(t *testing.T) {
+	c := NewCatalog()
+	r, err := c.ParseTable(strings.NewReader(employeesTable), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cardinality() != 3 || r.Width() != 4 {
+		t.Fatalf("parsed %dx%d, want 3x4", r.Cardinality(), r.Width())
+	}
+	name, err := r.Schema().Col(1).Domain.DecodeString(r.Tuple(1)[1])
+	if err != nil || name != "bob" {
+		t.Errorf("decode name = %q, %v", name, err)
+	}
+	if got := r.Schema().Col(3).Domain.Name(); got != "date" {
+		t.Errorf("anonymous date domain named %q", got)
+	}
+}
+
+func TestCatalogDomainPooling(t *testing.T) {
+	c := NewCatalog()
+	a, err := c.ParseTable(strings.NewReader("x\ty\n1\tred\n"), "int, dict:colors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.ParseTable(strings.NewReader("x\ty\n1\tred\n2\tblue\n"), "int, dict:colors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Schema().UnionCompatible(b.Schema()) {
+		t.Fatal("two loads with identical specs are not union-compatible")
+	}
+	// Same string, same pooled dictionary, same code.
+	if a.Tuple(0)[1] != b.Tuple(0)[1] {
+		t.Error("pooled dictionary interned 'red' differently across loads")
+	}
+	// A different dict name is a different domain.
+	d, err := c.ParseTable(strings.NewReader("x\ty\n1\tred\n"), "int, dict:labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema().UnionCompatible(d.Schema()) {
+		t.Error("dict:colors and dict:labels should not be union-compatible")
+	}
+}
+
+func TestCatalogParseTableErrors(t *testing.T) {
+	c := NewCatalog()
+	cases := []struct{ name, table, types string }{
+		{"bad kind", "x\n1\n", "float"},
+		{"spec count", "x\ty\n1\t2\n", "int"},
+		{"no header", "# only comments\n", ""},
+		{"bad directive", "#% frobnicate\nx\n1\n", ""},
+		{"duplicate directive", "#% types: int\n#% types: int\nx\n1\n", ""},
+		{"value domain mismatch", "x\nnotanint\n", "int"},
+	}
+	for _, tc := range cases {
+		if _, err := c.ParseTable(strings.NewReader(tc.table), tc.types); err == nil {
+			t.Errorf("%s: not rejected", tc.name)
+		}
+	}
+}
+
+func TestCatalogPutGetDelete(t *testing.T) {
+	c := NewCatalog()
+	r, err := c.ParseTable(strings.NewReader("x\n1\n2\n"), "int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("", r); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := c.Put("nums", nil); err == nil {
+		t.Error("nil relation accepted")
+	}
+	if err := c.Put("nums", r); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get("nums"); !ok || got.Cardinality() != 2 {
+		t.Fatalf("Get(nums) = %v, %v", got, ok)
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "nums" {
+		t.Errorf("Names() = %v", names)
+	}
+	if !c.Delete("nums") || c.Delete("nums") {
+		t.Error("Delete semantics wrong")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len() = %d after delete", c.Len())
+	}
+}
+
+// TestSnapshotIsolation: a snapshot taken before a Put/Delete keeps its
+// view — the copy-on-write guarantee in-flight queries rely on.
+func TestSnapshotIsolation(t *testing.T) {
+	c := NewCatalog()
+	r1, _ := c.ParseTable(strings.NewReader("x\n1\n"), "")
+	r2, _ := c.ParseTable(strings.NewReader("x\n1\n2\n"), "")
+	if err := c.Put("r", r1); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if err := c.Put("r", r2); err != nil {
+		t.Fatal(err)
+	}
+	c.Delete("r")
+	if got := snap["r"]; got == nil || got.Cardinality() != 1 {
+		t.Fatalf("snapshot changed under writer: %v", got)
+	}
+	res, err := query.Execute(query.Scan{Name: "r"}, snap)
+	if err != nil || res.Cardinality() != 1 {
+		t.Fatalf("query against old snapshot: %v, %v", res, err)
+	}
+}
+
+// TestCatalogConcurrentAccess hammers the catalog with mixed writers,
+// readers and snapshot-holding queries; meaningful under -race.
+func TestCatalogConcurrentAccess(t *testing.T) {
+	c := NewCatalog()
+	base, err := c.ParseTable(strings.NewReader("x\ty\n1\t2\n3\t4\n"), "int, int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("base", base); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 4 {
+				case 0:
+					r, err := c.ParseTable(strings.NewReader("x\ty\n9\t9\n"), "int, int")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := c.Put("scratch", r); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					c.Delete("scratch")
+				case 2:
+					snap := c.Snapshot()
+					if _, err := query.Execute(query.Dedup{Child: query.Scan{Name: "base"}}, snap); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					c.Names()
+					c.Get("base")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestLoadFile loads a table file from disk, as cmd/systolicdb -rel and
+// the daemon's -rel preload do.
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/emp.tbl"
+	if err := os.WriteFile(path, []byte(employeesTable), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCatalog()
+	if err := c.LoadFile("emp", path); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := c.Get("emp")
+	if !ok || r.Cardinality() != 3 {
+		t.Fatalf("loaded relation wrong: %v, %v", r, ok)
+	}
+	// Round trip through FormatTable stays parseable with the same schema.
+	var buf bytes.Buffer
+	if err := relation.FormatTable(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := relation.ParseTable(bytes.NewReader(buf.Bytes()), r.Schema())
+	if err != nil || !back.EqualAsMultiset(r) {
+		t.Fatalf("file round trip failed: %v", err)
+	}
+	if err := c.LoadFile("gone", dir+"/missing.tbl"); err == nil {
+		t.Error("missing file not rejected")
+	}
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RelSpec names one base relation to load from a table file.
+type RelSpec struct {
+	Name, Path string
+}
+
+// RelSpecs implements flag.Value for a repeatable `-rel name=file.tbl`
+// flag, shared by cmd/systolicdbd (preloading the daemon's catalog) and
+// cmd/systolicdb (running -op query against on-disk relations).
+type RelSpecs []RelSpec
+
+// String renders the accumulated specs (flag.Value).
+func (r *RelSpecs) String() string {
+	parts := make([]string, len(*r))
+	for i, s := range *r {
+		parts[i] = s.Name + "=" + s.Path
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one name=file.tbl argument (flag.Value).
+func (r *RelSpecs) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	name, path = strings.TrimSpace(name), strings.TrimSpace(path)
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=file.tbl, got %q", v)
+	}
+	for _, s := range *r {
+		if s.Name == name {
+			return fmt.Errorf("relation %q given twice", name)
+		}
+	}
+	*r = append(*r, RelSpec{Name: name, Path: path})
+	return nil
+}
+
+// LoadInto reads every spec'd file into the catalog.
+func (r RelSpecs) LoadInto(c *Catalog) error {
+	for _, s := range r {
+		if err := c.LoadFile(s.Name, s.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,562 @@
+// Package server is the network query service over the systolic query
+// layer: a long-lived HTTP/JSON daemon that owns a catalog of named base
+// relations and processes transactions from many concurrent clients —
+// the paper's §9 vision of "an integrated system containing several
+// systolic arrays ... to process all of the operations required in a
+// single transaction or a set of transactions" turned into an on-line
+// service.
+//
+// Endpoints:
+//
+//	PUT    /relations/{name}   load/replace a relation (text-table body,
+//	                           column types from ?types= or a #% types: line)
+//	GET    /relations/{name}   dump a relation in the text-table format
+//	DELETE /relations/{name}   drop a relation
+//	GET    /relations          list the catalog (JSON)
+//	POST   /query              parse/optimize/execute a plan (JSON in/out),
+//	                           host arrays or the §9 machine per request
+//	GET    /metrics            the server's obs registry (Prometheus text,
+//	                           or JSON with ?format=json)
+//	GET    /healthz            liveness probe
+//
+// Queries pass admission control: at most MaxConcurrent run at once, at
+// most MaxQueue wait; beyond that the server answers 429 (queue full) or
+// 503 (shutting down / gave up waiting) immediately — it never hangs.
+// Every request is bounded by a deadline and runs against an immutable
+// catalog snapshot, so concurrent relation writes never corrupt a running
+// query (see Catalog).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"systolicdb/internal/decompose"
+	"systolicdb/internal/machine"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/perf"
+	"systolicdb/internal/query"
+	"systolicdb/internal/relation"
+)
+
+// Config tunes the service. The zero value gets sensible defaults from
+// New.
+type Config struct {
+	// MaxConcurrent bounds the number of queries executing at once (the
+	// worker-pool size). Default 4.
+	MaxConcurrent int
+
+	// MaxQueue bounds how many admitted queries may wait for a worker
+	// beyond MaxConcurrent. 0 selects the default (2×MaxConcurrent);
+	// negative means no queueing at all (busy ⇒ immediate 429).
+	MaxQueue int
+
+	// DefaultTimeout bounds a query that does not set timeout_ms.
+	// Default 30s.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps client-requested timeouts. Default 5m.
+	MaxTimeout time.Duration
+
+	// ArraySize is the per-device tuple capacity of the §9 machine used
+	// for "machine": true queries (larger relations decompose, §8).
+	// Default 64.
+	ArraySize int
+
+	// MaxBodyBytes caps request bodies (relation uploads). Default 32 MiB.
+	MaxBodyBytes int64
+
+	// Metrics is the registry all server, query and machine metrics are
+	// recorded into. Nil selects a fresh private registry (not
+	// obs.Default), so concurrent servers — and tests — don't share state.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 2 * c.MaxConcurrent
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.ArraySize <= 0 {
+		c.ArraySize = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the HTTP query service. Create with New, serve its Handler
+// (or use Serve/Shutdown for the managed lifecycle).
+type Server struct {
+	cfg Config
+	cat *Catalog
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	sem      chan struct{} // worker slots; len == running queries
+	waiting  atomic.Int64  // queries queued for a slot
+	draining atomic.Bool   // set once Shutdown begins
+
+	httpSrv *http.Server
+}
+
+// New builds a server with an empty catalog.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		cat: NewCatalog(),
+		reg: cfg.Metrics,
+		mux: http.NewServeMux(),
+		sem: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.mux.HandleFunc("PUT /relations/{name}", s.instrument("relations_put", s.handlePutRelation))
+	s.mux.HandleFunc("GET /relations/{name}", s.instrument("relations_get", s.handleGetRelation))
+	s.mux.HandleFunc("DELETE /relations/{name}", s.instrument("relations_delete", s.handleDeleteRelation))
+	s.mux.HandleFunc("GET /relations", s.instrument("relations_list", s.handleListRelations))
+	s.mux.HandleFunc("POST /query", s.instrument("query", s.handleQuery))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+
+	// Pre-register the overload metrics so /metrics exposes them from the
+	// first scrape, not only after the first rejection.
+	s.reg.Gauge("server_queue_depth", nil).Set(0)
+	s.reg.Gauge("server_active_queries", nil).Set(0)
+	for _, reason := range []string{"queue_full", "queue_timeout", "shutdown", "deadline"} {
+		s.reg.Counter("server_rejected_total", obs.Labels{"reason": reason}).Add(0)
+	}
+	s.reg.Timer("server_queue_wait_seconds", nil)
+	return s
+}
+
+// Catalog exposes the server's relation catalog (for preloading at boot).
+func (s *Server) Catalog() *Catalog { return s.cat }
+
+// Metrics exposes the server's registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the routed HTTP handler (useful under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve runs the service on addr until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeListener(ln)
+}
+
+// ServeListener runs the service on an existing listener (which lets the
+// daemon bind ":0" and report the kernel-chosen port before serving).
+func (s *Server) ServeListener(ln net.Listener) error {
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	return s.httpSrv.Serve(ln)
+}
+
+// Shutdown drains the server gracefully: new queries are refused with 503
+// immediately, and the call blocks until every in-flight request has
+// finished (or ctx expires).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route request counting and latency
+// spans.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		stop := s.reg.Timer("server_request_seconds", obs.Labels{"route": route}).Start()
+		h(sw, r)
+		stop()
+		s.reg.Counter("server_requests_total",
+			obs.Labels{"route": route, "code": strconv.Itoa(sw.code)}).Inc()
+	}
+}
+
+// writeError sends a JSON error envelope.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	rel, err := s.cat.ParseTable(body, r.URL.Query().Get("types"))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "relation body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.cat.Put(name, rel); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.reg.Counter("server_relation_loads_total", nil).Inc()
+	s.reg.Counter("server_rows_in_total", nil).Add(int64(rel.Cardinality()))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": name, "rows": rel.Cardinality(), "columns": rel.Schema().Names(),
+	})
+}
+
+func (s *Server) handleGetRelation(w http.ResponseWriter, r *http.Request) {
+	rel, ok := s.cat.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown relation %q", r.PathValue("name"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := relation.FormatTable(w, rel); err != nil {
+		// Headers are gone; all we can do is log the failure as a metric.
+		s.reg.Counter("server_dump_errors_total", nil).Inc()
+	}
+}
+
+func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
+	if !s.cat.Delete(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "unknown relation %q", r.PathValue("name"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// relationInfo is one catalog entry in the listing.
+type relationInfo struct {
+	Name    string   `json:"name"`
+	Rows    int      `json:"rows"`
+	Columns []string `json:"columns"`
+	Domains []string `json:"domains"`
+}
+
+func (s *Server) handleListRelations(w http.ResponseWriter, _ *http.Request) {
+	snap := s.cat.Snapshot()
+	out := make([]relationInfo, 0, len(snap))
+	for _, name := range s.cat.Names() {
+		rel := snap[name]
+		if rel == nil { // deleted between Names and Snapshot; skip
+			continue
+		}
+		info := relationInfo{Name: name, Rows: rel.Cardinality(), Columns: rel.Schema().Names()}
+		for i := 0; i < rel.Schema().Width(); i++ {
+			info.Domains = append(info.Domains, rel.Schema().Col(i).Domain.Name())
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"relations": out})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "relations": s.cat.Len()})
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Plan is the textual algebra accepted by query.Parse, e.g.
+	// "project(join(scan(A), scan(B), 0=0), 0)".
+	Plan string `json:"plan"`
+
+	// Machine selects §9-machine execution (compile to a transaction and
+	// run it on the crossbar system) instead of the host executor.
+	Machine bool `json:"machine"`
+
+	// NoOptimize skips query.Optimize (the optimizer runs by default).
+	NoOptimize bool `json:"no_optimize"`
+
+	// NoTable omits the result rows from the response (row count only).
+	NoTable bool `json:"no_table"`
+
+	// TimeoutMS overrides the server's default per-request deadline,
+	// capped at Config.MaxTimeout.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// machineReport summarises a §9 run for the response.
+type machineReport struct {
+	MakespanSeconds float64 `json:"makespan_seconds"`
+	BusySeconds     float64 `json:"busy_seconds"`
+	Concurrency     float64 `json:"concurrency"`
+	Events          int     `json:"events"`
+	Pulses          int     `json:"pulses"`
+}
+
+// queryResponse is the POST /query reply.
+type queryResponse struct {
+	Plan      string         `json:"plan"`
+	Optimized string         `json:"optimized"`
+	Rows      int            `json:"rows"`
+	Columns   []string       `json:"columns,omitempty"`
+	Table     string         `json:"table,omitempty"`
+	Pulses    int            `json:"pulses"`
+	SimTime   float64        `json:"sim_seconds"` // pulses under the 1980 technology model
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Machine   *machineReport `json:"machine,omitempty"`
+}
+
+// queryOutcome carries a finished query from its worker goroutine.
+type queryOutcome struct {
+	resp *queryResponse
+	err  error
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "shutdown", "server is shutting down")
+		return
+	}
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Plan) == "" {
+		writeError(w, http.StatusBadRequest, "empty plan")
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = min(time.Duration(req.TimeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admission control: take a worker slot, or queue (bounded), or
+	// reject. The queue-depth gauge tracks waiters; rejections never
+	// block.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+			s.waiting.Add(-1)
+			s.reject(w, http.StatusTooManyRequests, "queue_full",
+				"all %d workers busy and queue of %d full; retry later",
+				s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+			return
+		}
+		s.reg.Gauge("server_queue_depth", nil).Set(float64(s.waiting.Load()))
+		queued := time.Now()
+		select {
+		case s.sem <- struct{}{}:
+			s.waiting.Add(-1)
+			s.reg.Gauge("server_queue_depth", nil).Set(float64(s.waiting.Load()))
+			s.reg.Timer("server_queue_wait_seconds", nil).Observe(time.Since(queued))
+		case <-ctx.Done():
+			s.waiting.Add(-1)
+			s.reg.Gauge("server_queue_depth", nil).Set(float64(s.waiting.Load()))
+			s.reject(w, http.StatusServiceUnavailable, "queue_timeout",
+				"gave up waiting for a worker after %v", time.Since(queued).Round(time.Millisecond))
+			return
+		}
+	}
+	s.reg.Gauge("server_active_queries", nil).Set(float64(len(s.sem)))
+
+	// Run the query in its own goroutine so a deadline can't leave the
+	// client hanging even on a non-cancellable stage (the §9 machine run
+	// is atomic; the host executor stops at the next plan node). The
+	// worker slot is released by the goroutine itself, so a timed-out
+	// query keeps occupying capacity until it actually stops — admission
+	// control stays truthful.
+	start := time.Now()
+	done := make(chan queryOutcome, 1)
+	go func() {
+		defer func() {
+			<-s.sem
+			s.reg.Gauge("server_active_queries", nil).Set(float64(len(s.sem)))
+		}()
+		resp, err := s.runQuery(ctx, &req)
+		done <- queryOutcome{resp: resp, err: err}
+	}()
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			code := http.StatusUnprocessableEntity
+			if errors.Is(out.err, context.DeadlineExceeded) {
+				code = http.StatusGatewayTimeout
+				s.reg.Counter("server_rejected_total", obs.Labels{"reason": "deadline"}).Inc()
+			} else if errors.Is(out.err, context.Canceled) {
+				code = 499 // client went away (nginx convention)
+			}
+			writeError(w, code, "%v", out.err)
+			return
+		}
+		out.resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		s.reg.Counter("server_queries_total", nil).Inc()
+		s.reg.Counter("server_rows_out_total", nil).Add(int64(out.resp.Rows))
+		writeJSON(w, http.StatusOK, out.resp)
+	case <-ctx.Done():
+		s.reg.Counter("server_rejected_total", obs.Labels{"reason": "deadline"}).Inc()
+		writeError(w, http.StatusGatewayTimeout, "query exceeded its %v deadline", timeout)
+	}
+}
+
+// reject answers an overload condition and counts it.
+func (s *Server) reject(w http.ResponseWriter, code int, reason, format string, args ...any) {
+	s.reg.Counter("server_rejected_total", obs.Labels{"reason": reason}).Inc()
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, code, format, args...)
+}
+
+// runQuery parses, optimizes and executes one plan against a catalog
+// snapshot, on the host arrays or the §9 machine.
+func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryResponse, error) {
+	plan, err := query.Parse(req.Plan)
+	if err != nil {
+		return nil, err
+	}
+	cat := s.cat.Snapshot()
+	resp := &queryResponse{Plan: query.Render(plan)}
+	if !req.NoOptimize {
+		if plan, err = query.Optimize(plan, cat); err != nil {
+			return nil, err
+		}
+	}
+	resp.Optimized = query.Render(plan)
+
+	var (
+		rel *relation.Relation
+		st  query.ExecStats
+	)
+	opts := &query.Options{Metrics: s.reg, Stats: &st}
+	if req.Machine {
+		rel, resp.Machine, err = s.runOnMachine(ctx, plan, cat, opts)
+	} else {
+		rel, err = query.ExecuteCtx(ctx, plan, cat, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.Rows = rel.Cardinality()
+	resp.Pulses = st.Pulses
+	if resp.Machine != nil {
+		// Host-executor spans don't run on the machine path; the event
+		// pulse counts are the authoritative total there.
+		resp.Pulses = resp.Machine.Pulses
+	}
+	resp.SimTime = perf.Conservative1980.PulseTime(resp.Pulses).Seconds()
+	if !req.NoTable {
+		resp.Columns = rel.Schema().Names()
+		var sb strings.Builder
+		if err := relation.FormatTable(&sb, rel); err != nil {
+			return nil, err
+		}
+		resp.Table = sb.String()
+	}
+	return resp, nil
+}
+
+// runOnMachine compiles the plan to a transaction and runs it on a §9
+// machine recording into the server registry. The machine simulation
+// itself is not cancellable, but the context is checked before committing
+// to the run.
+func (s *Server) runOnMachine(ctx context.Context, plan query.Node, cat query.Catalog,
+	opts *query.Options) (*relation.Relation, *machineReport, error) {
+
+	tasks, out, err := query.CompileOpts(plan, cat, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	size := decompose.ArraySize{MaxA: s.cfg.ArraySize, MaxB: s.cfg.ArraySize}
+	mach, err := machine.New(machine.Config{
+		Memories: 3,
+		Devices: []machine.DeviceConfig{
+			{Name: "intersect0", Kind: machine.DevIntersect, Size: size},
+			{Name: "join0", Kind: machine.DevJoin, Size: size},
+			{Name: "divide0", Kind: machine.DevDivide, Size: size},
+		},
+		Tech:    perf.Conservative1980,
+		Disk:    perf.Disk1980,
+		Metrics: s.reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := mach.Run(tasks)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := res.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rel, ok := res.Relations[out]
+	if !ok {
+		return nil, nil, fmt.Errorf("server: machine run lost output %q", out)
+	}
+	report := &machineReport{
+		MakespanSeconds: res.Makespan.Seconds(),
+		BusySeconds:     res.BusyTime.Seconds(),
+		Concurrency:     res.Concurrency(),
+		Events:          len(res.Events),
+	}
+	for _, ev := range res.Events {
+		report.Pulses += ev.Pulses
+	}
+	return rel, report, nil
+}
