@@ -32,6 +32,7 @@ import (
 	"systolicdb/internal/cells"
 	"systolicdb/internal/dedup"
 	"systolicdb/internal/division"
+	"systolicdb/internal/fault"
 	"systolicdb/internal/intersect"
 	"systolicdb/internal/join"
 	"systolicdb/internal/lptdisk"
@@ -52,35 +53,44 @@ const validOps = "intersect | difference | union | dedup | project | join | thet
 
 func main() {
 	var (
-		op       = flag.String("op", "intersect", "operation: "+validOps)
-		n        = flag.Int("n", 16, "tuples per relation")
-		m        = flag.Int("m", 2, "elements per tuple")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		overlap  = flag.Float64("overlap", 0.5, "intersection/union overlap fraction")
-		dup      = flag.Float64("dup", 0.5, "duplication rate for dedup")
-		match    = flag.Float64("match", 1, "join match factor")
-		theta    = flag.String("theta", ">", "θ-join operator: = != < <= > >=")
-		divisor  = flag.Int("divisor", 4, "divisor size for divide")
-		coverage = flag.Float64("coverage", 0.5, "divisor coverage for divide")
-		pattern  = flag.String("pattern", "systolic", "pattern for -op match ('?' is a wildcard)")
-		text     = flag.String("text", "systolic arrays pump data as the heart pumps blood", "text for -op match")
-		q        = flag.String("q", "", "plan for -op query, e.g. \"project(join(scan(A), scan(B), 0=0), 0)\"")
-		onMach   = flag.Bool("machine", false, "run -op query on the §9 crossbar machine and print the schedule")
-		quiet    = flag.Bool("quiet", false, "suppress relation dumps, print stats only")
-		metrics  = flag.Bool("metrics", false, "emit the run's metrics registry (text and JSON) after the result")
-		rels     server.RelSpecs
+		op         = flag.String("op", "intersect", "operation: "+validOps)
+		n          = flag.Int("n", 16, "tuples per relation")
+		m          = flag.Int("m", 2, "elements per tuple")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		overlap    = flag.Float64("overlap", 0.5, "intersection/union overlap fraction")
+		dup        = flag.Float64("dup", 0.5, "duplication rate for dedup")
+		match      = flag.Float64("match", 1, "join match factor")
+		theta      = flag.String("theta", ">", "θ-join operator: = != < <= > >=")
+		divisor    = flag.Int("divisor", 4, "divisor size for divide")
+		coverage   = flag.Float64("coverage", 0.5, "divisor coverage for divide")
+		pattern    = flag.String("pattern", "systolic", "pattern for -op match ('?' is a wildcard)")
+		text       = flag.String("text", "systolic arrays pump data as the heart pumps blood", "text for -op match")
+		q          = flag.String("q", "", "plan for -op query, e.g. \"project(join(scan(A), scan(B), 0=0), 0)\"")
+		onMach     = flag.Bool("machine", false, "run -op query on the §9 crossbar machine and print the schedule")
+		quiet      = flag.Bool("quiet", false, "suppress relation dumps, print stats only")
+		metrics    = flag.Bool("metrics", false, "emit the run's metrics registry (text and JSON) after the result")
+		faultSpec  = flag.String("fault", "", "inject faults into machine devices; "+fault.SpecHelp())
+		verifySpec = flag.String("verify", "", "per-tile verification for machine runs: none | checksum | dual (default checksum when -fault is set)")
+		retries    = flag.Int("retries", 0, "max attempts per tile on machine runs (0 = policy default)")
+		quarAfter  = flag.Int("quarantine-after", 0, "consecutive failures before a device is quarantined (0 = default)")
+		rels       server.RelSpecs
 	)
 	flag.Var(&rels, "rel", "for -op query: load a base relation, name=file.tbl (repeatable; replaces the generated A/B pair)")
 	flag.Parse()
 
-	var err error
-	switch *op {
-	case "match":
-		err = runMatch(*pattern, *text)
-	case "query":
-		err = runQuery(*q, *n, *m, *seed, *match, rels, *onMach, *quiet, *metrics)
-	default:
-		err = run(*op, *n, *m, *seed, *overlap, *dup, *match, *theta, *divisor, *coverage, *quiet)
+	fc, err := machine.ParseFaultConfig(*faultSpec, *verifySpec, *retries, *quarAfter)
+	if err == nil && fc != nil && *op != "query" {
+		err = fmt.Errorf("-fault/-verify/-retries apply to machine execution: use -op query (with -machine)")
+	}
+	if err == nil {
+		switch *op {
+		case "match":
+			err = runMatch(*pattern, *text)
+		case "query":
+			err = runQuery(*q, *n, *m, *seed, *match, rels, fc, *onMach, *quiet, *metrics)
+		default:
+			err = run(*op, *n, *m, *seed, *overlap, *dup, *match, *theta, *divisor, *coverage, *quiet)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "systolicdb:", err)
@@ -287,9 +297,13 @@ func run(op string, n, m int, seed int64, overlap, dup, match float64, theta str
 // is additionally compiled and run on the default §9 machine (result
 // discarded) so the emitted cost profile covers device busy time and tile
 // scheduling as well as the host executor's per-node spans.
-func runQuery(src string, n, m int, seed int64, match float64, rels server.RelSpecs, onMachine, quiet, metrics bool) error {
+func runQuery(src string, n, m int, seed int64, match float64, rels server.RelSpecs,
+	fc *machine.FaultConfig, onMachine, quiet, metrics bool) error {
 	if src == "" {
 		return fmt.Errorf("-op query needs -q \"<plan>\" (e.g. \"intersect(scan(A), scan(B))\")")
+	}
+	if fc != nil && !onMachine && !metrics {
+		return fmt.Errorf("-fault needs -machine (or -metrics): the host executor has no cells to corrupt")
 	}
 	plan, err := query.Parse(src)
 	if err != nil {
@@ -312,13 +326,13 @@ func runQuery(src string, n, m int, seed int64, match float64, rels server.RelSp
 		}
 		dumpResult(res, len(rels) > 0, quiet)
 		if metrics {
-			if _, err := runOnMachine(plan, cat, quiet, false); err != nil {
+			if _, err := runOnMachine(plan, cat, fc, quiet, false); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	res, err := runOnMachine(plan, cat, quiet, true)
+	res, err := runOnMachine(plan, cat, fc, quiet, true)
 	if err != nil {
 		return err
 	}
@@ -361,14 +375,16 @@ func queryCatalog(rels server.RelSpecs, n, m int, seed int64, match float64) (qu
 	return query.Catalog{"A": a, "B": b}, nil
 }
 
-// runOnMachine compiles the plan onto the default 1980 machine and runs the
-// transaction, optionally dumping the result relation.
-func runOnMachine(plan query.Node, cat query.Catalog, quiet, show bool) (*machine.Result, error) {
+// runOnMachine compiles the plan onto the default 1980 machine (with
+// fault-tolerant execution when fc is non-nil) and runs the transaction,
+// optionally dumping the result relation. Devices that turn bad mid-run are
+// reported so the operator sees the degradation the schedule absorbed.
+func runOnMachine(plan query.Node, cat query.Catalog, fc *machine.FaultConfig, quiet, show bool) (*machine.Result, error) {
 	tasks, out, err := query.Compile(plan, cat)
 	if err != nil {
 		return nil, err
 	}
-	mach, err := machine.Default1980(64)
+	mach, err := machine.Default1980Fault(64, fc)
 	if err != nil {
 		return nil, err
 	}
@@ -378,6 +394,11 @@ func runOnMachine(plan query.Node, cat query.Catalog, quiet, show bool) (*machin
 	}
 	if err := res.Validate(); err != nil {
 		return nil, err
+	}
+	if h := mach.Health(); h != nil {
+		if quar := h.QuarantinedNames(); len(quar) > 0 {
+			fmt.Printf("quarantined devices: %v\n", quar)
+		}
 	}
 	if show {
 		dump("result", res.Relations[out], quiet)

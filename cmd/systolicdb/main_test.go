@@ -88,21 +88,21 @@ func TestRunMatchCLI(t *testing.T) {
 
 func TestRunQueryCLI(t *testing.T) {
 	out := capture(t, func() error {
-		return runQuery("intersect(scan(A), scan(B))", 10, 2, 1, 1, nil, false, true, false)
+		return runQuery("intersect(scan(A), scan(B))", 10, 2, 1, 1, nil, nil, false, true, false)
 	})
 	if !strings.Contains(out, "intersect(scan(A), scan(B))") || !strings.Contains(out, "optimized:") {
 		t.Errorf("query output missing plan or optimization line:\n%s", out)
 	}
 	out = capture(t, func() error {
-		return runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, nil, true, true, false)
+		return runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, nil, nil, true, true, false)
 	})
 	if !strings.Contains(out, "makespan") {
 		t.Errorf("machine query output missing gantt:\n%s", out)
 	}
-	if err := runQuery("", 4, 2, 1, 1, nil, false, true, false); err == nil {
+	if err := runQuery("", 4, 2, 1, 1, nil, nil, false, true, false); err == nil {
 		t.Error("empty query not rejected")
 	}
-	if err := runQuery("scan(", 4, 2, 1, 1, nil, false, true, false); err == nil {
+	if err := runQuery("scan(", 4, 2, 1, 1, nil, nil, false, true, false); err == nil {
 		t.Error("malformed query not rejected")
 	}
 }
@@ -122,7 +122,7 @@ func TestRunQueryFromFiles(t *testing.T) {
 	}
 	rels := server.RelSpecs{{Name: "emp", Path: emp}, {Name: "dept", Path: dept}}
 	out := capture(t, func() error {
-		return runQuery("project(join(scan(emp), scan(dept), 2=0), 1)", 0, 0, 1, 1, rels, false, true, false)
+		return runQuery("project(join(scan(emp), scan(dept), 2=0), 1)", 0, 0, 1, 1, rels, nil, false, true, false)
 	})
 	for _, want := range []string{"loaded emp: 3 tuples, 3 columns", "loaded dept: 2 tuples, 2 columns", "result: 3 tuples"} {
 		if !strings.Contains(out, want) {
@@ -131,13 +131,13 @@ func TestRunQueryFromFiles(t *testing.T) {
 	}
 	// Non-quiet file-backed results decode through their domains.
 	out = capture(t, func() error {
-		return runQuery("project(scan(emp), 1)", 0, 0, 1, 1, rels, false, false, false)
+		return runQuery("project(scan(emp), 1)", 0, 0, 1, 1, rels, nil, false, false, false)
 	})
 	if !strings.Contains(out, "alice") || !strings.Contains(out, "bob") {
 		t.Errorf("decoded dump missing dictionary values:\n%s", out)
 	}
 	bad := server.RelSpecs{{Name: "x", Path: filepath.Join(dir, "missing.tbl")}}
-	if err := runQuery("scan(x)", 0, 0, 1, 1, bad, false, true, false); err == nil {
+	if err := runQuery("scan(x)", 0, 0, 1, 1, bad, nil, false, true, false); err == nil {
 		t.Error("missing -rel file not rejected")
 	}
 }
@@ -147,7 +147,7 @@ func TestRunQueryFromFiles(t *testing.T) {
 // per-device busy time and per-plan-node spans, in text and JSON forms.
 func TestMetricsDump(t *testing.T) {
 	out := capture(t, func() error {
-		if err := runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, nil, false, true, true); err != nil {
+		if err := runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, nil, nil, false, true, true); err != nil {
 			return err
 		}
 		return dumpMetrics(os.Stdout)

@@ -26,6 +26,8 @@ import (
 	"syscall"
 	"time"
 
+	"systolicdb/internal/fault"
+	"systolicdb/internal/machine"
 	"systolicdb/internal/server"
 )
 
@@ -38,19 +40,29 @@ func main() {
 		maxWait = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 		array   = flag.Int("array", 64, "device capacity of the §9 machine used by machine queries")
 		drain   = flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
-		rels    server.RelSpecs
+
+		faultSpec  = flag.String("fault", "", "inject faults into machine-query devices; "+fault.SpecHelp())
+		verifySpec = flag.String("verify", "", "per-tile verification for machine queries: none | checksum | dual (default checksum when -fault is set)")
+		retries    = flag.Int("retries", 0, "max attempts per tile for machine queries (0 = policy default)")
+		quarAfter  = flag.Int("quarantine-after", 0, "consecutive failures before a device is quarantined process-wide (0 = default)")
+
+		rels server.RelSpecs
 	)
 	flag.Var(&rels, "rel", "preload a relation: name=file.tbl (repeatable; types from a #% types: line)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *timeout, *maxWait, *array, *drain, rels); err != nil {
+	fc, err := machine.ParseFaultConfig(*faultSpec, *verifySpec, *retries, *quarAfter)
+	if err == nil {
+		err = run(*addr, *workers, *queue, *timeout, *maxWait, *array, *drain, fc, rels)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "systolicdbd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, workers, queue int, timeout, maxWait time.Duration, array int,
-	drain time.Duration, rels server.RelSpecs) error {
+	drain time.Duration, fc *machine.FaultConfig, rels server.RelSpecs) error {
 
 	s := server.New(server.Config{
 		MaxConcurrent:  workers,
@@ -58,9 +70,17 @@ func run(addr string, workers, queue int, timeout, maxWait time.Duration, array 
 		DefaultTimeout: timeout,
 		MaxTimeout:     maxWait,
 		ArraySize:      array,
+		Fault:          fc,
 	})
 	if err := rels.LoadInto(s.Catalog()); err != nil {
 		return err
+	}
+	if fc != nil {
+		plan := "none"
+		if fc.Plan != nil {
+			plan = fc.Plan.String()
+		}
+		fmt.Printf("systolicdbd: fault-tolerant execution on (inject=%s, verify=%s)\n", plan, fc.Verify)
 	}
 	for _, name := range s.Catalog().Names() {
 		r, _ := s.Catalog().Get(name)

@@ -16,11 +16,11 @@ import (
 )
 
 func TestRunBadInputs(t *testing.T) {
-	if err := run("256.0.0.1:-1", 1, 0, time.Second, time.Second, 8, time.Second, nil); err == nil {
+	if err := run("256.0.0.1:-1", 1, 0, time.Second, time.Second, 8, time.Second, nil, nil); err == nil {
 		t.Error("bad listen address accepted")
 	}
 	rels := server.RelSpecs{{Name: "x", Path: filepath.Join(t.TempDir(), "missing.tbl")}}
-	if err := run("127.0.0.1:0", 1, 0, time.Second, time.Second, 8, time.Second, rels); err == nil {
+	if err := run("127.0.0.1:0", 1, 0, time.Second, time.Second, 8, time.Second, nil, rels); err == nil {
 		t.Error("missing relation file accepted")
 	}
 }
@@ -64,7 +64,7 @@ func TestDaemonLifecycle(t *testing.T) {
 
 	runErr := make(chan error, 1)
 	go func() {
-		runErr <- run("127.0.0.1:0", 2, 2, 5*time.Second, time.Minute, 16, 5*time.Second,
+		runErr <- run("127.0.0.1:0", 2, 2, 5*time.Second, time.Minute, 16, 5*time.Second, nil,
 			server.RelSpecs{{Name: "emp", Path: tbl}})
 	}()
 

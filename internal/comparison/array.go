@@ -170,6 +170,13 @@ func checkWidths(a, b []relation.Tuple) (int, error) {
 // simulation using token provenance tags: if a result arrives at a row or
 // pulse other than the one the schedule predicts, an error is returned.
 func Run2D(a, b []relation.Tuple, init InitFunc, tracer systolic.Tracer) (*Result, error) {
+	return Run2DWrap(a, b, init, tracer, nil)
+}
+
+// Run2DWrap is Run2D with an optional cell wrapper applied to every
+// processor of the grid (the fault layer's injection hook); a nil wrap
+// behaves exactly like Run2D.
+func Run2DWrap(a, b []relation.Tuple, init InitFunc, tracer systolic.Tracer, wrap systolic.Wrap) (*Result, error) {
 	nA, nB := len(a), len(b)
 	if nA == 0 || nB == 0 {
 		return &Result{T: NewMatrix(nA, nB)}, nil
@@ -182,7 +189,8 @@ func Run2D(a, b []relation.Tuple, init InitFunc, tracer systolic.Tracer) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	grid, err := systolic.NewGrid(sched.Rows, m, func(_, _ int) systolic.Cell { return cells.Compare{} })
+	grid, err := systolic.NewGrid(sched.Rows, m,
+		systolic.BuildWith(func(_, _ int) systolic.Cell { return cells.Compare{} }, wrap))
 	if err != nil {
 		return nil, err
 	}

@@ -11,12 +11,19 @@
 // comparison array the blocks are simply copied into place; for the
 // accumulating (intersection-family) arrays the per-tile row results are
 // OR-combined, since t_i = OR over all blocks of the block-local OR.
+//
+// Tiles are the unit of fault tolerance: a Tiler with a fault.Runner hands
+// every tile to it as a repeatable attempt plus a host reference checksum,
+// and the runner decides injection, verification, retry and quarantine. A
+// tile's results are committed to the global output only after the runner
+// accepts it, so a corrupted attempt can never poison the OR-accumulation.
 package decompose
 
 import (
 	"fmt"
 
 	"systolicdb/internal/comparison"
+	"systolicdb/internal/fault"
 	"systolicdb/internal/intersect"
 	"systolicdb/internal/obs"
 	"systolicdb/internal/relation"
@@ -58,7 +65,8 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // PerTilePulses records each tile's own pulse count, which schedulers with
 // several physical arrays use to run tiles concurrently (§9: "Results from
 // subrelations must be stored outside the systolic arrays before they are
-// finally combined").
+// finally combined"). Under a fault runner a tile's pulse count includes
+// every retry attempt, so retries show up in the cost model.
 type Stats struct {
 	Tiles         int
 	Pulses        int
@@ -76,34 +84,70 @@ func (s *Stats) add(t systolic.Stats) {
 	mTilePulses.Observe(float64(t.Pulses))
 }
 
+// Tiler runs tiled operations on a fixed-size array, optionally through a
+// fault.Runner that adds injection, verification, retry and quarantine
+// around every tile. The zero Runner executes each tile once on pristine
+// cells, which is byte-for-byte the historical behaviour.
+type Tiler struct {
+	Size   ArraySize
+	Runner fault.Runner
+}
+
+// runTile executes one tile attempt through the runner (or directly).
+func (t Tiler) runTile(op string, ref func() fault.Checksum, attempt fault.Attempt) (systolic.Stats, error) {
+	if t.Runner == nil {
+		_, st, err := attempt(nil)
+		return st, err
+	}
+	return t.Runner.RunTile(op, ref, attempt)
+}
+
 // TiledT computes the full matrix T for a problem larger than the physical
 // array by running one comparison-array pass per tile. init receives
 // *global* pair indices.
 func TiledT(a, b []relation.Tuple, init comparison.InitFunc, size ArraySize) (*comparison.Matrix, Stats, error) {
-	if err := size.validate(); err != nil {
+	return Tiler{Size: size}.T(a, b, init)
+}
+
+// T is TiledT through the tiler's runner.
+func (tl Tiler) T(a, b []relation.Tuple, init comparison.InitFunc) (*comparison.Matrix, Stats, error) {
+	if err := tl.Size.validate(); err != nil {
 		return nil, Stats{}, err
 	}
 	nA, nB := len(a), len(b)
 	t := comparison.NewMatrix(nA, nB)
 	var stats Stats
-	for i0 := 0; i0 < nA; i0 += size.MaxA {
-		i1 := min(i0+size.MaxA, nA)
-		for j0 := 0; j0 < nB; j0 += size.MaxB {
-			j1 := min(j0+size.MaxB, nB)
+	for i0 := 0; i0 < nA; i0 += tl.Size.MaxA {
+		i1 := min(i0+tl.Size.MaxA, nA)
+		for j0 := 0; j0 < nB; j0 += tl.Size.MaxB {
+			j1 := min(j0+tl.Size.MaxB, nB)
 			var tileInit comparison.InitFunc
 			if init != nil {
 				i0, j0 := i0, j0
 				tileInit = func(i, j int) bool { return init(i0+i, j0+j) }
 			}
-			res, err := comparison.Run2D(a[i0:i1], b[j0:j1], tileInit, nil)
+			aT, bT := a[i0:i1], b[j0:j1]
+			var tile *comparison.Matrix
+			st, err := tl.runTile("compare",
+				func() fault.Checksum {
+					return fault.MatrixChecksum(comparison.ReferenceT(aT, bT, tileInit).Bits)
+				},
+				func(wrap systolic.Wrap) (fault.Checksum, systolic.Stats, error) {
+					res, err := comparison.Run2DWrap(aT, bT, tileInit, nil, wrap)
+					if err != nil {
+						return fault.Checksum{}, systolic.Stats{}, err
+					}
+					tile = res.T
+					return fault.MatrixChecksum(res.T.Bits), res.Stats, nil
+				})
 			if err != nil {
 				return nil, Stats{}, fmt.Errorf("decompose: tile (%d..%d, %d..%d): %w", i0, i1, j0, j1, err)
 			}
-			for i := range res.T.Bits {
-				copy(t.Bits[i0+i][j0:], res.T.Bits[i])
+			for i := range tile.Bits {
+				copy(t.Bits[i0+i][j0:], tile.Bits[i])
 			}
 			stats.Tiles++
-			stats.add(res.Stats)
+			stats.add(st)
 		}
 	}
 	return t, stats, nil
@@ -114,32 +158,48 @@ func TiledT(a, b []relation.Tuple, init comparison.InitFunc, size ArraySize) (*c
 // array: each tile runs the full comparison+accumulation grid and the
 // block-local t_i are OR-combined across B-tiles.
 func TiledAccumulate(a, b []relation.Tuple, init comparison.InitFunc, size ArraySize) ([]bool, Stats, error) {
-	if err := size.validate(); err != nil {
+	return Tiler{Size: size}.Accumulate(a, b, init)
+}
+
+// Accumulate is TiledAccumulate through the tiler's runner. A tile's bits
+// are OR-combined into the result only after the runner accepts the tile.
+func (tl Tiler) Accumulate(a, b []relation.Tuple, init comparison.InitFunc) ([]bool, Stats, error) {
+	if err := tl.Size.validate(); err != nil {
 		return nil, Stats{}, err
 	}
 	nA, nB := len(a), len(b)
 	keep := make([]bool, nA)
 	var stats Stats
-	if nA == 0 {
+	if nA == 0 || nB == 0 {
 		return keep, stats, nil
 	}
-	if nB == 0 {
-		return keep, stats, nil
-	}
-	for i0 := 0; i0 < nA; i0 += size.MaxA {
-		i1 := min(i0+size.MaxA, nA)
-		for j0 := 0; j0 < nB; j0 += size.MaxB {
-			j1 := min(j0+size.MaxB, nB)
+	for i0 := 0; i0 < nA; i0 += tl.Size.MaxA {
+		i1 := min(i0+tl.Size.MaxA, nA)
+		for j0 := 0; j0 < nB; j0 += tl.Size.MaxB {
+			j1 := min(j0+tl.Size.MaxB, nB)
 			var tileInit comparison.InitFunc
 			if init != nil {
 				i0, j0 := i0, j0
 				tileInit = func(i, j int) bool { return init(i0+i, j0+j) }
 			}
-			bits, st, err := intersect.RunAccumulated(a[i0:i1], b[j0:j1], tileInit, nil)
+			aT, bT := a[i0:i1], b[j0:j1]
+			var tileBits []bool
+			st, err := tl.runTile("accumulate",
+				func() fault.Checksum {
+					return fault.BoolChecksum(comparison.ReferenceT(aT, bT, tileInit).OrRows())
+				},
+				func(wrap systolic.Wrap) (fault.Checksum, systolic.Stats, error) {
+					bits, st, err := intersect.RunAccumulatedWrap(aT, bT, tileInit, nil, wrap)
+					if err != nil {
+						return fault.Checksum{}, st, err
+					}
+					tileBits = bits
+					return fault.BoolChecksum(bits), st, nil
+				})
 			if err != nil {
 				return nil, Stats{}, fmt.Errorf("decompose: tile (%d..%d, %d..%d): %w", i0, i1, j0, j1, err)
 			}
-			for i, bit := range bits {
+			for i, bit := range tileBits {
 				keep[i0+i] = keep[i0+i] || bit
 			}
 			stats.Tiles++
@@ -151,22 +211,32 @@ func TiledAccumulate(a, b []relation.Tuple, init comparison.InitFunc, size Array
 
 // Intersection computes A ∩ B on a fixed-size array via decomposition.
 func Intersection(a, b *relation.Relation, size ArraySize) (*relation.Relation, Stats, error) {
-	return tiledSelect(a, b, size, true)
+	return Tiler{Size: size}.Intersection(a, b)
+}
+
+// Intersection computes A ∩ B through the tiler's runner.
+func (tl Tiler) Intersection(a, b *relation.Relation) (*relation.Relation, Stats, error) {
+	return tl.tiledSelect(a, b, true)
 }
 
 // Difference computes A - B on a fixed-size array via decomposition.
 func Difference(a, b *relation.Relation, size ArraySize) (*relation.Relation, Stats, error) {
-	return tiledSelect(a, b, size, false)
+	return Tiler{Size: size}.Difference(a, b)
 }
 
-func tiledSelect(a, b *relation.Relation, size ArraySize, want bool) (*relation.Relation, Stats, error) {
+// Difference computes A - B through the tiler's runner.
+func (tl Tiler) Difference(a, b *relation.Relation) (*relation.Relation, Stats, error) {
+	return tl.tiledSelect(a, b, false)
+}
+
+func (tl Tiler) tiledSelect(a, b *relation.Relation, want bool) (*relation.Relation, Stats, error) {
 	if a == nil || b == nil {
 		return nil, Stats{}, fmt.Errorf("decompose: nil relation")
 	}
 	if !a.Schema().UnionCompatible(b.Schema()) {
 		return nil, Stats{}, fmt.Errorf("decompose: relations are not union-compatible")
 	}
-	keep, stats, err := TiledAccumulate(a.Tuples(), b.Tuples(), nil, size)
+	keep, stats, err := tl.Accumulate(a.Tuples(), b.Tuples(), nil)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -180,11 +250,16 @@ func tiledSelect(a, b *relation.Relation, size ArraySize, want bool) (*relation.
 // RemoveDuplicates removes duplicate tuples on a fixed-size array via
 // decomposition, using the global triangle mask of §5.
 func RemoveDuplicates(a *relation.Relation, size ArraySize) (*relation.Relation, Stats, error) {
+	return Tiler{Size: size}.RemoveDuplicates(a)
+}
+
+// RemoveDuplicates removes duplicates through the tiler's runner.
+func (tl Tiler) RemoveDuplicates(a *relation.Relation) (*relation.Relation, Stats, error) {
 	if a == nil {
 		return nil, Stats{}, fmt.Errorf("decompose: nil relation")
 	}
 	tuples := a.Tuples()
-	dup, stats, err := TiledAccumulate(tuples, tuples, func(i, j int) bool { return i > j }, size)
+	dup, stats, err := tl.Accumulate(tuples, tuples, func(i, j int) bool { return i > j })
 	if err != nil {
 		return nil, Stats{}, err
 	}

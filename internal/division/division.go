@@ -56,6 +56,36 @@ type Pair struct {
 // returns the quotient membership bit for each x. An optional tracer
 // observes every pulse.
 func RunArray(pairs []Pair, xs, divisor []relation.Element, tracer systolic.Tracer) ([]bool, systolic.Stats, error) {
+	return RunArrayWrap(pairs, xs, divisor, tracer, nil)
+}
+
+// ReferenceBits computes the quotient membership bit for each x by direct
+// software evaluation — the specification RunArray is verified against
+// (and the host side of the fault layer's checksum lane): x belongs to the
+// quotient iff every divisor element y appears paired with it.
+func ReferenceBits(pairs []Pair, xs, divisor []relation.Element) []bool {
+	have := make(map[Pair]bool, len(pairs))
+	for _, p := range pairs {
+		have[p] = true
+	}
+	bits := make([]bool, len(xs))
+	for r, x := range xs {
+		ok := true
+		for _, y := range divisor {
+			if !have[Pair{Z: x, Y: y}] {
+				ok = false
+				break
+			}
+		}
+		bits[r] = ok
+	}
+	return bits
+}
+
+// RunArrayWrap is RunArray with an optional cell wrapper applied to every
+// processor (the fault layer's injection hook); a nil wrap behaves exactly
+// like RunArray.
+func RunArrayWrap(pairs []Pair, xs, divisor []relation.Element, tracer systolic.Tracer, wrap systolic.Wrap) ([]bool, systolic.Stats, error) {
 	nRows := len(xs)
 	if nRows == 0 {
 		return nil, systolic.Stats{}, nil
@@ -63,7 +93,7 @@ func RunArray(pairs []Pair, xs, divisor []relation.Element, tracer systolic.Trac
 	n := len(pairs)
 	nB := len(divisor)
 	cols := 2 + nB
-	grid, err := systolic.NewGrid(nRows, cols, func(r, c int) systolic.Cell {
+	grid, err := systolic.NewGrid(nRows, cols, systolic.BuildWith(func(r, c int) systolic.Cell {
 		switch {
 		case c == 0:
 			return &cells.DividendStore{X: xs[r]}
@@ -72,7 +102,7 @@ func RunArray(pairs []Pair, xs, divisor []relation.Element, tracer systolic.Trac
 		default:
 			return &cells.Divisor{Y: divisor[c-2]}
 		}
-	})
+	}, wrap))
 	if err != nil {
 		return nil, systolic.Stats{}, err
 	}

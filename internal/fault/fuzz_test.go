@@ -1,0 +1,43 @@
+package fault
+
+import "testing"
+
+// FuzzFaultPlan exercises the -fault spec parser: no input may panic, and
+// every accepted plan must be valid and round-trip through String()
+// unchanged (the grammar a plan prints is the grammar the parser reads).
+func FuzzFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"flip:rate=0.01,seed=42",
+		"drop:cell=2x1,pulse=3",
+		"stuck:cell=0x0,pulse=5,val=1",
+		"misroute:rate=1",
+		"flaky:rate=0.05",
+		"flip:rate=1e-3",
+		"drop: rate = 0.5 , seed = -1 ",
+		"flip:",
+		":::",
+		"flip:cell=-1x-1,pulse=0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan(%q) returned an invalid plan: %v", spec, verr)
+		}
+		rendered := p.String()
+		p2, err := ParsePlan(rendered)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) -> %q does not re-parse: %v", spec, rendered, err)
+		}
+		if *p2 != *p {
+			t.Fatalf("round trip %q -> %q: %+v != %+v", spec, rendered, p2, p)
+		}
+		if _, err := NewInjector(p); err != nil {
+			t.Fatalf("valid plan %q rejected by NewInjector: %v", rendered, err)
+		}
+	})
+}

@@ -56,6 +56,13 @@ func accumExitPulse(s comparison.Schedule, i int) int {
 //
 // An optional tracer observes every pulse of the combined grid.
 func RunAccumulated(a, b []relation.Tuple, init comparison.InitFunc, tracer systolic.Tracer) ([]bool, systolic.Stats, error) {
+	return RunAccumulatedWrap(a, b, init, tracer, nil)
+}
+
+// RunAccumulatedWrap is RunAccumulated with an optional cell wrapper
+// applied to every processor (the fault layer's injection hook); a nil
+// wrap behaves exactly like RunAccumulated.
+func RunAccumulatedWrap(a, b []relation.Tuple, init comparison.InitFunc, tracer systolic.Tracer, wrap systolic.Wrap) ([]bool, systolic.Stats, error) {
 	nA, nB := len(a), len(b)
 	if nA == 0 {
 		return nil, systolic.Stats{}, nil
@@ -70,12 +77,12 @@ func RunAccumulated(a, b []relation.Tuple, init comparison.InitFunc, tracer syst
 	}
 
 	// Columns 0..m-1: comparison processors. Column m: accumulation.
-	grid, err := systolic.NewGrid(sched.Rows, m+1, func(_, c int) systolic.Cell {
+	grid, err := systolic.NewGrid(sched.Rows, m+1, systolic.BuildWith(func(_, c int) systolic.Cell {
 		if c < m {
 			return cells.Compare{}
 		}
 		return cells.Accumulate{}
-	})
+	}, wrap))
 	if err != nil {
 		return nil, systolic.Stats{}, err
 	}

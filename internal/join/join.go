@@ -91,6 +91,33 @@ type Result struct {
 // of join-column values per input tuple), producing the matrix T. ops
 // holds the per-column comparison operator.
 func RunT(aKeys, bKeys []relation.Tuple, ops []cells.Op) (*comparison.Matrix, systolic.Stats, error) {
+	return RunTWrap(aKeys, bKeys, ops, nil)
+}
+
+// ReferenceT computes the join match matrix by direct software evaluation
+// — the specification RunT is verified against (and the host side of the
+// fault layer's checksum lane).
+func ReferenceT(aKeys, bKeys []relation.Tuple, ops []cells.Op) *comparison.Matrix {
+	t := comparison.NewMatrix(len(aKeys), len(bKeys))
+	for i, ak := range aKeys {
+		for j, bk := range bKeys {
+			match := true
+			for c, op := range ops {
+				if !op.Apply(ak[c], bk[c]) {
+					match = false
+					break
+				}
+			}
+			t.Bits[i][j] = match
+		}
+	}
+	return t
+}
+
+// RunTWrap is RunT with an optional cell wrapper applied to every
+// processor (the fault layer's injection hook); a nil wrap behaves exactly
+// like RunT.
+func RunTWrap(aKeys, bKeys []relation.Tuple, ops []cells.Op, wrap systolic.Wrap) (*comparison.Matrix, systolic.Stats, error) {
 	nA, nB := len(aKeys), len(bKeys)
 	if nA == 0 || nB == 0 {
 		return comparison.NewMatrix(nA, nB), systolic.Stats{}, nil
@@ -110,9 +137,9 @@ func RunT(aKeys, bKeys []relation.Tuple, ops []cells.Op) (*comparison.Matrix, sy
 	if err != nil {
 		return nil, systolic.Stats{}, err
 	}
-	grid, err := systolic.NewGrid(sched.Rows, w, func(_, c int) systolic.Cell {
+	grid, err := systolic.NewGrid(sched.Rows, w, systolic.BuildWith(func(_, c int) systolic.Cell {
 		return cells.Theta{Op: ops[c]}
-	})
+	}, wrap))
 	if err != nil {
 		return nil, systolic.Stats{}, err
 	}

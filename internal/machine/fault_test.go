@@ -1,0 +1,400 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"systolicdb/internal/decompose"
+	"systolicdb/internal/fault"
+	"systolicdb/internal/join"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/perf"
+	"systolicdb/internal/workload"
+)
+
+// faultMachine builds a Figure 9-1 machine whose every device injects
+// faults per plan, with checksum verification and fast (no-sleep) retries.
+func faultMachine(t *testing.T, plan *fault.Plan, reg *obs.Registry) *Machine {
+	t.Helper()
+	size := decompose.ArraySize{MaxA: 8, MaxB: 8}
+	m, err := New(Config{
+		Memories: 3,
+		Devices: []DeviceConfig{
+			{Name: "intersect0", Kind: DevIntersect, Size: size},
+			{Name: "join0", Kind: DevJoin, Size: size},
+			{Name: "divide0", Kind: DevDivide, Size: size},
+		},
+		Tech:    perf.Conservative1980,
+		Disk:    perf.Disk1980,
+		Metrics: reg,
+		Fault: &FaultConfig{
+			Plan:   plan,
+			Verify: fault.VerifyChecksum,
+			Retry:  fault.RetryPolicy{MaxAttempts: 6},
+			Sleep:  func(time.Duration) {},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// sixOpTransactions returns one transaction per paper operation, on small
+// relations that decompose into several 8x8 tiles.
+func sixOpTransactions(t *testing.T) map[string][]Task {
+	t.Helper()
+	a, b, err := workload.OverlapPair(7, 30, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb, err := workload.JoinPair(8, 24, 24, 2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db, err := workload.DivisionCase(9, 10, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func(rels ...Task) []Task { return rels }
+	return map[string][]Task{
+		"intersection": load(
+			Task{Op: OpLoad, Base: a, Output: "A"},
+			Task{Op: OpLoad, Base: b, Output: "B"},
+			Task{Op: OpIntersect, Inputs: []string{"A", "B"}, Output: "out"},
+		),
+		"difference": load(
+			Task{Op: OpLoad, Base: a, Output: "A"},
+			Task{Op: OpLoad, Base: b, Output: "B"},
+			Task{Op: OpDifference, Inputs: []string{"A", "B"}, Output: "out"},
+		),
+		"union": load(
+			Task{Op: OpLoad, Base: a, Output: "A"},
+			Task{Op: OpLoad, Base: b, Output: "B"},
+			Task{Op: OpUnion, Inputs: []string{"A", "B"}, Output: "out"},
+		),
+		"projection": load(
+			Task{Op: OpLoad, Base: a, Output: "A"},
+			Task{Op: OpProject, Inputs: []string{"A"}, Cols: []int{0}, Output: "out"},
+		),
+		"join": load(
+			Task{Op: OpLoad, Base: ja, Output: "A"},
+			Task{Op: OpLoad, Base: jb, Output: "B"},
+			Task{Op: OpJoin, Inputs: []string{"A", "B"}, Output: "out",
+				Join: &join.Spec{ACols: []int{0}, BCols: []int{0}}},
+		),
+		"division": load(
+			Task{Op: OpLoad, Base: da, Output: "A"},
+			Task{Op: OpLoad, Base: db, Output: "B"},
+			Task{Op: OpDivide, Inputs: []string{"A", "B"}, Output: "out",
+				Divide: &DivideSpec{AQuot: []int{0}, ADiv: []int{1}, BCols: []int{0}}},
+		),
+	}
+}
+
+// TestFaultToleranceSixOps is the issue's acceptance test: with flip, drop
+// and misroute faults at a 1% pulse rate and a fixed seed, every paper
+// operation must return exactly the fault-free result, recovered through
+// verification and retry.
+func TestFaultToleranceSixOps(t *testing.T) {
+	txs := sixOpTransactions(t)
+	var injected int64
+	for _, mode := range []fault.Mode{fault.Flip, fault.Drop, fault.Misroute} {
+		for name, tasks := range txs {
+			t.Run(fmt.Sprintf("%s/%s", mode, name), func(t *testing.T) {
+				clean := faultMachine(t, nil, obs.NewRegistry())
+				want, err := clean.Run(tasks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reg := obs.NewRegistry()
+				plan := &fault.Plan{Mode: mode, Rate: 0.01, Seed: 42, Row: -1, Col: -1, Pulse: -1}
+				m := faultMachine(t, plan, reg)
+				got, err := m.Run(tasks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Relations["out"].EqualAsMultiset(want.Relations["out"]) {
+					t.Errorf("%s under %s faults differs from fault-free result", name, mode)
+				}
+				for _, s := range reg.Snapshot() {
+					if s.Name == "fault_injections_total" {
+						injected += int64(s.Value)
+					}
+				}
+			})
+		}
+	}
+	if injected == 0 {
+		t.Error("no faults were injected across the whole suite; the test is vacuous")
+	}
+}
+
+// TestQuarantineReschedules drives a machine with one always-faulty and one
+// healthy intersect device: the bad device must be quarantined after its
+// consecutive failures, subsequent work must land on the survivor, and the
+// query must still complete with the correct result.
+func TestQuarantineReschedules(t *testing.T) {
+	a, b, err := workload.OverlapPair(11, 40, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := decompose.ArraySize{MaxA: 8, MaxB: 8}
+	reg := obs.NewRegistry()
+	alwaysBad := &fault.Plan{Mode: fault.Flip, Rate: 1, Seed: 1, Row: -1, Col: -1, Pulse: -1}
+	m, err := New(Config{
+		Memories: 3,
+		Devices: []DeviceConfig{
+			{Name: "bad", Kind: DevIntersect, Size: size, Fault: alwaysBad},
+			{Name: "good", Kind: DevIntersect, Size: size},
+		},
+		Tech:    perf.Conservative1980,
+		Disk:    perf.Disk1980,
+		Metrics: reg,
+		Fault: &FaultConfig{
+			Verify:          fault.VerifyChecksum,
+			QuarantineAfter: 2,
+			Retry:           fault.RetryPolicy{MaxAttempts: 6},
+			Sleep:           func(time.Duration) {},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpIntersect, Inputs: []string{"A", "B"}, Output: "out"},
+	}
+	clean := faultMachine(t, nil, obs.NewRegistry())
+	want, err := clean.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relations["out"].EqualAsMultiset(want.Relations["out"]) {
+		t.Error("result with a quarantined device differs from fault-free result")
+	}
+	if !m.Health().Quarantined("bad") {
+		t.Error("always-faulty device was not quarantined")
+	}
+	if m.Health().Quarantined("good") {
+		t.Error("healthy device was quarantined")
+	}
+	var quarEvents, retries float64
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "fault_quarantine_events_total":
+			quarEvents += s.Value
+		case "fault_retries_total":
+			retries += s.Value
+		}
+	}
+	if quarEvents == 0 {
+		t.Error("no quarantine event recorded in metrics")
+	}
+	if retries == 0 {
+		t.Error("no retries recorded in metrics")
+	}
+
+	// A second transaction on the same machine: the scheduler must route
+	// around the quarantined device entirely.
+	res2, err := m.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Relations["out"].EqualAsMultiset(want.Relations["out"]) {
+		t.Error("post-quarantine result differs from fault-free result")
+	}
+	for _, ev := range res2.Events {
+		if ev.Resource == "bad" {
+			t.Errorf("event %q booked on quarantined device", ev.Task)
+		}
+	}
+}
+
+// TestAllQuarantinedFallsBackToHost quarantines every device of a kind and
+// checks that the transaction still completes on the host resource — the
+// last rung of the degradation ladder.
+func TestAllQuarantinedFallsBackToHost(t *testing.T) {
+	a, b, err := workload.OverlapPair(13, 20, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := decompose.ArraySize{MaxA: 8, MaxB: 8}
+	alwaysBad := &fault.Plan{Mode: fault.StuckAt, Rate: 1, Seed: 3, Row: -1, Col: -1, Pulse: -1, StuckVal: true}
+	m, err := New(Config{
+		Memories: 3,
+		Devices: []DeviceConfig{
+			{Name: "bad0", Kind: DevIntersect, Size: size, Fault: alwaysBad},
+		},
+		Tech: perf.Conservative1980,
+		Disk: perf.Disk1980,
+		Fault: &FaultConfig{
+			Verify:          fault.VerifyChecksum,
+			QuarantineAfter: 1,
+			Retry:           fault.RetryPolicy{MaxAttempts: 2},
+			Sleep:           func(time.Duration) {},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []Task{
+		{Op: OpLoad, Base: a, Output: "A"},
+		{Op: OpLoad, Base: b, Output: "B"},
+		{Op: OpIntersect, Inputs: []string{"A", "B"}, Output: "out"},
+	}
+	clean := faultMachine(t, nil, obs.NewRegistry())
+	want, err := clean.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relations["out"].EqualAsMultiset(want.Relations["out"]) {
+		t.Error("host-fallback result differs from fault-free result")
+	}
+	if !m.Health().Quarantined("bad0") {
+		t.Fatal("device not quarantined")
+	}
+	// With the only device quarantined, a fresh transaction books its
+	// intersect work on the host resource.
+	res2, err := m.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onHost := false
+	for _, ev := range res2.Events {
+		if ev.Op == OpIntersect && ev.Resource == "host" {
+			onHost = true
+		}
+	}
+	if !onHost {
+		t.Error("post-quarantine transaction did not run on the host resource")
+	}
+
+	// Without host fallback the same situation must fail recoverably, so
+	// the query layer can take its own degraded path.
+	m2, err := New(Config{
+		Memories: 3,
+		Devices: []DeviceConfig{
+			{Name: "bad0", Kind: DevIntersect, Size: size, Fault: alwaysBad},
+		},
+		Tech: perf.Conservative1980,
+		Disk: perf.Disk1980,
+		Fault: &FaultConfig{
+			Verify:              fault.VerifyChecksum,
+			QuarantineAfter:     1,
+			Retry:               fault.RetryPolicy{MaxAttempts: 2},
+			DisableHostFallback: true,
+			Sleep:               func(time.Duration) {},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Run(tasks); !fault.Recoverable(err) {
+		t.Errorf("want a recoverable fault error without host fallback, got %v", err)
+	}
+}
+
+// TestConcurrentQuarantineNoDoubleBooking races several transactions on one
+// machine whose two bad devices fail simultaneously: every query must
+// complete correctly, both bad devices must end up quarantined, and within
+// each schedule the surviving device must never be double-booked
+// (overlapping intervals on one resource).
+func TestConcurrentQuarantineNoDoubleBooking(t *testing.T) {
+	a, b, err := workload.OverlapPair(17, 40, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := decompose.ArraySize{MaxA: 8, MaxB: 8}
+	alwaysBad := &fault.Plan{Mode: fault.Flip, Rate: 1, Seed: 5, Row: -1, Col: -1, Pulse: -1}
+	m, err := New(Config{
+		Memories: 4,
+		Devices: []DeviceConfig{
+			{Name: "bad0", Kind: DevIntersect, Size: size, Fault: alwaysBad},
+			{Name: "bad1", Kind: DevIntersect, Size: size, Fault: alwaysBad},
+			{Name: "good", Kind: DevIntersect, Size: size},
+		},
+		Tech:         perf.Conservative1980,
+		Disk:         perf.Disk1980,
+		Metrics:      obs.NewRegistry(),
+		TileParallel: true,
+		Fault: &FaultConfig{
+			Verify:          fault.VerifyChecksum,
+			QuarantineAfter: 2,
+			Retry:           fault.RetryPolicy{MaxAttempts: 8},
+			Sleep:           func(time.Duration) {},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := func() []Task {
+		return []Task{
+			{Op: OpLoad, Base: a, Output: "A"},
+			{Op: OpLoad, Base: b, Output: "B"},
+			{Op: OpIntersect, Inputs: []string{"A", "B"}, Output: "out"},
+		}
+	}
+	clean := faultMachine(t, nil, obs.NewRegistry())
+	want, err := clean.Run(tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 6
+	var wg sync.WaitGroup
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = m.Run(tasks())
+		}(w)
+	}
+	wg.Wait()
+
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+		if !results[w].Relations["out"].EqualAsMultiset(want.Relations["out"]) {
+			t.Errorf("worker %d result differs from fault-free result", w)
+		}
+		// Within one schedule no resource may host overlapping intervals.
+		type span struct{ s, e time.Duration }
+		byRes := make(map[string][]span)
+		for _, ev := range results[w].Events {
+			byRes[ev.Resource] = append(byRes[ev.Resource], span{ev.Start, ev.End})
+		}
+		for res, spans := range byRes {
+			for i := range spans {
+				for j := i + 1; j < len(spans); j++ {
+					if spans[i].s < spans[j].e && spans[j].s < spans[i].e {
+						t.Errorf("worker %d: resource %q double-booked (%v-%v overlaps %v-%v)",
+							w, res, spans[i].s, spans[i].e, spans[j].s, spans[j].e)
+					}
+				}
+			}
+		}
+	}
+	for _, name := range []string{"bad0", "bad1"} {
+		if !m.Health().Quarantined(name) {
+			t.Errorf("device %q not quarantined after concurrent failures", name)
+		}
+	}
+	if m.Health().Quarantined("good") {
+		t.Error("surviving device was quarantined")
+	}
+}

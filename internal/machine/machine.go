@@ -30,6 +30,7 @@ import (
 
 	"systolicdb/internal/decompose"
 	"systolicdb/internal/division"
+	"systolicdb/internal/fault"
 	"systolicdb/internal/join"
 	"systolicdb/internal/lptdisk"
 	"systolicdb/internal/obs"
@@ -124,6 +125,50 @@ type DeviceConfig struct {
 	Name string
 	Kind DeviceKind
 	Size decompose.ArraySize // tuple capacity of one pass (§8 decomposition unit)
+
+	// Fault injects faults into every grid this device runs (nil = a
+	// healthy device; overrides Config.Fault.Plan for this device).
+	// Setting it without Config.Fault enables the fault layer with
+	// default verification and retry.
+	Fault *fault.Plan
+}
+
+// FaultConfig enables fault-tolerant execution: per-tile verification,
+// retry with backoff, device quarantine, and (unless disabled) a
+// pristine-host last resort. A nil FaultConfig on Config.Fault selects the
+// historical behaviour: every array run is trusted.
+type FaultConfig struct {
+	// Plan injects faults into every device without a plan of its own
+	// (DeviceConfig.Fault overrides per device). Nil means no injection;
+	// verification and retry still apply.
+	Plan *fault.Plan
+
+	// Verify selects the per-tile result check (default VerifyNone:
+	// only the drivers' structural self-checks).
+	Verify fault.VerifyMode
+
+	// Retry bounds the per-tile retry loop (zero value = defaults).
+	Retry fault.RetryPolicy
+
+	// QuarantineAfter is how many consecutive failures quarantine a
+	// device (<= 0 selects the default, 3). Ignored when Health is set.
+	QuarantineAfter int
+
+	// Health optionally shares quarantine state across machines — the
+	// network server passes one per process so a device that went bad in
+	// one request stays quarantined for the next and /healthz can report
+	// the degradation.
+	Health *fault.Health
+
+	// DisableHostFallback forbids the pristine-host last resort: when
+	// retries exhaust or every device is quarantined, the run fails with
+	// a fault.Recoverable error instead (the query layer may still fall
+	// back to its own host executor).
+	DisableHostFallback bool
+
+	// Sleep replaces time.Sleep in the retry backoff (tests pass a
+	// no-op to keep fault runs fast).
+	Sleep func(time.Duration)
 }
 
 // Config describes the machine.
@@ -147,6 +192,12 @@ type Config struct {
 	// busy/idle time, memory-module contention, per-task queue wait) are
 	// recorded into. Nil selects obs.Default.
 	Metrics *obs.Registry
+
+	// Fault enables fault-tolerant execution: injection (per the plans),
+	// per-tile verification, retry, quarantine and host fallback. Nil
+	// disables the layer — unless some DeviceConfig carries its own fault
+	// plan, which enables it with default settings.
+	Fault *FaultConfig
 }
 
 // DivideSpec carries the column groups of a division task.
@@ -206,7 +257,10 @@ func (r *Result) Concurrency() float64 {
 
 // Machine is a configured §9 system.
 type Machine struct {
-	cfg Config
+	cfg          Config
+	execs        map[DeviceKind]*fault.Executor
+	health       *fault.Health
+	hostFallback bool
 }
 
 // New validates the configuration and builds a machine.
@@ -222,6 +276,9 @@ func New(cfg Config) (*Machine, error) {
 		if d.Name == "" {
 			return nil, fmt.Errorf("machine: device with empty name")
 		}
+		if d.Name == "disk" || d.Name == "host" {
+			return nil, fmt.Errorf("machine: device name %q is reserved", d.Name)
+		}
 		if seen[d.Name] {
 			return nil, fmt.Errorf("machine: duplicate device name %q", d.Name)
 		}
@@ -236,7 +293,73 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.ElementBytes <= 0 {
 		cfg.ElementBytes = 8
 	}
-	return &Machine{cfg: cfg}, nil
+	m := &Machine{cfg: cfg}
+	if err := m.initFault(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// initFault builds the fault-tolerant execution layer when the
+// configuration asks for it: Config.Fault set, or any device carrying its
+// own fault plan.
+func (m *Machine) initFault() error {
+	fc := m.cfg.Fault
+	if fc == nil {
+		for _, d := range m.cfg.Devices {
+			if d.Fault != nil {
+				fc = &FaultConfig{}
+				break
+			}
+		}
+	}
+	if fc == nil {
+		return nil
+	}
+	m.health = fc.Health
+	if m.health == nil {
+		m.health = fault.NewHealth(fc.QuarantineAfter)
+	}
+	m.hostFallback = !fc.DisableHostFallback
+	byKind := make(map[DeviceKind][]fault.Device)
+	for _, d := range m.cfg.Devices {
+		plan := d.Fault
+		if plan == nil {
+			plan = fc.Plan
+		}
+		byKind[d.Kind] = append(byKind[d.Kind], fault.Device{Name: d.Name, Plan: plan})
+	}
+	m.execs = make(map[DeviceKind]*fault.Executor)
+	for kind, devs := range byKind {
+		e, err := fault.NewExecutor(devs, fc.Verify, fc.Retry, m.health)
+		if err != nil {
+			return fmt.Errorf("machine: %v: %w", kind, err)
+		}
+		e.HostFallback = m.hostFallback
+		e.Metrics = m.cfg.Metrics
+		e.Sleep = fc.Sleep
+		m.execs[kind] = e
+	}
+	return nil
+}
+
+// Health exposes the machine's quarantine tracker (nil when the fault
+// layer is disabled). The network server reads it for /healthz, and
+// operators Revive devices through it.
+func (m *Machine) Health() *fault.Health { return m.health }
+
+// runner returns the fault runner for a device kind; nil runs tiles
+// directly on pristine cells (the fault layer disabled).
+func (m *Machine) runner(kind DeviceKind) fault.Runner {
+	if e, ok := m.execs[kind]; ok {
+		return e
+	}
+	return nil
+}
+
+// quarantined reports whether the scheduler must route around a device.
+func (m *Machine) quarantined(name string) bool {
+	return m.health != nil && m.health.Quarantined(name)
 }
 
 // Default1980 returns a machine shaped like Figure 9-1: three memory
@@ -259,6 +382,57 @@ func Default1980(arraySize int) (*Machine, error) {
 	})
 }
 
+// Default1980Fault is Default1980 with fault-tolerant execution enabled: the
+// same three-device machine, injecting and verifying according to fc. A nil
+// fc is identical to Default1980.
+func Default1980Fault(arraySize int, fc *FaultConfig) (*Machine, error) {
+	if arraySize <= 0 {
+		arraySize = 256
+	}
+	size := decompose.ArraySize{MaxA: arraySize, MaxB: arraySize}
+	return New(Config{
+		Memories: 3,
+		Devices: []DeviceConfig{
+			{Name: "intersect0", Kind: DevIntersect, Size: size},
+			{Name: "join0", Kind: DevJoin, Size: size},
+			{Name: "divide0", Kind: DevDivide, Size: size},
+		},
+		Tech:  perf.Conservative1980,
+		Disk:  perf.Disk1980,
+		Fault: fc,
+	})
+}
+
+// ParseFaultConfig turns the CLI fault flags shared by systolicdb,
+// systolicdbd and experiments into a FaultConfig. An empty spec with no
+// verify mode returns (nil, nil): fault-tolerant execution stays off. A
+// verify mode alone enables verification and retry without injection.
+func ParseFaultConfig(spec, verify string, retries, quarantineAfter int) (*FaultConfig, error) {
+	if spec == "" && verify == "" && retries == 0 && quarantineAfter == 0 {
+		return nil, nil
+	}
+	fc := &FaultConfig{QuarantineAfter: quarantineAfter}
+	if spec != "" {
+		p, err := fault.ParsePlan(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-fault: %w (%s)", err, fault.SpecHelp())
+		}
+		fc.Plan = p
+	}
+	if verify == "" && spec != "" {
+		verify = "checksum" // injecting without checking would be silent corruption
+	}
+	vm, err := fault.ParseVerifyMode(verify)
+	if err != nil {
+		return nil, fmt.Errorf("-verify: %w", err)
+	}
+	fc.Verify = vm
+	if retries > 0 {
+		fc.Retry.MaxAttempts = retries
+	}
+	return fc, nil
+}
+
 // relationBytes models the stored size of a relation for disk transfers.
 func (m *Machine) relationBytes(r *relation.Relation) float64 {
 	return float64(r.Cardinality() * r.Width() * m.cfg.ElementBytes)
@@ -272,8 +446,15 @@ type opResult struct {
 	tilePulses []int // per-tile pulse counts for tile-parallel scheduling
 }
 
-// execute computes a task's result on the (tiled) systolic arrays.
+// execute computes a task's result on the (tiled) systolic arrays. When
+// the fault layer is enabled every tile goes through the kind's executor,
+// which injects, verifies, retries and quarantines per the configuration.
 func (m *Machine) execute(t Task, size decompose.ArraySize, rels map[string]*relation.Relation) (opResult, error) {
+	var tiler decompose.Tiler
+	tiler.Size = size
+	if kind, ok := deviceFor(t.Op); ok {
+		tiler.Runner = m.runner(kind)
+	}
 	in := func(i int) (*relation.Relation, error) {
 		if i >= len(t.Inputs) {
 			return nil, fmt.Errorf("machine: task %q needs input %d", t.ID, i)
@@ -299,9 +480,9 @@ func (m *Machine) execute(t Task, size decompose.ArraySize, rels map[string]*rel
 			st  decompose.Stats
 		)
 		if t.Op == OpIntersect {
-			rel, st, err = decompose.Intersection(a, b, size)
+			rel, st, err = tiler.Intersection(a, b)
 		} else {
-			rel, st, err = decompose.Difference(a, b, size)
+			rel, st, err = tiler.Difference(a, b)
 		}
 		if err != nil {
 			return opResult{}, err
@@ -313,7 +494,7 @@ func (m *Machine) execute(t Task, size decompose.ArraySize, rels map[string]*rel
 		if err != nil {
 			return opResult{}, err
 		}
-		rel, st, err := decompose.RemoveDuplicates(a, size)
+		rel, st, err := tiler.RemoveDuplicates(a)
 		if err != nil {
 			return opResult{}, err
 		}
@@ -332,7 +513,7 @@ func (m *Machine) execute(t Task, size decompose.ArraySize, rels map[string]*rel
 		if err != nil {
 			return opResult{}, err
 		}
-		rel, st, err := decompose.RemoveDuplicates(cat, size)
+		rel, st, err := tiler.RemoveDuplicates(cat)
 		if err != nil {
 			return opResult{}, err
 		}
@@ -347,7 +528,7 @@ func (m *Machine) execute(t Task, size decompose.ArraySize, rels map[string]*rel
 		if err != nil {
 			return opResult{}, err
 		}
-		rel, st, err := decompose.RemoveDuplicates(multi, size)
+		rel, st, err := tiler.RemoveDuplicates(multi)
 		if err != nil {
 			return opResult{}, err
 		}
@@ -369,7 +550,7 @@ func (m *Machine) execute(t Task, size decompose.ArraySize, rels map[string]*rel
 		if err := spec.Validate(a, b); err != nil {
 			return opResult{}, err
 		}
-		tm, st, err := decompose.TiledJoinT(join.Keys(a, spec.ACols), join.Keys(b, spec.BCols), spec.Ops, size)
+		tm, st, err := tiler.JoinT(join.Keys(a, spec.ACols), join.Keys(b, spec.BCols), spec.Ops)
 		if err != nil {
 			return opResult{}, err
 		}
@@ -395,7 +576,7 @@ func (m *Machine) execute(t Task, size decompose.ArraySize, rels map[string]*rel
 		if err != nil {
 			return opResult{}, err
 		}
-		bits, st, err := decompose.TiledDivision(p.Pairs, p.Xs, p.Divisor, size)
+		bits, st, err := tiler.Division(p.Pairs, p.Xs, p.Divisor)
 		if err != nil {
 			return opResult{}, err
 		}
@@ -544,12 +725,22 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 				if !isDev {
 					return nil, fmt.Errorf("machine: task %q: unsupported op %v", t.ID, t.Op)
 				}
-				// Pick the device of the right kind that can start
-				// earliest.
+				// Pick the healthy device of the right kind that can
+				// start earliest. Quarantined devices stay configured but
+				// the scheduler routes around them.
 				best := -1
 				var bestStart time.Duration
+				configured := false
+				var anySize decompose.ArraySize
 				for d := range m.cfg.Devices {
 					if m.cfg.Devices[d].Kind != kind {
+						continue
+					}
+					if !configured {
+						configured = true
+						anySize = m.cfg.Devices[d].Size
+					}
+					if m.quarantined(m.cfg.Devices[d].Name) {
 						continue
 					}
 					s := maxDur(inputsReady, devFree[m.cfg.Devices[d].Name])
@@ -557,11 +748,28 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 						best, bestStart = d, s
 					}
 				}
-				if best < 0 {
+				if !configured {
 					return nil, fmt.Errorf("machine: no %v device for task %q", kind, t.ID)
 				}
-				dev := m.cfg.Devices[best]
-				out, err := m.execute(*t, dev.Size, rels)
+				var devName string
+				var devSize decompose.ArraySize
+				if best >= 0 {
+					devName = m.cfg.Devices[best].Name
+					devSize = m.cfg.Devices[best].Size
+				} else {
+					// Every device of the kind is quarantined: degrade to
+					// the host resource (pristine cells, same tiling) when
+					// allowed, else fail recoverably so the query layer can
+					// take its own fallback.
+					if !m.hostFallback {
+						return nil, fmt.Errorf("machine: task %q: %w (all %v devices quarantined)",
+							t.ID, fault.ErrNoHealthyDevice, kind)
+					}
+					devName = "host"
+					devSize = anySize
+					bestStart = maxDur(inputsReady, devFree["host"])
+				}
+				out, err := m.execute(*t, devSize, rels)
 				if err != nil {
 					return nil, err
 				}
@@ -596,11 +804,11 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 				}
 				waits = append(waits, w)
 				end := start + m.cfg.Tech.PulseTime(out.pulses)
-				devFree[dev.Name] = end
+				devFree[devName] = end
 				memFree[nextMem] = end
 				rels[t.Output] = out.rel
 				readyAt[t.Output] = end
-				ev = Event{Task: t.ID, Op: t.Op, Resource: dev.Name, Memory: nextMem,
+				ev = Event{Task: t.ID, Op: t.Op, Resource: devName, Memory: nextMem,
 					Start: start, End: end, Pulses: out.pulses, Tiles: out.tiles}
 				nextMem = (nextMem + 1) % m.cfg.Memories
 			}
@@ -668,10 +876,13 @@ func (m *Machine) registry() *obs.Registry {
 	return obs.Default
 }
 
-// resources returns every schedulable resource name: the disk plus all
-// configured devices.
+// resources returns every schedulable resource name: the disk, the host
+// (when the fault layer may degrade onto it) and all configured devices.
 func (m *Machine) resources() []string {
 	out := []string{"disk"}
+	if m.hostFallback {
+		out = append(out, "host")
+	}
 	for _, d := range m.cfg.Devices {
 		out = append(out, d.Name)
 	}
@@ -696,18 +907,30 @@ func (m *Machine) scheduleTiles(t *Task, kind DeviceKind, out opResult, inputsRe
 	for idx, pulses := range tiles {
 		best := ""
 		var bestStart time.Duration
+		configured := false
 		for d := range m.cfg.Devices {
 			if m.cfg.Devices[d].Kind != kind {
 				continue
 			}
+			configured = true
 			name := m.cfg.Devices[d].Name
+			if m.quarantined(name) {
+				continue
+			}
 			s := maxDur(earliest, devFree[name])
 			if best == "" || s < bestStart {
 				best, bestStart = name, s
 			}
 		}
 		if best == "" {
-			return nil, fmt.Errorf("machine: no %v device configured for task %q (tile %d)", kind, t.ID, idx)
+			if !configured {
+				return nil, fmt.Errorf("machine: no %v device configured for task %q (tile %d)", kind, t.ID, idx)
+			}
+			if !m.hostFallback {
+				return nil, fmt.Errorf("machine: task %q tile %d: %w (all %v devices quarantined)",
+					t.ID, idx, fault.ErrNoHealthyDevice, kind)
+			}
+			best, bestStart = "host", maxDur(earliest, devFree["host"])
 		}
 		end := bestStart + m.cfg.Tech.PulseTime(pulses)
 		devFree[best] = end

@@ -17,6 +17,7 @@ import (
 
 	"systolicdb/internal/dedup"
 	"systolicdb/internal/division"
+	"systolicdb/internal/fault"
 	"systolicdb/internal/intersect"
 	"systolicdb/internal/join"
 	"systolicdb/internal/lptdisk"
@@ -321,6 +322,46 @@ func execPair(ctx context.Context, l, r Node, cat Catalog, o *Options) (*relatio
 		return nil, nil, err
 	}
 	return lr, rr, nil
+}
+
+// ExecuteOnMachine compiles the plan into a transaction and runs it on the
+// §9 machine m. When fallback is true and the machine gives up with a
+// fault-recoverable error — retries exhausted, or every device of a kind
+// quarantined with no host resource allowed — the plan is re-executed on
+// the pristine host arrays instead; fellBack reports that the degraded
+// path produced the result (res is nil in that case). If even the host
+// path fails, the returned error still wraps the machine's recoverable
+// error, so callers can map "nothing left to try" to a retryable condition
+// (the network server answers 503).
+func ExecuteOnMachine(ctx context.Context, n Node, cat Catalog, o *Options,
+	m *machine.Machine, fallback bool) (rel *relation.Relation, res *machine.Result, fellBack bool, err error) {
+
+	tasks, out, err := CompileOpts(n, cat, o)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, false, err
+	}
+	res, err = m.Run(tasks)
+	if err != nil {
+		if !fallback || !fault.Recoverable(err) {
+			return nil, nil, false, err
+		}
+		// Degradation ladder, machine rung exhausted: answer from the
+		// host executor rather than failing the query.
+		o.registry().Counter("query_machine_fallback_total", nil).Inc()
+		rel, hostErr := ExecuteCtx(ctx, n, cat, o)
+		if hostErr != nil {
+			return nil, nil, true, fmt.Errorf("query: host fallback failed (%v) after machine gave up: %w", hostErr, err)
+		}
+		return rel, nil, true, nil
+	}
+	rel, ok := res.Relations[out]
+	if !ok {
+		return nil, nil, false, fmt.Errorf("query: machine run lost output %q", out)
+	}
+	return rel, res, false, nil
 }
 
 // Compile lowers a plan to a machine transaction. Every Scan becomes an

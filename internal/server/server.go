@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"systolicdb/internal/decompose"
+	"systolicdb/internal/fault"
 	"systolicdb/internal/machine"
 	"systolicdb/internal/obs"
 	"systolicdb/internal/perf"
@@ -78,6 +79,14 @@ type Config struct {
 	// recorded into. Nil selects a fresh private registry (not
 	// obs.Default), so concurrent servers — and tests — don't share state.
 	Metrics *obs.Registry
+
+	// Fault configures the fault layer of the per-request §9 machines:
+	// injection plans, verification, retry and quarantine. The server owns
+	// one process-wide health tracker, so a device quarantined during one
+	// request stays quarantined for every later request (and /healthz
+	// reports "degraded" until an operator revives it). Nil runs machines
+	// without the fault layer.
+	Fault *machine.FaultConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -111,10 +120,11 @@ func (c Config) withDefaults() Config {
 // Server is the HTTP query service. Create with New, serve its Handler
 // (or use Serve/Shutdown for the managed lifecycle).
 type Server struct {
-	cfg Config
-	cat *Catalog
-	reg *obs.Registry
-	mux *http.ServeMux
+	cfg    Config
+	cat    *Catalog
+	reg    *obs.Registry
+	mux    *http.ServeMux
+	health *fault.Health // process-wide quarantine state (nil without cfg.Fault)
 
 	sem      chan struct{} // worker slots; len == running queries
 	waiting  atomic.Int64  // queries queued for a slot
@@ -133,6 +143,12 @@ func New(cfg Config) *Server {
 		mux: http.NewServeMux(),
 		sem: make(chan struct{}, cfg.MaxConcurrent),
 	}
+	if cfg.Fault != nil {
+		s.health = cfg.Fault.Health
+		if s.health == nil {
+			s.health = fault.NewHealth(cfg.Fault.QuarantineAfter)
+		}
+	}
 	s.mux.HandleFunc("PUT /relations/{name}", s.instrument("relations_put", s.handlePutRelation))
 	s.mux.HandleFunc("GET /relations/{name}", s.instrument("relations_get", s.handleGetRelation))
 	s.mux.HandleFunc("DELETE /relations/{name}", s.instrument("relations_delete", s.handleDeleteRelation))
@@ -145,7 +161,7 @@ func New(cfg Config) *Server {
 	// first scrape, not only after the first rejection.
 	s.reg.Gauge("server_queue_depth", nil).Set(0)
 	s.reg.Gauge("server_active_queries", nil).Set(0)
-	for _, reason := range []string{"queue_full", "queue_timeout", "shutdown", "deadline"} {
+	for _, reason := range []string{"queue_full", "queue_timeout", "shutdown", "deadline", "degraded"} {
 		s.reg.Counter("server_rejected_total", obs.Labels{"reason": reason}).Add(0)
 	}
 	s.reg.Timer("server_queue_wait_seconds", nil)
@@ -154,6 +170,10 @@ func New(cfg Config) *Server {
 
 // Catalog exposes the server's relation catalog (for preloading at boot).
 func (s *Server) Catalog() *Catalog { return s.cat }
+
+// Health exposes the process-wide quarantine tracker (nil when the fault
+// layer is off). Operators revive quarantined devices through it.
+func (s *Server) Health() *fault.Health { return s.health }
 
 // Metrics exposes the server's registry.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
@@ -306,8 +326,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.reg.WriteText(w)
 }
 
+// handleHealthz reports the degradation ladder's current rung: "ok" (all
+// devices healthy), "degraded" (some device quarantined; queries still
+// answer via surviving devices or the host), or "draining" (shutdown has
+// begun). The probe always answers 200 — degradation is survivable by
+// design; only the load balancer's routing policy should change.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "relations": s.cat.Len()})
+	status := "ok"
+	body := map[string]any{"relations": s.cat.Len()}
+	if s.health != nil {
+		if q := s.health.QuarantinedNames(); len(q) > 0 {
+			status = "degraded"
+			body["quarantined"] = q
+		}
+	}
+	if s.draining.Load() {
+		status = "draining"
+	}
+	body["status"] = status
+	writeJSON(w, http.StatusOK, body)
 }
 
 // queryRequest is the POST /query body.
@@ -329,6 +366,16 @@ type queryRequest struct {
 	// TimeoutMS overrides the server's default per-request deadline,
 	// capped at Config.MaxTimeout.
 	TimeoutMS int `json:"timeout_ms"`
+
+	// RetryAttempts overrides the fault layer's per-tile retry budget for
+	// this request (0 keeps the server's configured policy). Only
+	// meaningful on the machine path with Config.Fault set.
+	RetryAttempts int `json:"retry_attempts"`
+
+	// NoFallback forbids the machine→host degradation for this request:
+	// when the machine gives up, the query fails (503) instead of being
+	// re-executed on the host arrays.
+	NoFallback bool `json:"no_fallback"`
 }
 
 // machineReport summarises a §9 run for the response.
@@ -351,6 +398,10 @@ type queryResponse struct {
 	SimTime   float64        `json:"sim_seconds"` // pulses under the 1980 technology model
 	ElapsedMS float64        `json:"elapsed_ms"`
 	Machine   *machineReport `json:"machine,omitempty"`
+
+	// Degraded reports that the machine gave up and the result was
+	// produced by the host-executor fallback instead.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // queryOutcome carries a finished query from its worker goroutine.
@@ -432,6 +483,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	select {
 	case out := <-done:
 		if out.err != nil {
+			if fault.Recoverable(out.err) {
+				// The whole degradation ladder is exhausted (or the
+				// request forbade falling further): the condition is
+				// transient capacity, not a bad query, so answer 503 with
+				// Retry-After — including for queries already in flight
+				// when a drain began.
+				reason := "degraded"
+				if s.draining.Load() {
+					reason = "shutdown"
+				}
+				s.reject(w, http.StatusServiceUnavailable, reason, "%v", out.err)
+				return
+			}
 			code := http.StatusUnprocessableEntity
 			if errors.Is(out.err, context.DeadlineExceeded) {
 				code = http.StatusGatewayTimeout
@@ -483,7 +547,7 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryRespons
 	)
 	opts := &query.Options{Metrics: s.reg, Stats: &st}
 	if req.Machine {
-		rel, resp.Machine, err = s.runOnMachine(ctx, plan, cat, opts)
+		rel, resp.Machine, resp.Degraded, err = s.runOnMachine(ctx, plan, cat, opts, req)
 	} else {
 		rel, err = query.ExecuteCtx(ctx, plan, cat, opts)
 	}
@@ -509,20 +573,29 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryRespons
 	return resp, nil
 }
 
-// runOnMachine compiles the plan to a transaction and runs it on a §9
-// machine recording into the server registry. The machine simulation
-// itself is not cancellable, but the context is checked before committing
-// to the run.
-func (s *Server) runOnMachine(ctx context.Context, plan query.Node, cat query.Catalog,
-	opts *query.Options) (*relation.Relation, *machineReport, error) {
+// machineFault derives the fault configuration for one request's machine:
+// the server's policy, the process-wide health tracker (so quarantine
+// outlives the request), and the request's retry override.
+func (s *Server) machineFault(req *queryRequest) *machine.FaultConfig {
+	if s.cfg.Fault == nil {
+		return nil
+	}
+	fc := *s.cfg.Fault
+	fc.Health = s.health
+	if req.RetryAttempts > 0 {
+		fc.Retry.MaxAttempts = req.RetryAttempts
+	}
+	return &fc
+}
 
-	tasks, out, err := query.CompileOpts(plan, cat, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
+// runOnMachine compiles the plan to a transaction and runs it on a §9
+// machine recording into the server registry, degrading to the host
+// executor when the machine gives up (unless the request forbids it). The
+// machine simulation itself is not cancellable, but the context is checked
+// before committing to the run.
+func (s *Server) runOnMachine(ctx context.Context, plan query.Node, cat query.Catalog,
+	opts *query.Options, req *queryRequest) (*relation.Relation, *machineReport, bool, error) {
+
 	size := decompose.ArraySize{MaxA: s.cfg.ArraySize, MaxB: s.cfg.ArraySize}
 	mach, err := machine.New(machine.Config{
 		Memories: 3,
@@ -534,20 +607,20 @@ func (s *Server) runOnMachine(ctx context.Context, plan query.Node, cat query.Ca
 		Tech:    perf.Conservative1980,
 		Disk:    perf.Disk1980,
 		Metrics: s.reg,
+		Fault:   s.machineFault(req),
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
-	res, err := mach.Run(tasks)
+	rel, res, fellBack, err := query.ExecuteOnMachine(ctx, plan, cat, opts, mach, !req.NoFallback)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fellBack, err
+	}
+	if fellBack {
+		return rel, nil, true, nil
 	}
 	if err := res.Validate(); err != nil {
-		return nil, nil, err
-	}
-	rel, ok := res.Relations[out]
-	if !ok {
-		return nil, nil, fmt.Errorf("server: machine run lost output %q", out)
+		return nil, nil, false, err
 	}
 	report := &machineReport{
 		MakespanSeconds: res.Makespan.Seconds(),
@@ -558,5 +631,5 @@ func (s *Server) runOnMachine(ctx context.Context, plan query.Node, cat query.Ca
 	for _, ev := range res.Events {
 		report.Pulses += ev.Pulses
 	}
-	return rel, report, nil
+	return rel, report, false, nil
 }

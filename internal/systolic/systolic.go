@@ -122,6 +122,19 @@ type Cell interface {
 	Reset()
 }
 
+// Wrap transforms the cell built for (row, col) — the hook the fault layer
+// uses to corrupt a grid's processors without the array drivers knowing
+// anything about fault models. A nil Wrap is the identity.
+type Wrap func(row, col int, cell Cell) Cell
+
+// BuildWith composes a cell builder with an optional wrapper.
+func BuildWith(build func(row, col int) Cell, wrap Wrap) func(row, col int) Cell {
+	if wrap == nil {
+		return build
+	}
+	return func(r, c int) Cell { return wrap(r, c, build(r, c)) }
+}
+
 // Feeder produces the token entering one boundary port at each pulse. The
 // staggered input schedules of §3 are implemented as feeders.
 type Feeder func(pulse int) Token
