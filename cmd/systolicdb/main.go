@@ -21,6 +21,13 @@
 //
 //	systolicdb -op query -rel emp=emp.tbl -rel dept=dept.tbl \
 //	    -q "project(join(scan(emp), scan(dept), 1=0), 0)"
+//
+// -op fsck validates a systolicdbd -data-dir offline: every write-ahead
+// log frame's CRC, every record's syntax, every relation's decodability
+// and logged checksum, and snapshot integrity. Exit status 0 means the
+// directory would recover cleanly.
+//
+//	systolicdb -op fsck -data-dir /var/lib/systolicdb
 package main
 
 import (
@@ -49,7 +56,7 @@ import (
 
 // validOps lists every supported -op mode; the usage string and the
 // unknown-operation error both derive from it so they cannot drift apart.
-const validOps = "intersect | difference | union | dedup | project | join | theta-join | divide | select | match | query"
+const validOps = "intersect | difference | union | dedup | project | join | theta-join | divide | select | match | query | fsck"
 
 func main() {
 	var (
@@ -66,6 +73,7 @@ func main() {
 		pattern    = flag.String("pattern", "systolic", "pattern for -op match ('?' is a wildcard)")
 		text       = flag.String("text", "systolic arrays pump data as the heart pumps blood", "text for -op match")
 		q          = flag.String("q", "", "plan for -op query, e.g. \"project(join(scan(A), scan(B), 0=0), 0)\"")
+		dataDir    = flag.String("data-dir", "", "for -op fsck: the systolicdbd data directory to validate")
 		onMach     = flag.Bool("machine", false, "run -op query on the §9 crossbar machine and print the schedule")
 		quiet      = flag.Bool("quiet", false, "suppress relation dumps, print stats only")
 		metrics    = flag.Bool("metrics", false, "emit the run's metrics registry (text and JSON) after the result")
@@ -86,6 +94,8 @@ func main() {
 		switch *op {
 		case "match":
 			err = runMatch(*pattern, *text)
+		case "fsck":
+			err = runFsck(os.Stdout, *dataDir)
 		case "query":
 			err = runQuery(*q, *n, *m, *seed, *match, rels, fc, *onMach, *quiet, *metrics)
 		default:

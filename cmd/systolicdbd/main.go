@@ -9,9 +9,16 @@
 //	curl -X POST -d '{"plan": "dedup(scan(parts))"}' localhost:8080/query
 //	curl localhost:8080/metrics
 //
+// With -data-dir the catalog is durable: every PUT/DELETE is written to a
+// checksummed write-ahead log before it is acknowledged, the log is
+// periodically compacted into atomic snapshots, and on boot the daemon
+// recovers and re-verifies the persisted catalog (torn final records are
+// truncated; any other corruption refuses to start — run
+// `systolicdb -op fsck -data-dir <dir>` for the damage report).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: listening stops
-// immediately, in-flight queries drain (bounded by -drain), then the
-// process exits 0.
+// immediately, in-flight queries drain (bounded by -drain), a final
+// snapshot is written, then the process exits 0.
 package main
 
 import (
@@ -23,37 +30,67 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"systolicdb/internal/fault"
 	"systolicdb/internal/machine"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/relation"
 	"systolicdb/internal/server"
+	"systolicdb/internal/wal"
 )
 
-func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-		workers = flag.Int("max-concurrent", 4, "queries executing at once (worker pool size)")
-		queue   = flag.Int("queue", 0, "admitted queries that may wait for a worker (0 = 2x workers, -1 = none)")
-		timeout = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
-		maxWait = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
-		array   = flag.Int("array", 64, "device capacity of the §9 machine used by machine queries")
-		drain   = flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
+// daemonConfig carries every knob of one daemon run.
+type daemonConfig struct {
+	Addr    string
+	Workers int
+	Queue   int
+	Timeout time.Duration
+	MaxWait time.Duration
+	Array   int
+	Drain   time.Duration
 
+	// DataDir enables the durable catalog; empty keeps it in-memory.
+	DataDir string
+	// Fsync syncs the WAL after every append (the ack-implies-durable
+	// guarantee holds through power loss, not just process death).
+	Fsync bool
+	// SnapshotEvery compacts the WAL after this many un-snapshotted records.
+	SnapshotEvery int
+
+	Fault *machine.FaultConfig
+	Rels  server.RelSpecs
+}
+
+func main() {
+	var cfg daemonConfig
+	flag.StringVar(&cfg.Addr, "addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	flag.IntVar(&cfg.Workers, "max-concurrent", 4, "queries executing at once (worker pool size)")
+	flag.IntVar(&cfg.Queue, "queue", 0, "admitted queries that may wait for a worker (0 = 2x workers, -1 = none)")
+	flag.DurationVar(&cfg.Timeout, "timeout", 30*time.Second, "default per-query deadline")
+	flag.DurationVar(&cfg.MaxWait, "max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	flag.IntVar(&cfg.Array, "array", 64, "device capacity of the §9 machine used by machine queries")
+	flag.DurationVar(&cfg.Drain, "drain", 30*time.Second, "how long shutdown waits for in-flight queries")
+
+	flag.StringVar(&cfg.DataDir, "data-dir", "", "durable catalog directory (empty = in-memory only)")
+	flag.BoolVar(&cfg.Fsync, "fsync", true, "fsync the write-ahead log on every catalog mutation")
+	flag.IntVar(&cfg.SnapshotEvery, "snapshot-every", 128, "compact the write-ahead log after this many mutations")
+
+	var (
 		faultSpec  = flag.String("fault", "", "inject faults into machine-query devices; "+fault.SpecHelp())
 		verifySpec = flag.String("verify", "", "per-tile verification for machine queries: none | checksum | dual (default checksum when -fault is set)")
 		retries    = flag.Int("retries", 0, "max attempts per tile for machine queries (0 = policy default)")
 		quarAfter  = flag.Int("quarantine-after", 0, "consecutive failures before a device is quarantined process-wide (0 = default)")
-
-		rels server.RelSpecs
 	)
-	flag.Var(&rels, "rel", "preload a relation: name=file.tbl (repeatable; types from a #% types: line)")
+	flag.Var(&cfg.Rels, "rel", "preload a relation: name=file.tbl (repeatable; types from a #% types: line)")
 	flag.Parse()
 
 	fc, err := machine.ParseFaultConfig(*faultSpec, *verifySpec, *retries, *quarAfter)
 	if err == nil {
-		err = run(*addr, *workers, *queue, *timeout, *maxWait, *array, *drain, fc, rels)
+		cfg.Fault = fc
+		err = run(cfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "systolicdbd:", err)
@@ -61,33 +98,80 @@ func main() {
 	}
 }
 
-func run(addr string, workers, queue int, timeout, maxWait time.Duration, array int,
-	drain time.Duration, fc *machine.FaultConfig, rels server.RelSpecs) error {
+// openDurable opens the WAL in cfg.DataDir and seeds cat with the
+// recovered relations. The WAL decodes through cat's own domain pool, so
+// recovered relations stay union-compatible with later loads.
+func openDurable(cfg daemonConfig, cat *server.Catalog, reg *obs.Registry) (*wal.Log, error) {
+	l, err := wal.Open(wal.Options{
+		Dir:   cfg.DataDir,
+		Fsync: cfg.Fsync,
+		Decode: func(table string) (*relation.Relation, error) {
+			return cat.ParseTable(strings.NewReader(table), "")
+		},
+		Metrics: reg,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("systolicdbd: wal: %s\n", fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec := l.Recovered()
+	for name, rel := range rec.Relations {
+		if err := cat.Put(name, rel); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("seeding recovered relation %q: %w", name, err)
+		}
+	}
+	fmt.Printf("systolicdbd: recovered %d relation(s) from %s (snapshot gen %d + %d record(s), %d verified, %d torn byte(s) truncated, %.1fms)\n",
+		len(rec.Relations), cfg.DataDir, rec.SnapshotGen, rec.Records, rec.Verified, rec.TornBytes, rec.DurationMS)
+	return l, nil
+}
+
+func run(cfg daemonConfig) error {
+	reg := obs.NewRegistry()
+	cat := server.NewCatalog()
+
+	var log *wal.Log
+	if cfg.DataDir != "" {
+		var err error
+		if log, err = openDurable(cfg, cat, reg); err != nil {
+			return err
+		}
+		defer log.Close()
+	}
 
 	s := server.New(server.Config{
-		MaxConcurrent:  workers,
-		MaxQueue:       queue,
-		DefaultTimeout: timeout,
-		MaxTimeout:     maxWait,
-		ArraySize:      array,
-		Fault:          fc,
+		MaxConcurrent:  cfg.Workers,
+		MaxQueue:       cfg.Queue,
+		DefaultTimeout: cfg.Timeout,
+		MaxTimeout:     cfg.MaxWait,
+		ArraySize:      cfg.Array,
+		Metrics:        reg,
+		Fault:          cfg.Fault,
+		Catalog:        cat,
+		WAL:            log,
+		SnapshotEvery:  cfg.SnapshotEvery,
 	})
-	if err := rels.LoadInto(s.Catalog()); err != nil {
+	// -rel preloads are boot configuration, not client mutations: they are
+	// re-applied from their files on every boot and bypass the WAL (the
+	// catalog Put, not the server's durable commit path).
+	if err := cfg.Rels.LoadInto(s.Catalog()); err != nil {
 		return err
 	}
-	if fc != nil {
+	if cfg.Fault != nil {
 		plan := "none"
-		if fc.Plan != nil {
-			plan = fc.Plan.String()
+		if cfg.Fault.Plan != nil {
+			plan = cfg.Fault.Plan.String()
 		}
-		fmt.Printf("systolicdbd: fault-tolerant execution on (inject=%s, verify=%s)\n", plan, fc.Verify)
+		fmt.Printf("systolicdbd: fault-tolerant execution on (inject=%s, verify=%s)\n", plan, cfg.Fault.Verify)
 	}
 	for _, name := range s.Catalog().Names() {
 		r, _ := s.Catalog().Get(name)
 		fmt.Printf("systolicdbd: loaded %s (%d tuples, %d columns)\n", name, r.Cardinality(), r.Width())
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return err
 	}
@@ -101,14 +185,22 @@ func run(addr string, workers, queue int, timeout, maxWait time.Duration, array 
 
 	select {
 	case sig := <-sigCh:
-		fmt.Printf("systolicdbd: %v, draining (max %v)\n", sig, drain)
-		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		fmt.Printf("systolicdbd: %v, draining (max %v)\n", sig, cfg.Drain)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Drain)
 		defer cancel()
 		if err := s.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
+		}
+		if log != nil && log.Lag() > 0 {
+			// Compact before exit so the next boot recovers from a snapshot
+			// instead of replaying the whole log.
+			if err := s.WriteSnapshot(); err != nil {
+				return fmt.Errorf("final snapshot: %w", err)
+			}
+			fmt.Println("systolicdbd: final snapshot written")
 		}
 		fmt.Println("systolicdbd: bye")
 		return nil

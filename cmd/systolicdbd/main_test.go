@@ -15,13 +15,35 @@ import (
 	"systolicdb/internal/server"
 )
 
+// testConfig is a daemon config suitable for in-process lifecycle tests.
+func testConfig() daemonConfig {
+	return daemonConfig{
+		Addr: "127.0.0.1:0", Workers: 2, Queue: 2,
+		Timeout: 5 * time.Second, MaxWait: time.Minute,
+		Array: 16, Drain: 5 * time.Second, SnapshotEvery: 128,
+	}
+}
+
 func TestRunBadInputs(t *testing.T) {
-	if err := run("256.0.0.1:-1", 1, 0, time.Second, time.Second, 8, time.Second, nil, nil); err == nil {
+	cfg := testConfig()
+	cfg.Addr = "256.0.0.1:-1"
+	if err := run(cfg); err == nil {
 		t.Error("bad listen address accepted")
 	}
-	rels := server.RelSpecs{{Name: "x", Path: filepath.Join(t.TempDir(), "missing.tbl")}}
-	if err := run("127.0.0.1:0", 1, 0, time.Second, time.Second, 8, time.Second, nil, rels); err == nil {
+	cfg = testConfig()
+	cfg.Rels = server.RelSpecs{{Name: "x", Path: filepath.Join(t.TempDir(), "missing.tbl")}}
+	if err := run(cfg); err == nil {
 		t.Error("missing relation file accepted")
+	}
+	// A data dir that is actually a file cannot open.
+	bad := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg = testConfig()
+	cfg.DataDir = bad
+	if err := run(cfg); err == nil {
+		t.Error("file as data dir accepted")
 	}
 }
 
@@ -62,11 +84,10 @@ func TestDaemonLifecycle(t *testing.T) {
 	os.Stdout = pw
 	defer func() { os.Stdout = old }()
 
+	cfg := testConfig()
+	cfg.Rels = server.RelSpecs{{Name: "emp", Path: tbl}}
 	runErr := make(chan error, 1)
-	go func() {
-		runErr <- run("127.0.0.1:0", 2, 2, 5*time.Second, time.Minute, 16, 5*time.Second, nil,
-			server.RelSpecs{{Name: "emp", Path: tbl}})
-	}()
+	go func() { runErr <- run(cfg) }()
 
 	// Watch stdout lines for the listen address.
 	lines := make(chan string, 16)

@@ -8,6 +8,8 @@ package fault
 import (
 	"fmt"
 	"strings"
+
+	"systolicdb/internal/relation"
 )
 
 // VerifyMode selects how a tile's result is checked.
@@ -94,6 +96,36 @@ func MatrixChecksum(bits [][]bool) Checksum {
 		}
 	}
 	return c
+}
+
+// RelationChecksum digests a whole relation the same way the tile
+// checksums digest a grid run: Count is the cardinality invariant and
+// Parity an order-independent XOR fold of per-tuple hashes. Two relations
+// with the same multiset of tuples always agree; a single corrupted
+// value always changes Parity. The fold is over the *decoded* field
+// values (Relation.DecodeTuple), not the integer encodings — dictionary
+// codes depend on intern order, so only the decoded view is stable across
+// processes. The durable catalog stores this alongside every logged
+// relation and re-verifies it at recovery, reusing Verify.
+func RelationChecksum(r *relation.Relation) (Checksum, error) {
+	c := Checksum{Count: r.Cardinality()}
+	for i := 0; i < r.Cardinality(); i++ {
+		fields, err := r.DecodeTuple(i)
+		if err != nil {
+			return Checksum{}, fmt.Errorf("fault: checksumming tuple %d: %w", i, err)
+		}
+		h := uint64(0x9e3779b97f4a7c15)
+		for _, f := range fields {
+			// Mix in the length so field boundaries are unambiguous
+			// (["ab","c"] and ["a","bc"] must not collide).
+			h = splitmix64(h ^ uint64(len(f)))
+			for _, b := range []byte(f) {
+				h = splitmix64(h ^ uint64(b))
+			}
+		}
+		c.Parity ^= h
+	}
+	return c, nil
 }
 
 // Verdict is the outcome of verifying one grid run.

@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"testing"
+
+	"systolicdb/internal/relation"
+)
+
+func mustSum(t *testing.T, r *relation.Relation) Checksum {
+	t.Helper()
+	c, err := RelationChecksum(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRelationChecksum pins the properties the durable catalog relies on:
+// order independence, cardinality tracking, sensitivity to any single
+// changed value, and stability across domain pools (dictionary codes
+// depend on intern order, so the fold must be over decoded values).
+func TestRelationChecksum(t *testing.T) {
+	d := relation.IntDomain("int")
+	schema := relation.MustSchema(
+		relation.Column{Name: "a", Domain: d},
+		relation.Column{Name: "b", Domain: d},
+	)
+	r := relation.MustRelation(schema, []relation.Tuple{{1, 2}, {3, 4}, {5, 6}})
+	sum := mustSum(t, r)
+	if sum.Count != 3 {
+		t.Errorf("Count = %d, want 3", sum.Count)
+	}
+
+	// Same tuples in a different order: same checksum.
+	perm := relation.MustRelation(schema, []relation.Tuple{{5, 6}, {1, 2}, {3, 4}})
+	if got := mustSum(t, perm); got != sum {
+		t.Errorf("reordered relation checksum %v != %v", got, sum)
+	}
+	if v := Verify(VerifyChecksum, mustSum(t, perm), sum); !v.OK {
+		t.Errorf("Verify rejected equal relations: %s", v.Reason)
+	}
+
+	// One changed element: different parity, caught by Verify.
+	flip := relation.MustRelation(schema, []relation.Tuple{{1, 2}, {3, 4}, {5, 7}})
+	if got := mustSum(t, flip); got.Parity == sum.Parity {
+		t.Error("single-element corruption not reflected in Parity")
+	}
+	if v := Verify(VerifyChecksum, mustSum(t, flip), sum); v.OK {
+		t.Error("Verify accepted a corrupted relation")
+	}
+
+	// A dropped tuple: caught as a cardinality mismatch.
+	short := relation.MustRelation(schema, []relation.Tuple{{1, 2}, {3, 4}})
+	if v := Verify(VerifyChecksum, mustSum(t, short), sum); v.OK {
+		t.Error("Verify accepted a truncated relation")
+	}
+
+	// Swapping elements across columns within a tuple changes the hash
+	// (the fold is position-sensitive inside a tuple).
+	swap := relation.MustRelation(schema, []relation.Tuple{{2, 1}, {3, 4}, {5, 6}})
+	if got := mustSum(t, swap); got.Parity == sum.Parity {
+		t.Error("within-tuple element swap not reflected in Parity")
+	}
+
+	// Field boundaries are unambiguous: <12, 3> and <1, 23> differ.
+	ab := relation.MustRelation(schema, []relation.Tuple{{12, 3}})
+	ba := relation.MustRelation(schema, []relation.Tuple{{1, 23}})
+	if mustSum(t, ab) == mustSum(t, ba) {
+		t.Error("field-boundary collision: <12,3> == <1,23>")
+	}
+}
+
+// TestRelationChecksumPoolIndependent: the same logical relation built
+// over two separately interned dictionary domains (different integer
+// codes) must checksum identically — this is what lets recovery verify a
+// relation re-interned in a fresh process.
+func TestRelationChecksumPoolIndependent(t *testing.T) {
+	build := func(warm []string) *relation.Relation {
+		names := relation.DictDomain("names")
+		for _, w := range warm { // perturb the intern order
+			if _, err := names.EncodeString(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		schema := relation.MustSchema(
+			relation.Column{Name: "id", Domain: relation.IntDomain("int")},
+			relation.Column{Name: "name", Domain: names},
+		)
+		rel := relation.MustRelation(schema, nil)
+		for i, s := range []string{"carol", "alice", "bob"} {
+			code, err := names.EncodeString(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rel.Append(relation.Tuple{relation.Element(i), code}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rel
+	}
+	a := build(nil)
+	b := build([]string{"zeta", "alice", "bob", "carol"})
+	// Sanity: the integer encodings really differ between the two pools.
+	if a.Tuple(0)[1] == b.Tuple(0)[1] {
+		t.Fatal("test did not perturb dictionary codes")
+	}
+	if mustSum(t, a) != mustSum(t, b) {
+		t.Errorf("same values, different pools: checksum %v != %v", mustSum(t, a), mustSum(t, b))
+	}
+}

@@ -68,6 +68,27 @@ func DateDomain(name string) *Domain {
 // Name returns the domain's name.
 func (d *Domain) Name() string { return d.name }
 
+// Spec returns the domain's textual type spec — "kind" or "kind:name" —
+// the format accepted by the server's domain pool and the `#% types:`
+// table directive. It is how a schema's column types are serialised (to a
+// table dump, to the write-ahead log) so a loader with a domain pool can
+// rebuild an equivalent, union-compatible schema.
+func (d *Domain) Spec() string {
+	kind := "int"
+	switch d.kind {
+	case dictKind:
+		kind = "dict"
+	case boolKind:
+		kind = "bool"
+	case dateKind:
+		kind = "date"
+	}
+	if d.name == kind {
+		return kind
+	}
+	return kind + ":" + d.name
+}
+
 // Same reports whether d and e are the same underlying domain. Identity of
 // the Domain object is what matters: two separately constructed dictionaries
 // are different domains even if they share a name, mirroring the physical

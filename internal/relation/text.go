@@ -126,6 +126,45 @@ func FormatTable(w io.Writer, r *Relation) error {
 	return bw.Flush()
 }
 
+// FormatTableTypes writes the relation like FormatTable, preceded by a
+// `#% types:` directive declaring each column's domain spec (Domain.Spec).
+// Loaders that understand the directive — the server catalog, the
+// write-ahead log — rebuild the schema with pooled domains, so a dump →
+// load round trip preserves column domains; ParseTable itself skips the
+// directive as a comment, so the output remains valid plain-table input.
+func FormatTableTypes(w io.Writer, r *Relation) error {
+	if r == nil {
+		return fmt.Errorf("relation: nil relation")
+	}
+	specs := make([]string, r.Schema().Width())
+	for i := range specs {
+		specs[i] = r.Schema().Col(i).Domain.Spec()
+	}
+	if _, err := fmt.Fprintf(w, "#%% types: %s\n", strings.Join(specs, ", ")); err != nil {
+		return err
+	}
+	return FormatTable(w, r)
+}
+
+// DecodeTuple returns tuple i's fields decoded through the column
+// domains, exactly as FormatTable renders them (before quoting). This is
+// the encoding-independent view of a tuple: two relations holding the
+// same values decode identically even when their domains assigned
+// different integer codes (dictionary codes depend on intern order), which
+// is what recovery-time checksums must be computed over.
+func (r *Relation) DecodeTuple(i int) ([]string, error) {
+	t := r.Tuple(i)
+	out := make([]string, len(t))
+	for k, e := range t {
+		s, err := formatField(r.Schema().Col(k).Domain, e)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = s
+	}
+	return out, nil
+}
+
 // quoteField renders one field for FormatTable, double-quoting it whenever
 // the raw form would not survive splitFields: empty fields, fields with
 // leading/trailing whitespace (bare fields are trimmed on parse), fields

@@ -66,14 +66,24 @@ func (c *Catalog) Names() []string {
 	return out
 }
 
-// Put publishes rel under name, replacing any previous relation of that
-// name. In-flight queries keep whatever snapshot they started with.
-func (c *Catalog) Put(name string, rel *relation.Relation) error {
+// CheckPut validates a put without publishing it — the same checks Put
+// performs. The durable-commit path runs it before write-ahead logging,
+// so the WAL never records a mutation the catalog would then refuse.
+func (c *Catalog) CheckPut(name string, rel *relation.Relation) error {
 	if name == "" {
 		return fmt.Errorf("server: relation name must not be empty")
 	}
 	if rel == nil {
 		return fmt.Errorf("server: nil relation")
+	}
+	return nil
+}
+
+// Put publishes rel under name, replacing any previous relation of that
+// name. In-flight queries keep whatever snapshot they started with.
+func (c *Catalog) Put(name string, rel *relation.Relation) error {
+	if err := c.CheckPut(name, rel); err != nil {
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

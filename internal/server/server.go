@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,7 @@ import (
 	"systolicdb/internal/perf"
 	"systolicdb/internal/query"
 	"systolicdb/internal/relation"
+	"systolicdb/internal/wal"
 )
 
 // Config tunes the service. The zero value gets sensible defaults from
@@ -80,6 +82,23 @@ type Config struct {
 	// obs.Default), so concurrent servers — and tests — don't share state.
 	Metrics *obs.Registry
 
+	// Catalog, when non-nil, is served instead of a fresh empty catalog.
+	// The daemon uses this to hand the server a catalog already seeded
+	// with WAL-recovered relations (which must have been decoded through
+	// this same catalog's domain pool).
+	Catalog *Catalog
+
+	// WAL, when non-nil, makes the catalog durable: every put/delete is
+	// appended (and per the log's fsync policy, synced) to the write-ahead
+	// log *before* it is published and acknowledged, so an acked mutation
+	// survives a crash. Nil keeps the catalog purely in-memory.
+	WAL *wal.Log
+
+	// SnapshotEvery triggers a background catalog snapshot (log rotation +
+	// compaction) once the WAL has accumulated this many un-snapshotted
+	// records. Default 256. Ignored without WAL.
+	SnapshotEvery int
+
 	// Fault configures the fault layer of the per-request §9 machines:
 	// injection plans, verification, retry and quarantine. The server owns
 	// one process-wide health tracker, so a device quarantined during one
@@ -111,6 +130,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
@@ -125,6 +147,16 @@ type Server struct {
 	reg    *obs.Registry
 	mux    *http.ServeMux
 	health *fault.Health // process-wide quarantine state (nil without cfg.Fault)
+	wal    *wal.Log      // durability log (nil = in-memory catalog)
+
+	// commitMu orders WAL appends against catalog publishes: each mutation
+	// holds it across append + publish, and the snapshot trigger holds it
+	// across rotate + state capture, so log order equals publish order and
+	// a snapshot's state covers every record of the generations it
+	// supersedes. It is separate from the catalog's own lock, so readers
+	// and running queries never wait on an fsync.
+	commitMu     sync.Mutex
+	snapshotting atomic.Bool // a background snapshot is in flight
 
 	sem      chan struct{} // worker slots; len == running queries
 	waiting  atomic.Int64  // queries queued for a slot
@@ -133,14 +165,19 @@ type Server struct {
 	httpSrv *http.Server
 }
 
-// New builds a server with an empty catalog.
+// New builds a server with an empty catalog (or Config.Catalog when set).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	cat := cfg.Catalog
+	if cat == nil {
+		cat = NewCatalog()
+	}
 	s := &Server{
 		cfg: cfg,
-		cat: NewCatalog(),
+		cat: cat,
 		reg: cfg.Metrics,
 		mux: http.NewServeMux(),
+		wal: cfg.WAL,
 		sem: make(chan struct{}, cfg.MaxConcurrent),
 	}
 	if cfg.Fault != nil {
@@ -247,6 +284,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// A mutation accepted during a drain could outrun the final
+		// snapshot; refuse up front rather than ack something the shutdown
+		// path may not persist.
+		s.reject(w, http.StatusServiceUnavailable, "shutdown", "server is shutting down")
+		return
+	}
 	name := r.PathValue("name")
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	rel, err := s.cat.ParseTable(body, r.URL.Query().Get("types"))
@@ -259,7 +303,11 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.cat.Put(name, rel); err != nil {
+	if err := s.commitPut(name, rel); err != nil {
+		if errors.Is(err, errWAL) {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -270,6 +318,96 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// errWAL marks a mutation refused because it could not be made durable
+// (as opposed to one the catalog itself rejected).
+var errWAL = errors.New("write-ahead log append failed")
+
+// commitPut publishes one relation, write-ahead logging it first when the
+// server is durable. The commit mutex makes log order equal publish order.
+func (s *Server) commitPut(name string, rel *relation.Relation) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	// Validate before logging so the WAL never records a mutation the
+	// catalog would refuse (CheckPut performs the same name/relation
+	// validation Put does, without publishing).
+	if err := s.cat.CheckPut(name, rel); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.AppendPut(name, rel); err != nil {
+			s.reg.Counter("server_wal_errors_total", nil).Inc()
+			return fmt.Errorf("%w: %v", errWAL, err)
+		}
+	}
+	if err := s.cat.Put(name, rel); err != nil {
+		return err
+	}
+	s.maybeSnapshot()
+	return nil
+}
+
+// commitDelete removes a relation, write-ahead logging the delete first.
+// It reports whether the relation existed; a delete of a missing relation
+// is not logged.
+func (s *Server) commitDelete(name string) (bool, error) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if _, ok := s.cat.Get(name); !ok {
+		return false, nil
+	}
+	if s.wal != nil {
+		if err := s.wal.AppendDelete(name); err != nil {
+			s.reg.Counter("server_wal_errors_total", nil).Inc()
+			return true, fmt.Errorf("%w: %v", errWAL, err)
+		}
+	}
+	ok := s.cat.Delete(name)
+	s.maybeSnapshot()
+	return ok, nil
+}
+
+// maybeSnapshot kicks off a background snapshot once the WAL lag crosses
+// the configured threshold. Caller holds commitMu; the snapshot itself
+// runs off-thread so the triggering request is not held up. At most one
+// snapshot runs at a time.
+func (s *Server) maybeSnapshot() {
+	if s.wal == nil || s.wal.Lag() < int64(s.cfg.SnapshotEvery) {
+		return
+	}
+	if !s.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.snapshotting.Store(false)
+		if err := s.WriteSnapshot(); err != nil {
+			s.reg.Counter("server_wal_errors_total", nil).Inc()
+		}
+	}()
+}
+
+// WriteSnapshot rotates the WAL and persists the current catalog as the
+// new recovery base, garbage-collecting the log segments it supersedes.
+// No-op without a WAL. The daemon also calls this on graceful shutdown so
+// restarts recover from a snapshot instead of replaying a long log.
+func (s *Server) WriteSnapshot() error {
+	if s.wal == nil {
+		return nil
+	}
+	// Rotate and capture under the commit mutex: every record in the
+	// sealed generations is then ≤ the captured state, so the snapshot
+	// supersedes them. The actual file write happens after unlock —
+	// snapshotting a large catalog must not stall mutations.
+	s.commitMu.Lock()
+	gen, err := s.wal.Rotate()
+	if err != nil {
+		s.commitMu.Unlock()
+		return err
+	}
+	state := s.cat.Snapshot()
+	s.commitMu.Unlock()
+	return s.wal.WriteSnapshot(gen, state)
+}
+
 func (s *Server) handleGetRelation(w http.ResponseWriter, r *http.Request) {
 	rel, ok := s.cat.Get(r.PathValue("name"))
 	if !ok {
@@ -277,14 +415,26 @@ func (s *Server) handleGetRelation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := relation.FormatTable(w, rel); err != nil {
+	// FormatTableTypes leads with a `#% types:` directive, so a dump fed
+	// back into PUT reconstructs the same column domains — GET/PUT round
+	// trips (and the crash-torture harness) are lossless.
+	if err := relation.FormatTableTypes(w, rel); err != nil {
 		// Headers are gone; all we can do is log the failure as a metric.
 		s.reg.Counter("server_dump_errors_total", nil).Inc()
 	}
 }
 
 func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
-	if !s.cat.Delete(r.PathValue("name")) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "shutdown", "server is shutting down")
+		return
+	}
+	ok, err := s.commitDelete(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, "unknown relation %q", r.PathValue("name"))
 		return
 	}
@@ -342,6 +492,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.draining.Load() {
 		status = "draining"
+	}
+	if s.wal != nil {
+		// Durability state: data dir, fsync policy, WAL lag, and what the
+		// last recovery rebuilt (records replayed, torn bytes truncated,
+		// relations checksum-verified).
+		body["durability"] = s.wal.Status()
 	}
 	body["status"] = status
 	writeJSON(w, http.StatusOK, body)

@@ -1,0 +1,220 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"systolicdb/internal/relation"
+)
+
+// tortureLog builds a segment of several mutations, recording the file
+// size and expected catalog state (as canonical dumps) after each one.
+// Index 0 is the empty log; index i is the state after mutation i.
+func tortureLog(t *testing.T) (data []byte, sizes []int64, states []map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	path := filepath.Join(dir, segName(1))
+
+	snap := func() {
+		t.Helper()
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, st.Size())
+		cur := map[string]string{}
+		for k, v := range states[len(states)-1] {
+			cur[k] = v
+		}
+		states = append(states, cur)
+	}
+	states = append(states, map[string]string{})
+	sizes = append(sizes, 0)
+
+	put := func(name string, rel *relation.Relation) {
+		t.Helper()
+		if err := l.AppendPut(name, rel); err != nil {
+			t.Fatal(err)
+		}
+		snap()
+		states[len(states)-1][name] = dump(t, rel)
+	}
+	del := func(name string) {
+		t.Helper()
+		if err := l.AppendDelete(name); err != nil {
+			t.Fatal(err)
+		}
+		snap()
+		delete(states[len(states)-1], name)
+	}
+
+	put("emp", testRel(t, 1, "alice", 2, "bob"))
+	put("dept", testRel(t, 10, "sales"))
+	put("emp", testRel(t, 1, "alice", 2, "bob", 3, "carol")) // overwrite
+	del("dept")
+	put("proj", testRel(t, 7, "systolic"))
+	put("dept", testRel(t, 11, "ops")) // resurrect after delete
+
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != sizes[len(sizes)-1] {
+		t.Fatalf("read %d bytes, sizes say %d", len(data), sizes[len(sizes)-1])
+	}
+	return data, sizes, states
+}
+
+// boundaryBefore returns the index of the last record boundary at or
+// before cut.
+func boundaryBefore(sizes []int64, cut int64) int {
+	i := 0
+	for j, s := range sizes {
+		if s <= cut {
+			i = j
+		}
+	}
+	return i
+}
+
+// TestTruncationPrefixProperty is the file-level crash model: after
+// SIGKILL the segment on disk is some prefix of what was written (appends
+// only extend the file). For EVERY possible prefix length, recovery must
+// yield exactly the state as of the last complete record, report the
+// remainder as a torn tail, truncate it away, and leave the log
+// appendable.
+func TestTruncationPrefixProperty(t *testing.T) {
+	data, sizes, states := tortureLog(t)
+
+	step := int64(1)
+	if testing.Short() {
+		step = 17
+	}
+	for cut := int64(0); cut <= int64(len(data)); cut += step {
+		b := boundaryBefore(sizes, cut)
+		want := states[b]
+		wantTorn := cut - sizes[b]
+
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(Options{Dir: dir, Decode: testDecoder(), Logf: func(string, ...any) {}})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		rec := l.Recovered()
+		if rec.TornBytes != wantTorn {
+			t.Fatalf("cut %d: torn bytes %d, want %d", cut, rec.TornBytes, wantTorn)
+		}
+		if len(rec.Relations) != len(want) {
+			t.Fatalf("cut %d: recovered %d relations, want %d", cut, len(rec.Relations), len(want))
+		}
+		for name, wdump := range want {
+			rel, ok := rec.Relations[name]
+			if !ok {
+				t.Fatalf("cut %d: relation %q lost", cut, name)
+			}
+			if d := dump(t, rel); d != wdump {
+				t.Fatalf("cut %d: relation %q recovered wrong:\n%s\nwant:\n%s", cut, name, d, wdump)
+			}
+		}
+		// The torn remainder is physically gone and the log is appendable.
+		if st, err := os.Stat(filepath.Join(dir, segName(1))); err != nil || st.Size() != sizes[b] {
+			t.Fatalf("cut %d: segment size %v/%v, want %d", cut, st, err, sizes[b])
+		}
+		if err := l.AppendDelete("emp"); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBitFlipSweepRefused flips one byte at a time inside every non-final
+// record — payload bytes and the CRC field both — and asserts recovery
+// refuses the segment (pointing at fsck) and Fsck reports it without
+// modifying the file. A flip mid-file cannot be a torn append, so it must
+// never be silently truncated.
+func TestBitFlipSweepRefused(t *testing.T) {
+	data, sizes, _ := tortureLog(t)
+
+	// Offsets to corrupt within each non-final record: the CRC field and a
+	// spread of payload bytes.
+	for rec := 0; rec+1 < len(sizes)-1; rec++ {
+		start, end := sizes[rec], sizes[rec+1]
+		offsets := []int64{
+			start + 4,               // first CRC byte
+			start + frameHeaderSize, // first payload byte
+			start + (end-start)/2,   // mid payload
+			end - 1,                 // last payload byte
+			start + frameHeaderSize + (end-start-frameHeaderSize)/3, // another payload byte
+		}
+		for _, off := range offsets {
+			mut := make([]byte, len(data))
+			copy(mut, data)
+			mut[off] ^= 0x20
+
+			dir := t.TempDir()
+			path := filepath.Join(dir, segName(1))
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Open(Options{Dir: dir, Decode: testDecoder()}); err == nil {
+				t.Fatalf("record %d offset %d: Open accepted a bit flip", rec, off)
+			} else if !strings.Contains(err.Error(), "fsck") {
+				t.Fatalf("record %d offset %d: error should point at fsck: %v", rec, off, err)
+			}
+			rep, err := Fsck(dir, testDecoder())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OK() {
+				t.Fatalf("record %d offset %d: fsck passed a flipped bit", rec, off)
+			}
+			if st, err := os.Stat(path); err != nil || st.Size() != int64(len(mut)) {
+				t.Fatalf("record %d offset %d: fsck or Open modified the file", rec, off)
+			}
+		}
+	}
+}
+
+// TestBitFlipFinalRecordIsTorn: damage confined to the final record of
+// the newest segment is indistinguishable from a write cut short by a
+// crash, so recovery treats it as torn — the state rolls back exactly one
+// record and everything earlier survives.
+func TestBitFlipFinalRecordIsTorn(t *testing.T) {
+	data, sizes, states := tortureLog(t)
+	last := len(sizes) - 1
+	mut := make([]byte, len(data))
+	copy(mut, data)
+	mut[sizes[last-1]+frameHeaderSize+3] ^= 0x01 // payload byte of the final record
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(Options{Dir: dir, Decode: testDecoder(), Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatalf("Open refused damage confined to the final record: %v", err)
+	}
+	defer l.Close()
+	rec := l.Recovered()
+	want := states[last-1]
+	if rec.TornBytes != sizes[last]-sizes[last-1] || len(rec.Relations) != len(want) {
+		t.Fatalf("recovery = %+v (relations %d), want %d torn bytes and %d relations",
+			rec, len(rec.Relations), sizes[last]-sizes[last-1], len(want))
+	}
+	for name, wdump := range want {
+		if rel, ok := rec.Relations[name]; !ok || dump(t, rel) != wdump {
+			t.Errorf("relation %q wrong after final-record rollback", name)
+		}
+	}
+}

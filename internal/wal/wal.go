@@ -1,0 +1,447 @@
+// Package wal makes the daemon's relation catalog durable and
+// crash-safe. Kung & Lehman's §9 database machine keeps its relations on
+// disk drives that feed the systolic arrays; this package is that disk in
+// software — the host owns durable state while the arrays own throughput.
+//
+// The design is a classic write-ahead log with snapshot compaction:
+//
+//   - Every catalog mutation (put or delete of a named relation) is
+//     appended to the current log segment — CRC32- and length-framed,
+//     carrying the relation's schema (`#% types:` domain specs) and its
+//     fault.RelationChecksum — and optionally fsynced, *before* the
+//     mutation is acknowledged. An acked write is therefore recoverable.
+//
+//   - Periodically the log rotates to a fresh segment and the whole
+//     catalog is written to a snapshot file (write temp + fsync + rename,
+//     so a snapshot is atomic), after which the segments it supersedes
+//     are deleted. Snapshots bound both recovery time and disk use.
+//
+//   - On boot, Open replays the newest valid snapshot plus every later
+//     segment. A final record cut short by a crash (a torn tail) is
+//     truncated and recovery proceeds; a corrupt record anywhere else is
+//     refused with an error naming the file and offset — run Fsck for
+//     the full report. Every recovered relation is re-verified against
+//     its logged cardinality and order-independent XOR checksum through
+//     the fault package's Verify machinery, so recovery-time integrity
+//     failures are caught the same way tile-level faults are.
+//
+// The file layout under the data directory is generation-numbered:
+// wal-<g>.log holds the mutations of generation g, and snap-<g>.snap
+// holds the full catalog as of the rotation that opened generation g
+// (records are full-state puts, so replaying a segment the snapshot
+// already covers is idempotent). Recovery loads the newest valid
+// snapshot and replays every segment of that generation and later.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"systolicdb/internal/obs"
+	"systolicdb/internal/relation"
+)
+
+// DecodeFunc rebuilds a relation from its serialised form — a `#% types:`
+// directive plus the text-table format. The caller supplies it (typically
+// the server catalog's ParseTable) so recovered relations are built
+// against the caller's domain pool and stay union-compatible with
+// relations loaded later.
+type DecodeFunc func(table string) (*relation.Relation, error)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory; created if missing.
+	Dir string
+
+	// Fsync syncs the segment file after every append, making the
+	// ack-implies-durable guarantee hold through power loss, not just
+	// process death. Segment seals and snapshots are always synced
+	// regardless. Off trades the unsynced tail of the log for append
+	// throughput.
+	Fsync bool
+
+	// Decode rebuilds relations during recovery. Required.
+	Decode DecodeFunc
+
+	// Metrics receives the WAL's counters, gauges and timers (append and
+	// fsync latency, bytes, lag, snapshot and recovery stats). Nil
+	// records into a private throwaway registry.
+	Metrics *obs.Registry
+
+	// Logf reports recovery warnings, e.g. a truncated torn tail. Nil is
+	// silent.
+	Logf func(format string, args ...any)
+}
+
+// Recovery summarises what Open reconstructed.
+type Recovery struct {
+	// Relations is the recovered catalog state. Consumed by the caller;
+	// not serialised into status reports.
+	Relations map[string]*relation.Relation `json:"-"`
+
+	SnapshotGen  uint64  `json:"snapshot_gen"`       // 0 = no snapshot found
+	SnapshotRels int     `json:"snapshot_relations"` // relations loaded from it
+	Segments     int     `json:"segments_replayed"`
+	Records      int     `json:"records_replayed"`
+	TornBytes    int64   `json:"torn_bytes_truncated"` // tail bytes discarded
+	Verified     int     `json:"relations_verified"`   // checksum verifications run
+	DurationMS   float64 `json:"duration_ms"`
+}
+
+// Status is the log's live state, reported by /healthz.
+type Status struct {
+	Dir         string   `json:"dir"`
+	Fsync       bool     `json:"fsync"`
+	Gen         uint64   `json:"segment_gen"`  // current segment generation
+	Seq         uint64   `json:"last_seq"`     // last assigned record sequence
+	Lag         int64    `json:"lag_records"`  // appends not yet snapshotted
+	SnapshotGen uint64   `json:"snapshot_gen"` // newest completed snapshot
+	Recovery    Recovery `json:"recovery"`     // what the last Open rebuilt
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use; the caller is responsible for ordering appends against its own
+// state (the server holds one commit mutex across append + publish so
+// log order equals publish order).
+type Log struct {
+	opt Options
+	reg *obs.Registry
+	rec Recovery
+
+	mu      sync.Mutex
+	f       *os.File // current segment, append-only
+	gen     uint64   // current segment generation
+	seq     uint64   // last assigned record seq
+	lag     int64    // appends since the last completed snapshot
+	snapGen uint64   // generation of the newest completed snapshot
+	closed  bool
+}
+
+func segName(gen uint64) string  { return fmt.Sprintf("wal-%016d.log", gen) }
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016d.snap", gen) }
+
+// parseGen extracts the generation from a wal/snap file name.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	var gen uint64
+	if _, err := fmt.Sscanf(name[len(prefix):len(name)-len(suffix)], "%d", &gen); err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// listGens returns the sorted generations of files matching prefix/suffix
+// in dir.
+func listGens(dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if gen, ok := parseGen(e.Name(), prefix, suffix); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Open recovers the catalog state persisted in opts.Dir and returns a log
+// ready for appends. A torn final record is truncated (reported through
+// opts.Logf and the recovery stats); any other corruption — a CRC
+// mismatch mid-file, a checksum-failing relation, an unparseable record —
+// refuses to open with an error naming the damage.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: empty data directory")
+	}
+	if opts.Decode == nil {
+		return nil, fmt.Errorf("wal: Options.Decode is required")
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{opt: opts, reg: opts.Metrics}
+
+	start := time.Now()
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	l.rec.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	// Records replayed from segments are appends no snapshot covers yet, so
+	// they are lag: the snapshot policy (and the shutdown compaction) must
+	// see them, or a daemon that crash-loops never compacts.
+	l.lag = int64(l.rec.Records)
+
+	// Open (or create) the newest segment for appending.
+	segs, err := listGens(opts.Dir, "wal-", ".log")
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.gen = l.snapGen
+	if n := len(segs); n > 0 && segs[n-1] > l.gen {
+		l.gen = segs[n-1]
+	}
+	if l.gen == 0 {
+		l.gen = 1
+	}
+	path := filepath.Join(opts.Dir, segName(l.gen))
+	l.f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(opts.Dir); err != nil {
+		l.f.Close()
+		return nil, err
+	}
+
+	l.reg.Timer("wal_recovery_seconds", nil).Observe(time.Since(start))
+	l.reg.Counter("wal_recovery_records_total", nil).Add(int64(l.rec.Records))
+	l.reg.Counter("wal_recovery_torn_bytes_total", nil).Add(l.rec.TornBytes)
+	l.reg.Counter("wal_recovery_checksum_failures_total", nil).Add(0)
+	l.reg.Gauge("wal_recovered_relations", nil).Set(float64(len(l.rec.Relations)))
+	l.reg.Gauge("wal_lag_records", nil).Set(float64(l.lag))
+	for _, op := range []string{"put", "delete"} {
+		l.reg.Counter("wal_appends_total", obs.Labels{"op": op}).Add(0)
+	}
+	return l, nil
+}
+
+// Recovered returns the state Open reconstructed. The Relations map is
+// shared with the Log's status copy; callers must treat the relations as
+// immutable (the catalog contract already requires this).
+func (l *Log) Recovered() Recovery { return l.rec }
+
+// Status reports the log's current state for health endpoints.
+func (l *Log) Status() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Status{
+		Dir: l.opt.Dir, Fsync: l.opt.Fsync,
+		Gen: l.gen, Seq: l.seq, Lag: l.lag, SnapshotGen: l.snapGen,
+		Recovery: l.rec,
+	}
+}
+
+// Lag returns the number of appended records not yet covered by a
+// completed snapshot — the WAL lag the snapshot policy acts on.
+func (l *Log) Lag() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lag
+}
+
+// AppendPut logs one catalog put. It returns only after the record is
+// written (and fsynced, per Options.Fsync) — the caller acks afterwards.
+func (l *Log) AppendPut(name string, rel *relation.Relation) error {
+	if rel == nil {
+		return fmt.Errorf("wal: nil relation")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	payload, err := encodePut(l.seq+1, name, rel)
+	if err != nil {
+		return err
+	}
+	return l.append("put", payload)
+}
+
+// AppendDelete logs one catalog delete.
+func (l *Log) AppendDelete(name string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.append("delete", encodeDelete(l.seq+1, name))
+}
+
+// append writes one framed payload to the current segment. Caller holds mu.
+func (l *Log) append(op string, payload []byte) error {
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	buf := frame(payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.opt.Fsync {
+		stop := l.reg.Timer("wal_fsync_seconds", nil).Start()
+		err := l.f.Sync()
+		stop()
+		if err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	l.seq++
+	l.lag++
+	l.reg.Counter("wal_appends_total", obs.Labels{"op": op}).Inc()
+	l.reg.Counter("wal_append_bytes_total", nil).Add(int64(len(buf)))
+	l.reg.Gauge("wal_lag_records", nil).Set(float64(l.lag))
+	return nil
+}
+
+// Rotate seals the current segment (fsync + close) and starts the next
+// generation, returning its number. The caller captures its state *after*
+// Rotate returns — while holding the same lock that orders its appends —
+// and passes both to WriteSnapshot; state captured that way covers every
+// record of the sealed generations, so deleting them after the snapshot
+// commits cannot lose data.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: sealing %s: %w", segName(l.gen), err)
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, fmt.Errorf("wal: sealing %s: %w", segName(l.gen), err)
+	}
+	gen := l.gen + 1
+	f, err := os.OpenFile(filepath.Join(l.opt.Dir, segName(gen)), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Reopen the sealed segment so the log stays usable.
+		l.f, _ = os.OpenFile(filepath.Join(l.opt.Dir, segName(l.gen)), os.O_WRONLY|os.O_APPEND, 0o644)
+		return 0, fmt.Errorf("wal: rotate: %w", err)
+	}
+	if err := syncDir(l.opt.Dir); err != nil {
+		f.Close()
+		l.f, _ = os.OpenFile(filepath.Join(l.opt.Dir, segName(l.gen)), os.O_WRONLY|os.O_APPEND, 0o644)
+		return 0, err
+	}
+	l.f, l.gen = f, gen
+	// Appends into the new generation count as post-snapshot lag; the
+	// about-to-be-written snapshot covers everything before it.
+	l.lag = 0
+	l.reg.Gauge("wal_lag_records", nil).Set(0)
+	return gen, nil
+}
+
+// WriteSnapshot persists state as the snapshot for generation gen (as
+// returned by Rotate) — write temp file, fsync, rename, fsync directory —
+// then deletes the segments and snapshots it supersedes. On success the
+// snapshot is the new recovery base; on failure the old files remain and
+// recovery is unaffected.
+func (l *Log) WriteSnapshot(gen uint64, state map[string]*relation.Relation) error {
+	stop := l.reg.Timer("wal_snapshot_seconds", nil).Start()
+	err := l.writeSnapshot(gen, state)
+	stop()
+	if err != nil {
+		l.reg.Counter("wal_snapshot_errors_total", nil).Inc()
+		return err
+	}
+	l.reg.Counter("wal_snapshots_total", nil).Inc()
+	return nil
+}
+
+func (l *Log) writeSnapshot(gen uint64, state map[string]*relation.Relation) error {
+	names := make([]string, 0, len(state))
+	for name := range state {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	tmp := filepath.Join(l.opt.Dir, snapName(gen)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	write := func(payload []byte) error {
+		_, err := f.Write(frame(payload))
+		return err
+	}
+	err = write(encodeMark(opSnap, gen, len(names)))
+	for _, name := range names {
+		if err != nil {
+			break
+		}
+		var payload []byte
+		if payload, err = encodePut(0, name, state[name]); err == nil {
+			err = write(payload)
+		}
+	}
+	if err == nil {
+		err = write(encodeMark(opCommit, gen, len(names)))
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.opt.Dir, snapName(gen))); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := syncDir(l.opt.Dir); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	if gen > l.snapGen {
+		l.snapGen = gen
+	}
+	l.mu.Unlock()
+
+	// Garbage-collect everything the new snapshot supersedes.
+	for _, kind := range []struct{ prefix, suffix string }{{"wal-", ".log"}, {"snap-", ".snap"}} {
+		gens, err := listGens(l.opt.Dir, kind.prefix, kind.suffix)
+		if err != nil {
+			return fmt.Errorf("wal: snapshot gc: %w", err)
+		}
+		for _, g := range gens {
+			if g < gen {
+				path := filepath.Join(l.opt.Dir, fmt.Sprintf("%s%016d%s", kind.prefix, g, kind.suffix))
+				if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+					return fmt.Errorf("wal: snapshot gc: %w", err)
+				}
+			}
+		}
+	}
+	return syncDir(l.opt.Dir)
+}
+
+// Close seals the current segment. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return l.f.Close()
+}
+
+// syncDir fsyncs a directory, making renames and file creations durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+	}
+	return nil
+}

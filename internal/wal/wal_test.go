@@ -1,0 +1,459 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"systolicdb/internal/relation"
+)
+
+// testDecoder builds a DecodeFunc over a private domain pool, mirroring
+// what the server catalog supplies in production: same spec → same
+// *Domain, so recovered relations are union-compatible with each other.
+func testDecoder() DecodeFunc {
+	pool := map[string]*relation.Domain{}
+	domain := func(spec string) *relation.Domain {
+		if d, ok := pool[spec]; ok {
+			return d
+		}
+		kind, name, _ := strings.Cut(spec, ":")
+		if name == "" {
+			name = kind
+		}
+		var d *relation.Domain
+		switch kind {
+		case "dict":
+			d = relation.DictDomain(name)
+		case "bool":
+			d = relation.BoolDomain(name)
+		case "date":
+			d = relation.DateDomain(name)
+		default:
+			d = relation.IntDomain(name)
+		}
+		pool[spec] = d
+		return d
+	}
+	return func(table string) (*relation.Relation, error) {
+		var specs, header []string
+		for _, ln := range strings.Split(table, "\n") {
+			ln = strings.TrimSpace(ln)
+			if v, ok := strings.CutPrefix(ln, "#% types:"); ok {
+				for _, s := range strings.Split(v, ",") {
+					specs = append(specs, strings.TrimSpace(s))
+				}
+				continue
+			}
+			if ln == "" || strings.HasPrefix(ln, "#") {
+				continue
+			}
+			header = strings.Split(ln, "\t")
+			break
+		}
+		cols := make([]relation.Column, len(header))
+		for i, h := range header {
+			spec := "int"
+			if i < len(specs) {
+				spec = specs[i]
+			}
+			cols[i] = relation.Column{Name: strings.TrimSpace(h), Domain: domain(spec)}
+		}
+		schema, err := relation.NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+		return relation.ParseTable(strings.NewReader(table), schema)
+	}
+}
+
+// testRel builds a two-column (int, dict) relation from id/name pairs.
+func testRel(t *testing.T, pairs ...any) *relation.Relation {
+	t.Helper()
+	ints := relation.IntDomain("int")
+	names := relation.DictDomain("names")
+	schema := relation.MustSchema(
+		relation.Column{Name: "id", Domain: ints},
+		relation.Column{Name: "name", Domain: names},
+	)
+	rel := relation.MustRelation(schema, nil)
+	for i := 0; i < len(pairs); i += 2 {
+		id := relation.Element(pairs[i].(int))
+		code, err := names.EncodeString(pairs[i+1].(string))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rel.Append(relation.Tuple{id, code}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rel
+}
+
+// dump canonicalises a relation as its typed table text; relations from
+// different domain pools compare equal iff their dumps match.
+func dump(t *testing.T, r *relation.Relation) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := relation.FormatTableTypes(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func mustOpen(t *testing.T, dir string, fsync bool) *Log {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, Fsync: fsync, Decode: testDecoder(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, true)
+
+	a := testRel(t, 1, "alice", 2, "bob")
+	b := testRel(t, 3, "carol")
+	b2 := testRel(t, 3, "carol", 4, "dave")
+	for _, step := range []struct {
+		name string
+		rel  *relation.Relation
+	}{{"a", a}, {"b", b}, {"gone", a}, {"b", b2}} {
+		if err := l.AppendPut(step.name, step.rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AppendDelete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Status()
+	if st.Seq != 5 || st.Lag != 5 || st.Gen != 1 {
+		t.Errorf("status = %+v, want seq 5, lag 5, gen 1", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete("x"); err == nil {
+		t.Error("append after Close accepted")
+	}
+
+	r := mustOpen(t, dir, true)
+	defer r.Close()
+	rec := r.Recovered()
+	if len(rec.Relations) != 2 || rec.Records != 5 || rec.TornBytes != 0 || rec.Verified != 4 {
+		t.Fatalf("recovery = %+v (relations %d)", rec, len(rec.Relations))
+	}
+	if got, want := dump(t, rec.Relations["a"]), dump(t, a); got != want {
+		t.Errorf("recovered a:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := dump(t, rec.Relations["b"]), dump(t, b2); got != want {
+		t.Errorf("recovered b not the overwrite:\n%s\nwant:\n%s", got, want)
+	}
+	if _, ok := rec.Relations["gone"]; ok {
+		t.Error("deleted relation resurrected")
+	}
+	// Sequence numbering continues past recovered records.
+	if err := r.AppendDelete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Status(); st.Seq != 6 {
+		t.Errorf("seq after recovery+append = %d, want 6", st.Seq)
+	}
+	// Recovered relations from one pool are union-compatible.
+	if !rec.Relations["a"].Schema().UnionCompatible(rec.Relations["b"].Schema()) {
+		t.Error("recovered relations not union-compatible")
+	}
+}
+
+func TestSnapshotRotationAndGC(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	state := map[string]*relation.Relation{}
+	for i, name := range []string{"r0", "r1", "r2"} {
+		state[name] = testRel(t, i, name)
+		if err := l.AppendPut(name, state[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("Rotate → gen %d, want 2", gen)
+	}
+	if l.Lag() != 0 {
+		t.Errorf("lag after rotate = %d, want 0", l.Lag())
+	}
+	if err := l.WriteSnapshot(gen, state); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot mutations land in the new generation.
+	if err := l.AppendDelete("r0"); err != nil {
+		t.Fatal(err)
+	}
+	r3 := testRel(t, 9, "late")
+	if err := l.AppendPut("r3", r3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The superseded generation is gone; the snapshot and live segment remain.
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Errorf("wal-1 not garbage-collected: %v", err)
+	}
+	for _, f := range []string{snapName(2), segName(2)} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+
+	r := mustOpen(t, dir, false)
+	defer r.Close()
+	rec := r.Recovered()
+	if rec.SnapshotGen != 2 || rec.SnapshotRels != 3 || rec.Records != 2 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	want := map[string]*relation.Relation{"r1": state["r1"], "r2": state["r2"], "r3": r3}
+	if len(rec.Relations) != len(want) {
+		t.Fatalf("recovered %d relations, want %d", len(rec.Relations), len(want))
+	}
+	for name, rel := range want {
+		got, ok := rec.Relations[name]
+		if !ok || dump(t, got) != dump(t, rel) {
+			t.Errorf("relation %s wrong after snapshot+replay recovery", name)
+		}
+	}
+}
+
+// TestCrashBetweenRotateAndSnapshot: if the process dies after the log
+// rotated but before the snapshot committed, recovery must replay both
+// the sealed and the new segment off the previous snapshot base.
+func TestCrashBetweenRotateAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	if err := l.AppendPut("early", testRel(t, 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	// No WriteSnapshot: simulated crash window.
+	if err := l.AppendPut("late", testRel(t, 2, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, false)
+	defer r.Close()
+	rec := r.Recovered()
+	if rec.SnapshotGen != 0 || rec.Segments != 2 || len(rec.Relations) != 2 {
+		t.Fatalf("recovery = %+v (relations %d)", rec, len(rec.Relations))
+	}
+}
+
+func TestTornTailTruncatedAndRecovered(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	keep := testRel(t, 1, "kept")
+	if err := l.AppendPut("keep", keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final append: a valid frame prefix cut short.
+	path := filepath.Join(dir, segName(1))
+	good, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := encodePut(2, "torn", testRel(t, 2, "lost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := frame(full)
+	if _, err := f.Write(fr[:len(fr)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := mustOpen(t, dir, false)
+	rec := r.Recovered()
+	if rec.TornBytes != int64(len(fr)/2) {
+		t.Fatalf("torn bytes = %d, want %d", rec.TornBytes, len(fr)/2)
+	}
+	if len(rec.Relations) != 1 || rec.Relations["keep"] == nil {
+		t.Fatalf("recovered %d relations, want keep only", len(rec.Relations))
+	}
+	// The file was physically truncated back to the last good record.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != good.Size() {
+		t.Errorf("file size %d after torn-tail recovery, want %d", st.Size(), good.Size())
+	}
+	// Appending continues on the clean boundary; a second recovery is clean.
+	if err := r.AppendPut("next", testRel(t, 3, "next")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := mustOpen(t, dir, false)
+	defer r2.Close()
+	if rec := r2.Recovered(); rec.TornBytes != 0 || len(rec.Relations) != 2 {
+		t.Errorf("second recovery = %+v (relations %d), want clean with 2", rec, len(rec.Relations))
+	}
+}
+
+// TestZeroFillTail: filesystems can persist a file-size update with
+// zero-filled data pages; the zeros must read as a torn tail, not
+// corruption.
+func TestZeroFillTail(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	if err := l.AppendPut("a", testRel(t, 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := mustOpen(t, dir, false)
+	defer r.Close()
+	rec := r.Recovered()
+	if rec.TornBytes != 64 || len(rec.Relations) != 1 {
+		t.Errorf("recovery = %+v (relations %d), want 64 torn bytes, 1 relation", rec, len(rec.Relations))
+	}
+}
+
+// TestCorruptRecordRefused: a bit flip in a non-final record is hard
+// corruption — Open refuses, and Fsck names the damage without
+// modifying the directory.
+func TestCorruptRecordRefused(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	var sizes []int64
+	for i, name := range []string{"a", "b", "c"} {
+		if err := l.AppendPut(name, testRel(t, i, name)); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(filepath.Join(dir, segName(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, st.Size())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the middle record.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := sizes[0] + frameHeaderSize + (sizes[1]-sizes[0]-frameHeaderSize)/2
+	data[mid] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(Options{Dir: dir, Decode: testDecoder()}); err == nil {
+		t.Fatal("Open accepted a corrupt segment")
+	} else if !strings.Contains(err.Error(), segName(1)) || !strings.Contains(err.Error(), "fsck") {
+		t.Errorf("corruption error should name the segment and point at fsck: %v", err)
+	}
+
+	rep, err := Fsck(dir, testDecoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("fsck passed a corrupt directory")
+	}
+	if len(rep.Errors) == 0 || !strings.Contains(rep.Errors[0], "CRC mismatch") {
+		t.Errorf("fsck errors = %v, want a CRC mismatch report", rep.Errors)
+	}
+	// Fsck must not have healed or truncated anything.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != sizes[len(sizes)-1] {
+		t.Error("fsck modified the segment")
+	}
+}
+
+func TestFsckHealthyDir(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	state := map[string]*relation.Relation{}
+	for i, name := range []string{"a", "b"} {
+		state[name] = testRel(t, i, name)
+		if err := l.AppendPut(name, state[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(gen, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(dir, testDecoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fsck errors on a healthy dir: %v", rep.Errors)
+	}
+	if rep.Relations != 1 || rep.Records != 1 || len(rep.Snapshots) != 1 || len(rep.Segments) != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Verified != 2 { // both snapshot relations; the live segment holds only a delete
+		t.Errorf("verified = %d, want 2 snapshot relations verified", rep.Verified)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Options{Dir: "", Decode: testDecoder()}); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if _, err := Open(Options{Dir: t.TempDir()}); err == nil {
+		t.Error("nil decoder accepted")
+	}
+	l := mustOpen(t, t.TempDir(), false)
+	if err := l.AppendPut("x", nil); err == nil {
+		t.Error("nil relation accepted")
+	}
+	l.Close()
+}
