@@ -31,11 +31,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"systolicdb/internal/bitset"
 	"systolicdb/internal/cells"
 	"systolicdb/internal/dedup"
 	"systolicdb/internal/division"
@@ -61,6 +63,7 @@ const validOps = "intersect | difference | union | dedup | project | join | thet
 func main() {
 	var (
 		op         = flag.String("op", "intersect", "operation: "+validOps)
+		backendFl  = flag.String("backend", "pulse", "execution backend: pulse (cycle-faithful simulator) | bitset (word-parallel)")
 		n          = flag.Int("n", 16, "tuples per relation")
 		m          = flag.Int("m", 2, "elements per tuple")
 		seed       = flag.Int64("seed", 1, "workload seed")
@@ -86,9 +89,16 @@ func main() {
 	flag.Var(&rels, "rel", "for -op query: load a base relation, name=file.tbl (repeatable; replaces the generated A/B pair)")
 	flag.Parse()
 
-	fc, err := machine.ParseFaultConfig(*faultSpec, *verifySpec, *retries, *quarAfter)
+	backend, err := machine.ParseBackend(*backendFl)
+	var fc *machine.FaultConfig
+	if err == nil {
+		fc, err = machine.ParseFaultConfig(*faultSpec, *verifySpec, *retries, *quarAfter)
+	}
 	if err == nil && fc != nil && *op != "query" {
 		err = fmt.Errorf("-fault/-verify/-retries apply to machine execution: use -op query (with -machine)")
+	}
+	if err == nil && fc != nil && backend == machine.BackendBitset {
+		err = fmt.Errorf("-fault applies to the pulse backend: the bitset backend has no simulated cells to corrupt")
 	}
 	if err == nil {
 		switch *op {
@@ -97,9 +107,9 @@ func main() {
 		case "fsck":
 			err = runFsck(os.Stdout, *dataDir)
 		case "query":
-			err = runQuery(*q, *n, *m, *seed, *match, rels, fc, *onMach, *quiet, *metrics)
+			err = runQuery(*q, *n, *m, *seed, *match, rels, fc, backend, *onMach, *quiet, *metrics)
 		default:
-			err = run(*op, *n, *m, *seed, *overlap, *dup, *match, *theta, *divisor, *coverage, *quiet)
+			err = run(*op, backend, *n, *m, *seed, *overlap, *dup, *match, *theta, *divisor, *coverage, *quiet)
 		}
 	}
 	if err != nil {
@@ -146,7 +156,29 @@ func dump(label string, r *relation.Relation, quiet bool) {
 	fmt.Printf("%s (%d tuples):\n%s\n", label, r.Cardinality(), r)
 }
 
-func run(op string, n, m int, seed int64, overlap, dup, match float64, theta string, divisorN int, coverage float64, quiet bool) error {
+// parseTheta maps the -theta flag to a comparison-cell operator.
+func parseTheta(theta string) (cells.Op, error) {
+	switch theta {
+	case "=":
+		return cells.EQ, nil
+	case "!=":
+		return cells.NE, nil
+	case "<":
+		return cells.LT, nil
+	case "<=":
+		return cells.LE, nil
+	case ">":
+		return cells.GT, nil
+	case ">=":
+		return cells.GE, nil
+	}
+	return 0, fmt.Errorf("unknown θ operator %q", theta)
+}
+
+func run(op string, backend machine.Backend, n, m int, seed int64, overlap, dup, match float64, theta string, divisorN int, coverage float64, quiet bool) error {
+	if backend == machine.BackendBitset {
+		return runBitset(op, n, m, seed, overlap, dup, match, theta, divisorN, coverage, quiet)
+	}
 	switch op {
 	case "intersect", "difference":
 		a, b, err := workload.OverlapPair(seed, n, m, overlap)
@@ -227,22 +259,9 @@ func run(op string, n, m int, seed int64, overlap, dup, match float64, theta str
 		printStats(res.Stats)
 
 	case "theta-join":
-		var thetaOp cells.Op
-		switch theta {
-		case "=":
-			thetaOp = cells.EQ
-		case "!=":
-			thetaOp = cells.NE
-		case "<":
-			thetaOp = cells.LT
-		case "<=":
-			thetaOp = cells.LE
-		case ">":
-			thetaOp = cells.GT
-		case ">=":
-			thetaOp = cells.GE
-		default:
-			return fmt.Errorf("unknown θ operator %q", theta)
+		thetaOp, err := parseTheta(theta)
+		if err != nil {
+			return err
 		}
 		a, b, err := workload.JoinPair(seed, n, n, m, match)
 		if err != nil {
@@ -299,6 +318,128 @@ func run(op string, n, m int, seed int64, overlap, dup, match float64, theta str
 	return nil
 }
 
+func printWordStats(st bitset.Stats) {
+	fmt.Printf("word ops:     %d (up to %d T-matrix lanes per word op)\n", st.WordOps, bitset.Lanes)
+}
+
+// runBitset runs one plain operation on the word-parallel backend over the
+// same deterministic workloads as run, so the two backends are directly
+// comparable from the command line: identical flags, identical inputs,
+// identical result rows — only the cost unit differs (word ops, not
+// pulses).
+func runBitset(op string, n, m int, seed int64, overlap, dup, match float64, theta string, divisorN int, coverage float64, quiet bool) error {
+	switch op {
+	case "intersect", "difference":
+		a, b, err := workload.OverlapPair(seed, n, m, overlap)
+		if err != nil {
+			return err
+		}
+		var res *bitset.Result
+		if op == "intersect" {
+			res, err = bitset.Intersection(a, b)
+		} else {
+			res, err = bitset.Difference(a, b)
+		}
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump("B", b, quiet)
+		dump("result", res.Rel, quiet)
+		printWordStats(res.Stats)
+
+	case "union":
+		a, b, err := workload.OverlapPair(seed, n, m, overlap)
+		if err != nil {
+			return err
+		}
+		res, err := bitset.Union(a, b)
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump("B", b, quiet)
+		dump("A ∪ B", res.Rel, quiet)
+		printWordStats(res.Stats)
+
+	case "dedup":
+		a, err := workload.WithDuplicates(seed, n, m, dup)
+		if err != nil {
+			return err
+		}
+		res, err := bitset.RemoveDuplicates(a)
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump("dedup(A)", res.Rel, quiet)
+		printWordStats(res.Stats)
+
+	case "project":
+		a, err := workload.Uniform(seed, n, m, 4)
+		if err != nil {
+			return err
+		}
+		cols := []int{0}
+		if m > 1 {
+			cols = []int{0, 1}
+		}
+		res, err := bitset.Project(a, cols)
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump(fmt.Sprintf("π%v(A)", cols), res.Rel, quiet)
+		printWordStats(res.Stats)
+
+	case "join", "theta-join":
+		spec := join.Spec{ACols: []int{0}, BCols: []int{0}}
+		label := "A ⋈ B"
+		if op == "theta-join" {
+			thetaOp, err := parseTheta(theta)
+			if err != nil {
+				return err
+			}
+			spec.Ops = []cells.Op{thetaOp}
+			label = fmt.Sprintf("A ⋈[%s] B", theta)
+		}
+		a, b, err := workload.JoinPair(seed, n, n, m, match)
+		if err != nil {
+			return err
+		}
+		res, err := bitset.Join(a, b, spec)
+		if err != nil {
+			return err
+		}
+		dump("A", a, quiet)
+		dump("B", b, quiet)
+		dump(label, res.Rel, quiet)
+		fmt.Printf("matches: %d of %d candidate pairs\n", res.Pairs, a.Cardinality()*b.Cardinality())
+		printWordStats(res.Stats)
+
+	case "divide":
+		a, b, err := workload.DivisionCase(seed, n, divisorN, coverage)
+		if err != nil {
+			return err
+		}
+		res, err := bitset.Divide(a, b, []int{0}, []int{1}, []int{0})
+		if err != nil {
+			return err
+		}
+		dump("A (dividend)", a, quiet)
+		dump("B (divisor)", b, quiet)
+		dump("A ÷ B", res.Rel, quiet)
+		printWordStats(res.Stats)
+
+	case "select", "match":
+		return fmt.Errorf("-backend bitset does not apply to -op %s: it runs on dedicated hardware (no word-parallel analogue)", op)
+
+	default:
+		return fmt.Errorf("unknown operation %q (valid: %s)", op, validOps)
+	}
+	return nil
+}
+
 // runQuery parses and runs a plan. The catalog is either the relations
 // named by -rel flags (loaded from table files with the daemon's loader, so
 // dictionary/date columns stay union-compatible across files) or, with no
@@ -308,7 +449,7 @@ func run(op string, n, m int, seed int64, overlap, dup, match float64, theta str
 // discarded) so the emitted cost profile covers device busy time and tile
 // scheduling as well as the host executor's per-node spans.
 func runQuery(src string, n, m int, seed int64, match float64, rels server.RelSpecs,
-	fc *machine.FaultConfig, onMachine, quiet, metrics bool) error {
+	fc *machine.FaultConfig, backend machine.Backend, onMachine, quiet, metrics bool) error {
 	if src == "" {
 		return fmt.Errorf("-op query needs -q \"<plan>\" (e.g. \"intersect(scan(A), scan(B))\")")
 	}
@@ -330,19 +471,26 @@ func runQuery(src string, n, m int, seed int64, match float64, rels server.RelSp
 	}
 	fmt.Printf("optimized: %s\n", query.Render(plan))
 	if !onMachine {
-		res, err := query.Execute(plan, cat)
+		var st query.ExecStats
+		res, err := query.ExecuteCtx(context.Background(), plan, cat,
+			&query.Options{Stats: &st, Backend: backend})
 		if err != nil {
 			return err
 		}
 		dumpResult(res, len(rels) > 0, quiet)
+		if backend == machine.BackendBitset {
+			fmt.Printf("word ops:  %d\n", st.WordOps)
+		} else {
+			fmt.Printf("pulses:    %d\n", st.Pulses)
+		}
 		if metrics {
-			if _, err := runOnMachine(plan, cat, fc, quiet, false); err != nil {
+			if _, err := runOnMachine(plan, cat, fc, backend, quiet, false); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	res, err := runOnMachine(plan, cat, fc, quiet, true)
+	res, err := runOnMachine(plan, cat, fc, backend, quiet, true)
 	if err != nil {
 		return err
 	}
@@ -389,12 +537,15 @@ func queryCatalog(rels server.RelSpecs, n, m int, seed int64, match float64) (qu
 // fault-tolerant execution when fc is non-nil) and runs the transaction,
 // optionally dumping the result relation. Devices that turn bad mid-run are
 // reported so the operator sees the degradation the schedule absorbed.
-func runOnMachine(plan query.Node, cat query.Catalog, fc *machine.FaultConfig, quiet, show bool) (*machine.Result, error) {
+func runOnMachine(plan query.Node, cat query.Catalog, fc *machine.FaultConfig,
+	backend machine.Backend, quiet, show bool) (*machine.Result, error) {
 	tasks, out, err := query.Compile(plan, cat)
 	if err != nil {
 		return nil, err
 	}
-	mach, err := machine.Default1980Fault(64, fc)
+	cfg := machine.DefaultConfig1980(64, fc)
+	cfg.Backend = backend
+	mach, err := machine.New(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"systolicdb/internal/machine"
 	"systolicdb/internal/server"
 )
 
@@ -42,7 +43,7 @@ func TestRunAllOperations(t *testing.T) {
 		op := op
 		t.Run(op, func(t *testing.T) {
 			out := capture(t, func() error {
-				return run(op, 8, 2, 1, 0.5, 0.5, 1, ">", 3, 0.5, true)
+				return run(op, machine.BackendPulse, 8, 2, 1, 0.5, 0.5, 1, ">", 3, 0.5, true)
 			})
 			if !strings.Contains(out, "tuples") {
 				t.Errorf("%s output missing tuple counts:\n%s", op, out)
@@ -52,7 +53,7 @@ func TestRunAllOperations(t *testing.T) {
 }
 
 func TestRunUnknownOp(t *testing.T) {
-	err := run("bogus", 8, 2, 1, 0.5, 0.5, 1, ">", 3, 0.5, true)
+	err := run("bogus", machine.BackendPulse, 8, 2, 1, 0.5, 0.5, 1, ">", 3, 0.5, true)
 	if err == nil {
 		t.Fatal("unknown op not rejected")
 	}
@@ -64,7 +65,7 @@ func TestRunUnknownOp(t *testing.T) {
 			t.Errorf("unknown-op error does not list %q: %v", mode, err)
 		}
 	}
-	if err := run("theta-join", 8, 2, 1, 0.5, 0.5, 1, "??", 3, 0.5, true); err == nil {
+	if err := run("theta-join", machine.BackendPulse, 8, 2, 1, 0.5, 0.5, 1, "??", 3, 0.5, true); err == nil {
 		t.Error("unknown θ operator not rejected")
 	}
 }
@@ -88,21 +89,21 @@ func TestRunMatchCLI(t *testing.T) {
 
 func TestRunQueryCLI(t *testing.T) {
 	out := capture(t, func() error {
-		return runQuery("intersect(scan(A), scan(B))", 10, 2, 1, 1, nil, nil, false, true, false)
+		return runQuery("intersect(scan(A), scan(B))", 10, 2, 1, 1, nil, nil, machine.BackendPulse, false, true, false)
 	})
 	if !strings.Contains(out, "intersect(scan(A), scan(B))") || !strings.Contains(out, "optimized:") {
 		t.Errorf("query output missing plan or optimization line:\n%s", out)
 	}
 	out = capture(t, func() error {
-		return runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, nil, nil, true, true, false)
+		return runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, nil, nil, machine.BackendPulse, true, true, false)
 	})
 	if !strings.Contains(out, "makespan") {
 		t.Errorf("machine query output missing gantt:\n%s", out)
 	}
-	if err := runQuery("", 4, 2, 1, 1, nil, nil, false, true, false); err == nil {
+	if err := runQuery("", 4, 2, 1, 1, nil, nil, machine.BackendPulse, false, true, false); err == nil {
 		t.Error("empty query not rejected")
 	}
-	if err := runQuery("scan(", 4, 2, 1, 1, nil, nil, false, true, false); err == nil {
+	if err := runQuery("scan(", 4, 2, 1, 1, nil, nil, machine.BackendPulse, false, true, false); err == nil {
 		t.Error("malformed query not rejected")
 	}
 }
@@ -122,7 +123,7 @@ func TestRunQueryFromFiles(t *testing.T) {
 	}
 	rels := server.RelSpecs{{Name: "emp", Path: emp}, {Name: "dept", Path: dept}}
 	out := capture(t, func() error {
-		return runQuery("project(join(scan(emp), scan(dept), 2=0), 1)", 0, 0, 1, 1, rels, nil, false, true, false)
+		return runQuery("project(join(scan(emp), scan(dept), 2=0), 1)", 0, 0, 1, 1, rels, nil, machine.BackendPulse, false, true, false)
 	})
 	for _, want := range []string{"loaded emp: 3 tuples, 3 columns", "loaded dept: 2 tuples, 2 columns", "result: 3 tuples"} {
 		if !strings.Contains(out, want) {
@@ -131,13 +132,13 @@ func TestRunQueryFromFiles(t *testing.T) {
 	}
 	// Non-quiet file-backed results decode through their domains.
 	out = capture(t, func() error {
-		return runQuery("project(scan(emp), 1)", 0, 0, 1, 1, rels, nil, false, false, false)
+		return runQuery("project(scan(emp), 1)", 0, 0, 1, 1, rels, nil, machine.BackendPulse, false, false, false)
 	})
 	if !strings.Contains(out, "alice") || !strings.Contains(out, "bob") {
 		t.Errorf("decoded dump missing dictionary values:\n%s", out)
 	}
 	bad := server.RelSpecs{{Name: "x", Path: filepath.Join(dir, "missing.tbl")}}
-	if err := runQuery("scan(x)", 0, 0, 1, 1, bad, nil, false, true, false); err == nil {
+	if err := runQuery("scan(x)", 0, 0, 1, 1, bad, nil, machine.BackendPulse, false, true, false); err == nil {
 		t.Error("missing -rel file not rejected")
 	}
 }
@@ -147,7 +148,7 @@ func TestRunQueryFromFiles(t *testing.T) {
 // per-device busy time and per-plan-node spans, in text and JSON forms.
 func TestMetricsDump(t *testing.T) {
 	out := capture(t, func() error {
-		if err := runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, nil, nil, false, true, true); err != nil {
+		if err := runQuery("project(join(scan(A), scan(B), 0=0), 0)", 10, 2, 1, 1, nil, nil, machine.BackendPulse, false, true, true); err != nil {
 			return err
 		}
 		return dumpMetrics(os.Stdout)
@@ -159,11 +160,11 @@ func TestMetricsDump(t *testing.T) {
 	jsonPart := out[strings.Index(out, "=== metrics (json) ===")+len("=== metrics (json) ===")+1:]
 
 	for _, want := range []string{
-		"systolic_pulses_total",                           // grid pulses
-		"decompose_tiles_total",                           // tile counts
-		`machine_device_busy_seconds_sum{device="join0"}`, // per-device busy time
-		`query_node_host_seconds_count{node="join"}`,      // per-plan-node spans
-		`query_node_pulses_total{node="project"}`,
+		"systolic_pulses_total",                                      // grid pulses
+		"decompose_tiles_total",                                      // tile counts
+		`machine_device_busy_seconds_sum{device="join0"}`,            // per-device busy time
+		`query_node_host_seconds_count{backend="pulse",node="join"}`, // per-plan-node spans
+		`query_node_pulses_total{backend="pulse",node="project"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("text metrics missing %q:\n%s", want, text)

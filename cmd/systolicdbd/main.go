@@ -60,6 +60,10 @@ type daemonConfig struct {
 	// SnapshotEvery compacts the WAL after this many un-snapshotted records.
 	SnapshotEvery int
 
+	// Backend is the default execution backend for queries that don't pick
+	// their own with a "backend" request field.
+	Backend machine.Backend
+
 	Fault *machine.FaultConfig
 	Rels  server.RelSpecs
 }
@@ -79,6 +83,7 @@ func main() {
 	flag.IntVar(&cfg.SnapshotEvery, "snapshot-every", 128, "compact the write-ahead log after this many mutations")
 
 	var (
+		backendFl  = flag.String("backend", "pulse", "default execution backend: pulse | bitset (requests may override per query)")
 		faultSpec  = flag.String("fault", "", "inject faults into machine-query devices; "+fault.SpecHelp())
 		verifySpec = flag.String("verify", "", "per-tile verification for machine queries: none | checksum | dual (default checksum when -fault is set)")
 		retries    = flag.Int("retries", 0, "max attempts per tile for machine queries (0 = policy default)")
@@ -87,10 +92,14 @@ func main() {
 	flag.Var(&cfg.Rels, "rel", "preload a relation: name=file.tbl (repeatable; types from a #% types: line)")
 	flag.Parse()
 
-	fc, err := machine.ParseFaultConfig(*faultSpec, *verifySpec, *retries, *quarAfter)
+	backend, err := machine.ParseBackend(*backendFl)
 	if err == nil {
-		cfg.Fault = fc
-		err = run(cfg)
+		cfg.Backend = backend
+		var fc *machine.FaultConfig
+		if fc, err = machine.ParseFaultConfig(*faultSpec, *verifySpec, *retries, *quarAfter); err == nil {
+			cfg.Fault = fc
+			err = run(cfg)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "systolicdbd:", err)
@@ -148,6 +157,7 @@ func run(cfg daemonConfig) error {
 		MaxTimeout:     cfg.MaxWait,
 		ArraySize:      cfg.Array,
 		Metrics:        reg,
+		Backend:        cfg.Backend,
 		Fault:          cfg.Fault,
 		Catalog:        cat,
 		WAL:            log,
@@ -158,6 +168,9 @@ func run(cfg daemonConfig) error {
 	// catalog Put, not the server's durable commit path).
 	if err := cfg.Rels.LoadInto(s.Catalog()); err != nil {
 		return err
+	}
+	if cfg.Backend != machine.BackendPulse {
+		fmt.Printf("systolicdbd: default backend %s\n", cfg.Backend)
 	}
 	if cfg.Fault != nil {
 		plan := "none"

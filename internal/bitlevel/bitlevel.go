@@ -20,15 +20,28 @@ import (
 	"systolicdb/internal/systolic"
 )
 
-// MaxWidth is the largest supported word width in bits.
+// MaxWidth is the largest supported word width in bits. It matches the
+// usable range of relation.Element (see that type's documentation): wider
+// words could not round-trip through Expand/Collapse.
 const MaxWidth = 62
+
+// checkWidth validates a word width against the supported [1, MaxWidth]
+// range. Every width-taking entry point shares it, so the width error is
+// uniform and always names the supported maximum — a caller should never
+// learn the ceiling only when a later decode fails.
+func checkWidth(width int) error {
+	if width <= 0 || width > MaxWidth {
+		return fmt.Errorf("bitlevel: width %d out of range [1,%d]", width, MaxWidth)
+	}
+	return nil
+}
 
 // Expand decomposes a tuple of W-bit words into a tuple of m*W single-bit
 // elements (most significant bit first). All elements must be
 // representable as unsigned W-bit integers.
 func Expand(t relation.Tuple, width int) (relation.Tuple, error) {
-	if width <= 0 || width > MaxWidth {
-		return nil, fmt.Errorf("bitlevel: width %d out of range [1,%d]", width, MaxWidth)
+	if err := checkWidth(width); err != nil {
+		return nil, err
 	}
 	out := make(relation.Tuple, 0, len(t)*width)
 	for k, e := range t {
@@ -44,8 +57,8 @@ func Expand(t relation.Tuple, width int) (relation.Tuple, error) {
 
 // Collapse reverses Expand.
 func Collapse(bits relation.Tuple, width int) (relation.Tuple, error) {
-	if width <= 0 || width > MaxWidth {
-		return nil, fmt.Errorf("bitlevel: width %d out of range [1,%d]", width, MaxWidth)
+	if err := checkWidth(width); err != nil {
+		return nil, err
 	}
 	if len(bits)%width != 0 {
 		return nil, fmt.Errorf("bitlevel: %d bits is not a multiple of width %d", len(bits), width)
@@ -127,7 +140,9 @@ func IntersectBits(a, b []relation.Tuple, width int) ([]bool, systolic.Stats, er
 }
 
 // MinWidth returns the smallest bit width that can represent every element
-// of the given tuples (at least 1).
+// of the given tuples (at least 1). An element too wide for MaxWidth is
+// rejected here, not at a later Expand call, so the caller learns the
+// ceiling at planning time.
 func MinWidth(ts ...[]relation.Tuple) (int, error) {
 	var maxE relation.Element
 	for _, list := range ts {
@@ -142,9 +157,14 @@ func MinWidth(ts ...[]relation.Tuple) (int, error) {
 			}
 		}
 	}
+	// Bound the search by MaxWidth: 1<<w overflows Element at w = 63, which
+	// would otherwise loop forever on an element past the ceiling.
 	w := 1
-	for maxE >= 1<<uint(w) {
+	for w <= MaxWidth && maxE >= 1<<uint(w) {
 		w++
+	}
+	if w > MaxWidth {
+		return 0, fmt.Errorf("bitlevel: element %d needs more than the supported maximum of %d bits", maxE, MaxWidth)
 	}
 	return w, nil
 }

@@ -1,0 +1,342 @@
+// Package bitset is the word-parallel execution backend: a second,
+// semantically equivalent implementation of the repository's relational
+// operations that evaluates an entire anti-phase wavefront of the boolean
+// matrix T per step using uint64 lanes.
+//
+// Kung & Lehman's §8 word→bit-level transformation decomposes one
+// word-comparison processor into a page of single-bit processors; this
+// package runs the same licence in the other direction — it packs 64
+// T-matrix entries into one machine word and evaluates them with a single
+// bitwise instruction, the move the bulk-bitwise processing-in-memory
+// literature makes for relational analytics. Where the pulse simulator in
+// internal/systolic charges one pulse per cell step, this backend charges
+// one word operation per 64 lanes; both backends compute identical bits,
+// which the differential tests in this package pin.
+//
+// The backend is selected through machine.Config.Backend / query.Options
+// (see those packages); nothing here depends on the pulse simulator except
+// the shared result types (comparison.Matrix) and the shared reduction
+// helpers (join.Materialize, division.PrepareDistinct).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/comparison"
+	"systolicdb/internal/division"
+	"systolicdb/internal/relation"
+)
+
+// Lanes is the wavefront width: the number of T-matrix entries evaluated
+// by one word operation.
+const Lanes = 64
+
+// Stats counts the work done by a bitset run, the backend's analogue of
+// systolic.Stats. One word op evaluates up to Lanes T-matrix entries, so
+// WordOps plays the role pulses play for the simulator backend.
+type Stats struct {
+	WordOps int // uint64 lane operations (AND/OR/copy/scan over packed T rows)
+}
+
+func (s *Stats) add(o Stats) { s.WordOps += o.WordOps }
+
+// vector is one packed row of the boolean matrix T: bit j of word w is
+// t_{i, 64w+j}.
+type vector []uint64
+
+func newVector(nBits int) vector { return make(vector, (nBits+Lanes-1)/Lanes) }
+
+func (v vector) set(j int) { v[j>>6] |= 1 << (uint(j) & 63) }
+
+// checkWidths validates the tuple lists the way the pulse drivers do
+// (intersect.go / comparison.checkWidths), so both backends reject ragged
+// input with the same shape of error.
+func checkWidths(a, b []relation.Tuple, m int) error {
+	if m == 0 {
+		return fmt.Errorf("bitset: zero-width tuples")
+	}
+	for _, t := range a {
+		if len(t) != m {
+			return fmt.Errorf("bitset: ragged tuple widths in A")
+		}
+	}
+	for _, t := range b {
+		if len(t) != m {
+			return fmt.Errorf("bitset: tuple width mismatch between relations")
+		}
+	}
+	return nil
+}
+
+// indexColumn builds the value → row-bitvector index for column k of ts:
+// bit j of index[v] is set iff ts[j][k] == v. One index lookup then
+// replaces a whole column of comparison cells.
+func indexColumn(ts []relation.Tuple, k int) map[relation.Element]vector {
+	idx := make(map[relation.Element]vector)
+	n := len(ts)
+	for j, t := range ts {
+		v := idx[t[k]]
+		if v == nil {
+			v = newVector(n)
+			idx[t[k]] = v
+		}
+		v.set(j)
+	}
+	return idx
+}
+
+// andInto computes dst &= src, reporting whether any bit survives; a nil
+// src clears dst. Word ops are charged to st.
+func andInto(dst, src vector, st *Stats) bool {
+	if src == nil {
+		for w := range dst {
+			dst[w] = 0
+		}
+		st.WordOps += len(dst)
+		return false
+	}
+	any := false
+	for w := range dst {
+		dst[w] &= src[w]
+		if dst[w] != 0 {
+			any = true
+		}
+	}
+	st.WordOps += len(dst)
+	return any
+}
+
+// matchRow fills row with the T-matrix row for tuple t against the
+// per-column indexes: bit j is set iff t matches tuple j on every column.
+// It reports whether any bit is set.
+func matchRow(row vector, idx []map[relation.Element]vector, t relation.Tuple, st *Stats) bool {
+	first := idx[0][t[0]]
+	if first == nil {
+		for w := range row {
+			row[w] = 0
+		}
+		st.WordOps += len(row)
+		return false
+	}
+	copy(row, first)
+	st.WordOps += len(row)
+	any := len(row) > 0
+	for k := 1; k < len(idx); k++ {
+		if any = andInto(row, idx[k][t[k]], st); !any {
+			break
+		}
+	}
+	return any
+}
+
+// Membership computes the accumulated bit t_i = OR_j (a_i = b_j) for every
+// tuple of a — the word-parallel equivalent of intersect.RunAccumulated
+// with a nil init mask (equation 4.1 of the paper). The return conventions
+// mirror the array driver exactly: a nil slice when a is empty, an
+// all-FALSE slice when b is empty.
+func Membership(a, b []relation.Tuple) ([]bool, Stats, error) {
+	var st Stats
+	nA, nB := len(a), len(b)
+	if nA == 0 {
+		return nil, st, nil
+	}
+	if nB == 0 {
+		return make([]bool, nA), st, nil
+	}
+	m := len(a[0])
+	if err := checkWidths(a, b, m); err != nil {
+		return nil, st, err
+	}
+	idx := make([]map[relation.Element]vector, m)
+	for k := 0; k < m; k++ {
+		idx[k] = indexColumn(b, k)
+	}
+	row := newVector(nB)
+	keep := make([]bool, nA)
+	for i, t := range a {
+		keep[i] = matchRow(row, idx, t, &st)
+	}
+	return keep, st, nil
+}
+
+// Duplicates computes the §5 remove-duplicates bit for every tuple of a:
+// dup[i] is TRUE iff some earlier tuple equals a[i] — the triangle-masked
+// accumulation t_i = OR_{j<i} (a_i = a_j), evaluated 64 lanes at a time.
+// A nil slice is returned when a is empty, mirroring the array driver.
+func Duplicates(a []relation.Tuple) ([]bool, Stats, error) {
+	var st Stats
+	nA := len(a)
+	if nA == 0 {
+		return nil, st, nil
+	}
+	m := len(a[0])
+	if err := checkWidths(a, nil, m); err != nil {
+		return nil, st, err
+	}
+	idx := make([]map[relation.Element]vector, m)
+	for k := 0; k < m; k++ {
+		idx[k] = indexColumn(a, k)
+	}
+	row := newVector(nA)
+	dup := make([]bool, nA)
+	for i, t := range a {
+		matchRow(row, idx, t, &st)
+		// Apply the triangle mask: only matches strictly below the
+		// diagonal (j < i) make a_i a duplicate.
+		dup[i] = anyBelow(row, i, &st)
+	}
+	return dup, st, nil
+}
+
+// anyBelow reports whether any bit with index < i is set in v.
+func anyBelow(v vector, i int, st *Stats) bool {
+	full := i >> 6
+	for w := 0; w < full; w++ {
+		st.WordOps++
+		if v[w] != 0 {
+			return true
+		}
+	}
+	st.WordOps++
+	mask := uint64(1)<<(uint(i)&63) - 1
+	return v[full]&mask != 0
+}
+
+// JoinT computes the §6 match matrix T on already-projected key tuples,
+// the word-parallel equivalent of join.RunT: t_ij is TRUE iff every
+// per-column comparison ops[k] holds between aKeys[i][k] and bKeys[j][k].
+// Equality columns resolve through a value index; θ columns build one
+// packed comparison row per distinct probe value, memoised across probes.
+func JoinT(aKeys, bKeys []relation.Tuple, ops []cells.Op) (*comparison.Matrix, Stats, error) {
+	var st Stats
+	nA, nB := len(aKeys), len(bKeys)
+	if nA == 0 || nB == 0 {
+		return comparison.NewMatrix(nA, nB), st, nil
+	}
+	w := len(ops)
+	if w == 0 {
+		return nil, st, fmt.Errorf("bitset: join needs at least one operator")
+	}
+	for _, t := range aKeys {
+		if len(t) != w {
+			return nil, st, fmt.Errorf("bitset: key tuple width %d != %d operators", len(t), w)
+		}
+	}
+	for _, t := range bKeys {
+		if len(t) != w {
+			return nil, st, fmt.Errorf("bitset: key tuple width %d != %d operators", len(t), w)
+		}
+	}
+
+	// One lane source per join column: a lookup for EQ, a memoised scan
+	// of bKeys for the θ operators.
+	lane := make([]func(v relation.Element) vector, w)
+	for k := 0; k < w; k++ {
+		k := k
+		if ops[k] == cells.EQ {
+			idx := indexColumn(bKeys, k)
+			lane[k] = func(v relation.Element) vector { return idx[v] }
+			continue
+		}
+		memo := make(map[relation.Element]vector)
+		lane[k] = func(v relation.Element) vector {
+			if row, ok := memo[v]; ok {
+				return row
+			}
+			row := newVector(nB)
+			for j, bk := range bKeys {
+				if ops[k].Apply(v, bk[k]) {
+					row.set(j)
+				}
+			}
+			st.WordOps += len(row)
+			memo[v] = row
+			return row
+		}
+	}
+
+	t := comparison.NewMatrix(nA, nB)
+	row := newVector(nB)
+	for i, ak := range aKeys {
+		first := lane[0](ak[0])
+		if first == nil {
+			continue // no matches on the first column; row of T stays FALSE
+		}
+		copy(row, first)
+		st.WordOps += len(row)
+		any := true
+		for k := 1; k < w && any; k++ {
+			any = andInto(row, lane[k](ak[k]), &st)
+		}
+		if !any {
+			continue
+		}
+		for wd, word := range row {
+			for word != 0 {
+				j := wd*Lanes + bits.TrailingZeros64(word)
+				t.Bits[i][j] = true
+				word &= word - 1
+			}
+		}
+	}
+	return t, st, nil
+}
+
+// DivisionBits computes the §7 quotient membership bit for each stored x:
+// x belongs to the quotient iff every divisor element appears paired with
+// it. The pair list is indexed by Z and by Y once; each (x, y) probe is
+// then one packed intersection test. Semantics match division.RunArray /
+// division.ReferenceBits exactly, including the empty-divisor convention
+// (every x qualifies) and a nil result for an empty xs.
+func DivisionBits(pairs []division.Pair, xs, divisor []relation.Element) ([]bool, Stats) {
+	var st Stats
+	if len(xs) == 0 {
+		return nil, st
+	}
+	n := len(pairs)
+	zIdx := make(map[relation.Element]vector)
+	yIdx := make(map[relation.Element]vector)
+	for p, pr := range pairs {
+		zv := zIdx[pr.Z]
+		if zv == nil {
+			zv = newVector(n)
+			zIdx[pr.Z] = zv
+		}
+		zv.set(p)
+		yv := yIdx[pr.Y]
+		if yv == nil {
+			yv = newVector(n)
+			yIdx[pr.Y] = yv
+		}
+		yv.set(p)
+	}
+	bits := make([]bool, len(xs))
+	for r, x := range xs {
+		zv := zIdx[x]
+		ok := true
+		for _, y := range divisor {
+			if !intersects(zv, yIdx[y], &st) {
+				ok = false
+				break
+			}
+		}
+		bits[r] = ok
+	}
+	return bits, st
+}
+
+// intersects reports whether the two packed rows share a set bit.
+func intersects(a, b vector, st *Stats) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	for w := range a {
+		st.WordOps++
+		if a[w]&b[w] != 0 {
+			return true
+		}
+	}
+	return false
+}

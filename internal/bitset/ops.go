@@ -1,0 +1,189 @@
+package bitset
+
+import (
+	"fmt"
+
+	"systolicdb/internal/comparison"
+	"systolicdb/internal/division"
+	"systolicdb/internal/join"
+	"systolicdb/internal/relation"
+	"systolicdb/internal/systolic"
+)
+
+// Result is the outcome of a set-family run (intersection, difference,
+// remove-duplicates, union, projection) on the bitset backend. Bits is
+// the per-input-tuple bit the operation accumulated: the membership bit
+// t_i for intersection/difference, the duplicate bit for the
+// remove-duplicates family — the same bits the array drivers report.
+type Result struct {
+	Rel   *relation.Relation
+	Bits  []bool
+	Stats Stats
+}
+
+// checkCompatible mirrors the §2.4 precondition check of the intersect
+// driver.
+func checkCompatible(a, b *relation.Relation) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("bitset: nil relation")
+	}
+	if !a.Schema().UnionCompatible(b.Schema()) {
+		return fmt.Errorf("bitset: relations are not union-compatible")
+	}
+	return nil
+}
+
+// Intersection computes C = A ∩ B word-parallel; semantics match
+// intersect.Intersection.
+func Intersection(a, b *relation.Relation) (*Result, error) {
+	return setOp(a, b, true)
+}
+
+// Difference computes C = A - B word-parallel; semantics match
+// intersect.Difference.
+func Difference(a, b *relation.Relation) (*Result, error) {
+	return setOp(a, b, false)
+}
+
+func setOp(a, b *relation.Relation, want bool) (*Result, error) {
+	if err := checkCompatible(a, b); err != nil {
+		return nil, err
+	}
+	keep, st, err := Membership(a.Tuples(), b.Tuples())
+	if err != nil {
+		return nil, err
+	}
+	if keep == nil {
+		keep = []bool{}
+	}
+	rel, err := a.Select(keep, want)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rel: rel, Bits: keep, Stats: st}, nil
+}
+
+// RemoveDuplicates is the word-parallel remove-duplicates of §5; semantics
+// match dedup.RemoveDuplicates (first occurrence of each value survives).
+func RemoveDuplicates(a *relation.Relation) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("bitset: nil relation")
+	}
+	dup, st, err := Duplicates(a.Tuples())
+	if err != nil {
+		return nil, err
+	}
+	if dup == nil {
+		dup = []bool{}
+	}
+	rel, err := a.Select(dup, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rel: rel, Bits: dup, Stats: st}, nil
+}
+
+// Union computes C = A ∪ B as remove-duplicates(A + B), the §5
+// construction; semantics match dedup.Union.
+func Union(a, b *relation.Relation) (*Result, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("bitset: nil relation")
+	}
+	cat, err := a.Concat(b)
+	if err != nil {
+		return nil, err
+	}
+	return RemoveDuplicates(cat)
+}
+
+// Project computes the projection of A over the listed columns followed by
+// duplicate removal; semantics match dedup.Project.
+func Project(a *relation.Relation, cols []int) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("bitset: nil relation")
+	}
+	multi, err := a.ProjectColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	return RemoveDuplicates(multi)
+}
+
+// JoinResult is the outcome of a join on the bitset backend, mirroring
+// join.Result.
+type JoinResult struct {
+	Rel   *relation.Relation
+	T     *comparison.Matrix
+	Pairs int
+	Stats Stats
+}
+
+// Join runs the word-parallel join for the given spec and materialises the
+// result through the same host-side step the array backend uses
+// (join.Materialize), so the two backends agree bit-for-bit on T and
+// tuple-for-tuple on C.
+func Join(a, b *relation.Relation, spec join.Spec) (*JoinResult, error) {
+	if err := spec.Validate(a, b); err != nil {
+		return nil, err
+	}
+	t, st, err := JoinT(join.Keys(a, spec.ACols), join.Keys(b, spec.BCols), spec.Ops)
+	if err != nil {
+		return nil, err
+	}
+	rel, pairs, err := join.Materialize(a, b, spec, t)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinResult{Rel: rel, T: t, Pairs: pairs, Stats: st}, nil
+}
+
+// DivideResult is the outcome of a division on the bitset backend,
+// mirroring division.Result (without the pulse-array stats).
+type DivideResult struct {
+	Rel   *relation.Relation
+	Xs    []relation.Element
+	Bits  []bool
+	Stats Stats
+}
+
+// Divide computes C = A ÷ B over column groups; semantics match
+// division.Divide. The reduction to the restricted case is shared with the
+// array backend (division.PrepareDistinct), but the distinct-x
+// identification step — the paper delegates it to the remove-duplicates
+// array — runs on this package's Duplicates instead, so a bitset division
+// never pays for a pulse simulation.
+func Divide(a, b *relation.Relation, aQuot, aDiv, bCols []int) (*DivideResult, error) {
+	var st Stats
+	p, err := division.PrepareDistinct(a, b, aQuot, aDiv, bCols,
+		func(pairs []division.Pair) ([]relation.Element, systolic.Stats, error) {
+			tuples := make([]relation.Tuple, len(pairs))
+			for i, pr := range pairs {
+				tuples[i] = relation.Tuple{pr.Z}
+			}
+			dup, dst, err := Duplicates(tuples)
+			if err != nil {
+				return nil, systolic.Stats{}, err
+			}
+			st.add(dst)
+			xs := make([]relation.Element, 0, len(dup))
+			for i, d := range dup {
+				if !d {
+					xs = append(xs, pairs[i].Z)
+				}
+			}
+			return xs, systolic.Stats{}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	bits, dst := DivisionBits(p.Pairs, p.Xs, p.Divisor)
+	st.add(dst)
+	if bits == nil {
+		bits = []bool{}
+	}
+	rel, err := p.Materialize(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &DivideResult{Rel: rel, Xs: p.Xs, Bits: bits, Stats: st}, nil
+}

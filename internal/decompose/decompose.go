@@ -102,6 +102,29 @@ func (t Tiler) runTile(op string, ref func() fault.Checksum, attempt fault.Attem
 	return t.Runner.RunTile(op, ref, attempt)
 }
 
+// checkTuples rejects ragged tuple lists before any tile runs, the same
+// explicit rejection the array drivers perform (intersect.go,
+// comparison/array.go). The host-reference lane (comparison.ReferenceT)
+// indexes tuples directly, so without this guard a ragged input would
+// panic inside the checksum closure instead of returning an error.
+func checkTuples(a, b []relation.Tuple) error {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	m := len(a[0])
+	for _, t := range a {
+		if len(t) != m {
+			return fmt.Errorf("decompose: ragged tuple widths in A")
+		}
+	}
+	for _, t := range b {
+		if len(t) != m {
+			return fmt.Errorf("decompose: tuple width mismatch between relations")
+		}
+	}
+	return nil
+}
+
 // TiledT computes the full matrix T for a problem larger than the physical
 // array by running one comparison-array pass per tile. init receives
 // *global* pair indices.
@@ -117,6 +140,9 @@ func (tl Tiler) T(a, b []relation.Tuple, init comparison.InitFunc) (*comparison.
 	nA, nB := len(a), len(b)
 	t := comparison.NewMatrix(nA, nB)
 	var stats Stats
+	if err := checkTuples(a, b); err != nil {
+		return nil, Stats{}, err
+	}
 	for i0 := 0; i0 < nA; i0 += tl.Size.MaxA {
 		i1 := min(i0+tl.Size.MaxA, nA)
 		for j0 := 0; j0 < nB; j0 += tl.Size.MaxB {
@@ -172,6 +198,9 @@ func (tl Tiler) Accumulate(a, b []relation.Tuple, init comparison.InitFunc) ([]b
 	var stats Stats
 	if nA == 0 || nB == 0 {
 		return keep, stats, nil
+	}
+	if err := checkTuples(a, b); err != nil {
+		return nil, Stats{}, err
 	}
 	for i0 := 0; i0 < nA; i0 += tl.Size.MaxA {
 		i1 := min(i0+tl.Size.MaxA, nA)

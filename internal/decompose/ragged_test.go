@@ -1,0 +1,55 @@
+package decompose
+
+import (
+	"strings"
+	"testing"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/relation"
+)
+
+// TestTilerRaggedInputsRejected pins the guards this change added to the
+// §8 tiler's raw tuple-list entry points. Each of these used to reach the
+// host-reference closure (comparison.ReferenceT / join.ReferenceT), which
+// indexes tuples unconditionally and panicked on short ones; they must
+// reject ragged input up front instead.
+func TestTilerRaggedInputsRejected(t *testing.T) {
+	tl := Tiler{Size: ArraySize{MaxA: 4, MaxB: 4}}
+	even := []relation.Tuple{{1, 2}, {3, 4}}
+	ragged := []relation.Tuple{{1, 2}, {3}}
+
+	if _, _, err := tl.T(ragged, even, nil); err == nil ||
+		!strings.Contains(err.Error(), "ragged") {
+		t.Errorf("T ragged A: error = %v, want ragged rejection", err)
+	}
+	if _, _, err := tl.T(even, ragged, nil); err == nil ||
+		!strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("T ragged B: error = %v, want width-mismatch rejection", err)
+	}
+	if _, _, err := tl.Accumulate(ragged, even, nil); err == nil {
+		t.Error("Accumulate ragged A: no error")
+	}
+	if _, _, err := tl.Accumulate(even, ragged, nil); err == nil {
+		t.Error("Accumulate ragged B: no error")
+	}
+	ops := []cells.Op{cells.EQ, cells.EQ}
+	if _, _, err := tl.JoinT(ragged, even, ops); err == nil ||
+		!strings.Contains(err.Error(), "key tuple width") {
+		t.Errorf("JoinT ragged A: error = %v, want key-width rejection", err)
+	}
+	if _, _, err := tl.JoinT(even, []relation.Tuple{{1}}, ops); err == nil {
+		t.Error("JoinT narrow B: no error")
+	}
+
+	// Empty sides keep their early-return semantics: answerable without
+	// inspecting widths, so no error even against ragged input.
+	if _, _, err := tl.T(nil, ragged, nil); err != nil {
+		t.Errorf("T empty A: %v", err)
+	}
+	if bits, _, err := tl.Accumulate(nil, ragged, nil); err != nil || len(bits) != 0 {
+		t.Errorf("Accumulate empty A: bits=%v err=%v", bits, err)
+	}
+	if _, _, err := tl.JoinT(nil, ragged, ops); err != nil {
+		t.Errorf("JoinT empty A: %v", err)
+	}
+}

@@ -27,6 +27,14 @@ func (tl Tiler) JoinT(aKeys, bKeys []relation.Tuple, ops []cells.Op) (*compariso
 	nA, nB := len(aKeys), len(bKeys)
 	t := comparison.NewMatrix(nA, nB)
 	var stats Stats
+	// Reject ragged keys before any tile runs: the host-reference lane
+	// (join.ReferenceT) indexes key tuples directly, so without this the
+	// checksum closure would panic instead of the array erroring.
+	if nA > 0 && nB > 0 {
+		if err := join.CheckKeys(aKeys, bKeys, ops); err != nil {
+			return nil, Stats{}, err
+		}
+	}
 	for i0 := 0; i0 < nA; i0 += tl.Size.MaxA {
 		i1 := min(i0+tl.Size.MaxA, nA)
 		for j0 := 0; j0 < nB; j0 += tl.Size.MaxB {

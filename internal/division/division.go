@@ -218,9 +218,23 @@ func (p *Problem) Materialize(bits []bool) (*relation.Relation, error) {
 	return rel, nil
 }
 
+// DistinctFunc identifies the distinct Z values of the dividend pairs, in
+// first-occurrence order, returning the stats of whatever array (if any)
+// performed the identification.
+type DistinctFunc func(pairs []Pair) ([]relation.Element, systolic.Stats, error)
+
 // Prepare validates and reduces a general division to the restricted case
-// (see Divide for the column-group semantics).
+// (see Divide for the column-group semantics), identifying the distinct
+// x's with the §5 remove-duplicates array as the paper prescribes.
 func Prepare(a, b *relation.Relation, aQuot, aDiv, bCols []int) (*Problem, error) {
+	return PrepareDistinct(a, b, aQuot, aDiv, bCols, nil)
+}
+
+// PrepareDistinct is Prepare with the distinct-x identification step
+// supplied by the caller — the hook an alternative execution backend uses
+// to avoid paying for a pulse-simulated dedup array inside its own
+// division. A nil distinct behaves exactly like Prepare.
+func PrepareDistinct(a, b *relation.Relation, aQuot, aDiv, bCols []int, distinct DistinctFunc) (*Problem, error) {
 	if a == nil || b == nil {
 		return nil, fmt.Errorf("division: nil relation")
 	}
@@ -276,9 +290,12 @@ func Prepare(a, b *relation.Relation, aQuot, aDiv, bCols []int) (*Problem, error
 		}
 	}
 
-	// Identify the distinct x's with the remove-duplicates array, as the
-	// paper prescribes.
-	xs, dedupStats, err := distinctViaDedupArray(pairs)
+	// Identify the distinct x's — by default with the remove-duplicates
+	// array, as the paper prescribes.
+	if distinct == nil {
+		distinct = distinctViaDedupArray
+	}
+	xs, dedupStats, err := distinct(pairs)
 	if err != nil {
 		return nil, err
 	}

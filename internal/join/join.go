@@ -96,7 +96,9 @@ func RunT(aKeys, bKeys []relation.Tuple, ops []cells.Op) (*comparison.Matrix, sy
 
 // ReferenceT computes the join match matrix by direct software evaluation
 // — the specification RunT is verified against (and the host side of the
-// fault layer's checksum lane).
+// fault layer's checksum lane). Key widths must already satisfy CheckKeys;
+// callers that accept external tuple lists (the §8 tiler, the backends)
+// validate first, so ReferenceT never indexes a short tuple.
 func ReferenceT(aKeys, bKeys []relation.Tuple, ops []cells.Op) *comparison.Matrix {
 	t := comparison.NewMatrix(len(aKeys), len(bKeys))
 	for i, ak := range aKeys {
@@ -114,6 +116,27 @@ func ReferenceT(aKeys, bKeys []relation.Tuple, ops []cells.Op) *comparison.Matri
 	return t
 }
 
+// CheckKeys validates key-tuple lists against the operator list the way
+// the intersection driver validates its inputs (explicit rejection of
+// ragged widths rather than a panic downstream): every tuple of both lists
+// must be exactly len(ops) wide. It is exported so drivers that evaluate
+// keys outside RunT — the §8 tiler's host-reference lane, alternative
+// backends — can reject bad input before any indexing happens.
+func CheckKeys(aKeys, bKeys []relation.Tuple, ops []cells.Op) error {
+	w := len(ops)
+	for _, t := range aKeys {
+		if len(t) != w {
+			return fmt.Errorf("join: key tuple width %d != %d operators", len(t), w)
+		}
+	}
+	for _, t := range bKeys {
+		if len(t) != w {
+			return fmt.Errorf("join: key tuple width %d != %d operators", len(t), w)
+		}
+	}
+	return nil
+}
+
 // RunTWrap is RunT with an optional cell wrapper applied to every
 // processor (the fault layer's injection hook); a nil wrap behaves exactly
 // like RunT.
@@ -123,15 +146,8 @@ func RunTWrap(aKeys, bKeys []relation.Tuple, ops []cells.Op, wrap systolic.Wrap)
 		return comparison.NewMatrix(nA, nB), systolic.Stats{}, nil
 	}
 	w := len(ops)
-	for _, t := range aKeys {
-		if len(t) != w {
-			return nil, systolic.Stats{}, fmt.Errorf("join: key tuple width %d != %d operators", len(t), w)
-		}
-	}
-	for _, t := range bKeys {
-		if len(t) != w {
-			return nil, systolic.Stats{}, fmt.Errorf("join: key tuple width %d != %d operators", len(t), w)
-		}
+	if err := CheckKeys(aKeys, bKeys, ops); err != nil {
+		return nil, systolic.Stats{}, err
 	}
 	sched, err := comparison.NewSchedule(nA, nB, w)
 	if err != nil {

@@ -1,0 +1,170 @@
+package machine
+
+import (
+	"fmt"
+
+	"systolicdb/internal/bitset"
+	"systolicdb/internal/relation"
+)
+
+// Backend selects the execution engine device operations run on.
+type Backend int
+
+const (
+	// BackendPulse is the cycle-faithful pulse simulator: every operation
+	// runs cell by cell on the systolic grids of §3-§7, tiled to the
+	// device capacity per §8, with the fault layer's injection,
+	// verification and retry applied per tile. This is the zero value and
+	// the historical behaviour.
+	BackendPulse Backend = iota
+
+	// BackendBitset is the word-parallel backend (internal/bitset): each
+	// operation evaluates whole wavefronts of the boolean matrix T with
+	// uint64 lanes — §8's word→bit-level transformation run at machine
+	// word width. Results are bit-for-bit identical to BackendPulse; cost
+	// is reported in word operations instead of pulses, and the fault
+	// layer does not apply (there are no simulated cells to corrupt).
+	BackendBitset
+)
+
+// String returns the flag-level name of the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendPulse:
+		return "pulse"
+	case BackendBitset:
+		return "bitset"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+func (b Backend) valid() bool { return b == BackendPulse || b == BackendBitset }
+
+// ParseBackend maps a flag or request string to a Backend. The empty
+// string selects the default (pulse); anything unknown is an error, never
+// a silent fallback.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "pulse":
+		return BackendPulse, nil
+	case "bitset":
+		return BackendBitset, nil
+	}
+	return 0, fmt.Errorf("machine: unknown backend %q (valid: pulse, bitset)", s)
+}
+
+// executeBitset computes a task's result on the word-parallel backend.
+// Tiling does not apply — the bitset engine holds the whole T row in
+// packed words — so every operation reports one "tile" whose pulse count
+// is the backend's word-operation count (one word op evaluates up to
+// bitset.Lanes T-matrix lanes, the backend's analogue of a pulse).
+func (m *Machine) executeBitset(t Task, rels map[string]*relation.Relation) (opResult, error) {
+	in := func(i int) (*relation.Relation, error) {
+		if i >= len(t.Inputs) {
+			return nil, fmt.Errorf("machine: task %q needs input %d", t.ID, i)
+		}
+		r, ok := rels[t.Inputs[i]]
+		if !ok {
+			return nil, fmt.Errorf("machine: task %q input %q not materialised", t.ID, t.Inputs[i])
+		}
+		return r, nil
+	}
+	one := func(rel *relation.Relation, st bitset.Stats) opResult {
+		return opResult{rel: rel, pulses: st.WordOps, tiles: 1, tilePulses: []int{st.WordOps}}
+	}
+	switch t.Op {
+	case OpIntersect, OpDifference:
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return opResult{}, err
+		}
+		var res *bitset.Result
+		if t.Op == OpIntersect {
+			res, err = bitset.Intersection(a, b)
+		} else {
+			res, err = bitset.Difference(a, b)
+		}
+		if err != nil {
+			return opResult{}, err
+		}
+		return one(res.Rel, res.Stats), nil
+
+	case OpDedup:
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		res, err := bitset.RemoveDuplicates(a)
+		if err != nil {
+			return opResult{}, err
+		}
+		return one(res.Rel, res.Stats), nil
+
+	case OpUnion:
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return opResult{}, err
+		}
+		res, err := bitset.Union(a, b)
+		if err != nil {
+			return opResult{}, err
+		}
+		return one(res.Rel, res.Stats), nil
+
+	case OpProject:
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		res, err := bitset.Project(a, t.Cols)
+		if err != nil {
+			return opResult{}, err
+		}
+		return one(res.Rel, res.Stats), nil
+
+	case OpJoin:
+		if t.Join == nil {
+			return opResult{}, fmt.Errorf("machine: task %q has no join spec", t.ID)
+		}
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return opResult{}, err
+		}
+		res, err := bitset.Join(a, b, *t.Join)
+		if err != nil {
+			return opResult{}, err
+		}
+		return one(res.Rel, res.Stats), nil
+
+	case OpDivide:
+		if t.Divide == nil {
+			return opResult{}, fmt.Errorf("machine: task %q has no divide spec", t.ID)
+		}
+		a, err := in(0)
+		if err != nil {
+			return opResult{}, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return opResult{}, err
+		}
+		res, err := bitset.Divide(a, b, t.Divide.AQuot, t.Divide.ADiv, t.Divide.BCols)
+		if err != nil {
+			return opResult{}, err
+		}
+		return one(res.Rel, res.Stats), nil
+	}
+	return opResult{}, fmt.Errorf("machine: task %q: op %v does not run on a device", t.ID, t.Op)
+}

@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"systolicdb/internal/cells"
+	"systolicdb/internal/join"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/workload"
+)
+
+// TestParseBackend is the selection table: every accepted spelling maps to
+// the intended backend, and anything else is an error — never a silent
+// fallback to the default.
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    Backend
+		wantErr bool
+	}{
+		{"", BackendPulse, false},
+		{"pulse", BackendPulse, false},
+		{"bitset", BackendBitset, false},
+		{"Pulse", 0, true},
+		{"BITSET", 0, true},
+		{"simd", 0, true},
+		{"bitset ", 0, true},
+	} {
+		got, err := ParseBackend(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseBackend(%q) accepted, want error", tc.in)
+			} else if !strings.Contains(err.Error(), "unknown backend") ||
+				!strings.Contains(err.Error(), "pulse, bitset") {
+				t.Errorf("ParseBackend(%q) error %v should name the valid backends", tc.in, err)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+// TestConfigRejectsUnknownBackend pins that an out-of-range Backend value
+// in the config is a construction-time error.
+func TestConfigRejectsUnknownBackend(t *testing.T) {
+	cfg := DefaultConfig1980(16, nil)
+	cfg.Backend = Backend(99)
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("New with Backend(99): err = %v, want unknown-backend error", err)
+	}
+}
+
+// TestBackendSelectionOnMachine pins that Config.Backend actually selects
+// the engine: the two backends produce identical relations for a whole
+// transaction, the bitset run reports its own per-backend transaction
+// metric, and String() round-trips through ParseBackend.
+func TestBackendSelectionOnMachine(t *testing.T) {
+	a, b, err := workload.JoinPair(7, 24, 24, 2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := func() []Task {
+		return []Task{
+			{Op: OpLoad, Base: a, Output: "A"},
+			{Op: OpLoad, Base: b, Output: "B"},
+			{Op: OpJoin, Inputs: []string{"A", "B"}, Output: "J",
+				Join: &join.Spec{ACols: []int{0}, BCols: []int{0}, Ops: []cells.Op{cells.EQ}}},
+			{Op: OpDedup, Inputs: []string{"J"}, Output: "C"},
+			{Op: OpStore, Inputs: []string{"C"}},
+		}
+	}
+
+	run := func(backend Backend) (*Result, *obs.Registry) {
+		t.Helper()
+		reg := obs.NewRegistry()
+		cfg := DefaultConfig1980(16, nil)
+		cfg.Backend = backend
+		cfg.Metrics = reg
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(tasks())
+		if err != nil {
+			t.Fatalf("%v run: %v", backend, err)
+		}
+		return res, reg
+	}
+
+	pulse, _ := run(BackendPulse)
+	bits, reg := run(BackendBitset)
+	pr, br := pulse.Relations["C"], bits.Relations["C"]
+	if pr.Cardinality() != br.Cardinality() {
+		t.Fatalf("pulse produced %d tuples, bitset %d", pr.Cardinality(), br.Cardinality())
+	}
+	if !pr.EqualAsSet(br) {
+		t.Fatal("backends disagree on the transaction result")
+	}
+	if got := reg.Counter("machine_backend_transactions_total",
+		obs.Labels{"backend": "bitset"}).Value(); got != 1 {
+		t.Errorf("machine_backend_transactions_total{backend=bitset} = %v, want 1", got)
+	}
+
+	for _, backend := range []Backend{BackendPulse, BackendBitset} {
+		rt, err := ParseBackend(backend.String())
+		if err != nil || rt != backend {
+			t.Errorf("ParseBackend(%v.String()) = %v, %v", backend, rt, err)
+		}
+	}
+}

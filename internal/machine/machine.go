@@ -196,8 +196,15 @@ type Config struct {
 	// Fault enables fault-tolerant execution: injection (per the plans),
 	// per-tile verification, retry, quarantine and host fallback. Nil
 	// disables the layer — unless some DeviceConfig carries its own fault
-	// plan, which enables it with default settings.
+	// plan, which enables it with default settings. The layer applies to
+	// the pulse backend only: BackendBitset has no simulated cells to
+	// corrupt, so fault injection is a no-op there.
 	Fault *FaultConfig
+
+	// Backend selects the execution engine (see Backend). The zero value
+	// is BackendPulse, the cycle-faithful simulator; any other value must
+	// be a known backend or New rejects the configuration.
+	Backend Backend
 }
 
 // DivideSpec carries the column groups of a division task.
@@ -290,6 +297,9 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.Tech.Validate(); err != nil {
 		return nil, err
 	}
+	if !cfg.Backend.valid() {
+		return nil, fmt.Errorf("machine: unknown backend %v", cfg.Backend)
+	}
 	if cfg.ElementBytes <= 0 {
 		cfg.ElementBytes = 8
 	}
@@ -362,35 +372,16 @@ func (m *Machine) quarantined(name string) bool {
 	return m.health != nil && m.health.Quarantined(name)
 }
 
-// Default1980 returns a machine shaped like Figure 9-1: three memory
-// modules and one device of each kind, with the paper's conservative
-// technology and disk.
-func Default1980(arraySize int) (*Machine, error) {
+// DefaultConfig1980 returns the configuration of the Figure 9-1 machine —
+// three memory modules and one device of each kind, with the paper's
+// conservative technology and disk — so callers can adjust fields (e.g.
+// Backend, Metrics) before building with New.
+func DefaultConfig1980(arraySize int, fc *FaultConfig) Config {
 	if arraySize <= 0 {
 		arraySize = 256
 	}
 	size := decompose.ArraySize{MaxA: arraySize, MaxB: arraySize}
-	return New(Config{
-		Memories: 3,
-		Devices: []DeviceConfig{
-			{Name: "intersect0", Kind: DevIntersect, Size: size},
-			{Name: "join0", Kind: DevJoin, Size: size},
-			{Name: "divide0", Kind: DevDivide, Size: size},
-		},
-		Tech: perf.Conservative1980,
-		Disk: perf.Disk1980,
-	})
-}
-
-// Default1980Fault is Default1980 with fault-tolerant execution enabled: the
-// same three-device machine, injecting and verifying according to fc. A nil
-// fc is identical to Default1980.
-func Default1980Fault(arraySize int, fc *FaultConfig) (*Machine, error) {
-	if arraySize <= 0 {
-		arraySize = 256
-	}
-	size := decompose.ArraySize{MaxA: arraySize, MaxB: arraySize}
-	return New(Config{
+	return Config{
 		Memories: 3,
 		Devices: []DeviceConfig{
 			{Name: "intersect0", Kind: DevIntersect, Size: size},
@@ -400,7 +391,21 @@ func Default1980Fault(arraySize int, fc *FaultConfig) (*Machine, error) {
 		Tech:  perf.Conservative1980,
 		Disk:  perf.Disk1980,
 		Fault: fc,
-	})
+	}
+}
+
+// Default1980 returns a machine shaped like Figure 9-1: three memory
+// modules and one device of each kind, with the paper's conservative
+// technology and disk.
+func Default1980(arraySize int) (*Machine, error) {
+	return New(DefaultConfig1980(arraySize, nil))
+}
+
+// Default1980Fault is Default1980 with fault-tolerant execution enabled: the
+// same three-device machine, injecting and verifying according to fc. A nil
+// fc is identical to Default1980.
+func Default1980Fault(arraySize int, fc *FaultConfig) (*Machine, error) {
+	return New(DefaultConfig1980(arraySize, fc))
 }
 
 // ParseFaultConfig turns the CLI fault flags shared by systolicdb,
@@ -450,6 +455,9 @@ type opResult struct {
 // the fault layer is enabled every tile goes through the kind's executor,
 // which injects, verifies, retries and quarantines per the configuration.
 func (m *Machine) execute(t Task, size decompose.ArraySize, rels map[string]*relation.Relation) (opResult, error) {
+	if m.cfg.Backend == BackendBitset {
+		return m.executeBitset(t, rels)
+	}
 	var tiler decompose.Tiler
 	tiler.Size = size
 	if kind, ok := deviceFor(t.Op); ok {
@@ -843,6 +851,8 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 	// Flush the transaction's cost profile into the metrics registry.
 	reg := m.registry()
 	reg.Counter("machine_transactions_total", nil).Inc()
+	reg.Counter("machine_backend_transactions_total",
+		obs.Labels{"backend": m.cfg.Backend.String()}).Inc()
 	reg.Gauge("machine_makespan_seconds", nil).Set(res.Makespan.Seconds())
 	reg.Gauge("machine_busy_seconds", nil).Set(res.BusyTime.Seconds())
 	reg.Gauge("machine_concurrency", nil).Set(res.Concurrency())

@@ -1,0 +1,114 @@
+package query
+
+import (
+	"context"
+	"testing"
+
+	"systolicdb/internal/machine"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/workload"
+)
+
+// TestOptionsBackendSelection pins that Options.Backend selects the
+// execution engine: both backends produce the same relation for the same
+// plan, each reports cost in its own unit (pulses vs word ops), and the
+// per-node metrics carry the backend label.
+func TestOptionsBackendSelection(t *testing.T) {
+	cat := optionsCatalog(t)
+	for _, src := range []string{
+		"intersect(scan(A), scan(B))",
+		"difference(scan(A), scan(B))",
+		"union(scan(A), scan(B))",
+		"dedup(scan(A))",
+		"project(join(scan(A), scan(B), 0=0), 0)",
+		"theta(scan(A), scan(B), 0>0)",
+	} {
+		plan, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var pulseSt ExecStats
+		pulseRel, err := ExecuteCtx(context.Background(), plan, cat,
+			&Options{Metrics: obs.NewRegistry(), Stats: &pulseSt})
+		if err != nil {
+			t.Fatalf("%s pulse: %v", src, err)
+		}
+
+		reg := obs.NewRegistry()
+		var bitSt ExecStats
+		bitRel, err := ExecuteCtx(context.Background(), plan, cat,
+			&Options{Metrics: reg, Stats: &bitSt, Backend: machine.BackendBitset})
+		if err != nil {
+			t.Fatalf("%s bitset: %v", src, err)
+		}
+
+		if !pulseRel.EqualAsMultiset(bitRel) {
+			t.Errorf("%s: backends disagree:\npulse:\n%s\nbitset:\n%s", src, pulseRel, bitRel)
+		}
+		if pulseSt.Pulses == 0 || pulseSt.WordOps != 0 {
+			t.Errorf("%s pulse stats: pulses=%d wordOps=%d, want pulses>0 wordOps=0",
+				src, pulseSt.Pulses, pulseSt.WordOps)
+		}
+		if bitSt.WordOps == 0 || bitSt.Pulses != 0 {
+			t.Errorf("%s bitset stats: pulses=%d wordOps=%d, want wordOps>0 pulses=0",
+				src, bitSt.Pulses, bitSt.WordOps)
+		}
+		if reg.Counter("query_node_word_ops_total",
+			obs.Labels{"node": "scan", "backend": "bitset"}).Value() != 0 {
+			t.Errorf("%s: scan charged word ops", src)
+		}
+		pulseSt, bitSt = ExecStats{}, ExecStats{}
+	}
+}
+
+// TestBitsetBackendMetricLabels pins the per-backend metric shape: bitset
+// runs emit query_node_word_ops_total under backend="bitset" and no pulse
+// series for the same node.
+func TestBitsetBackendMetricLabels(t *testing.T) {
+	cat := optionsCatalog(t)
+	plan, err := Parse("intersect(scan(A), scan(B))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	if _, err := ExecuteCtx(context.Background(), plan, cat,
+		&Options{Metrics: reg, Backend: machine.BackendBitset}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("query_node_word_ops_total",
+		obs.Labels{"node": "intersect", "backend": "bitset"}).Value() == 0 {
+		t.Error("no word ops recorded under backend=bitset")
+	}
+	if reg.Counter("query_node_pulses_total",
+		obs.Labels{"node": "intersect", "backend": "bitset"}).Value() != 0 {
+		t.Error("bitset run recorded pulse series")
+	}
+}
+
+// TestDivisionBackendEquivalence runs the division plan node on both
+// backends (it reduces through different distinct-x machinery, so it gets
+// its own pin).
+func TestDivisionBackendEquivalence(t *testing.T) {
+	a, b, err := workload.DivisionCase(11, 16, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := Catalog{"A": a, "B": b}
+	plan, err := Parse("divide(scan(A), scan(B), quot=0, div=1, by=0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulseRel, err := ExecuteCtx(context.Background(), plan, cat, &Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitRel, err := ExecuteCtx(context.Background(), plan, cat,
+		&Options{Metrics: obs.NewRegistry(), Backend: machine.BackendBitset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pulseRel.EqualAsMultiset(bitRel) {
+		t.Errorf("division backends disagree:\npulse:\n%s\nbitset:\n%s", pulseRel, bitRel)
+	}
+}

@@ -29,24 +29,24 @@ func TestExecutePrivateRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := obs.Default.Counter("query_node_pulses_total", obs.Labels{"node": "intersect"}).Value()
+	before := obs.Default.Counter("query_node_pulses_total", obs.Labels{"node": "intersect", "backend": "pulse"}).Value()
 
 	reg := obs.NewRegistry()
 	if _, err := ExecuteCtx(context.Background(), plan, cat, &Options{Metrics: reg}); err != nil {
 		t.Fatal(err)
 	}
 
-	if got := obs.Default.Counter("query_node_pulses_total", obs.Labels{"node": "intersect"}).Value(); got != before {
+	if got := obs.Default.Counter("query_node_pulses_total", obs.Labels{"node": "intersect", "backend": "pulse"}).Value(); got != before {
 		t.Errorf("obs.Default pulses changed %d -> %d despite private registry", before, got)
 	}
-	if reg.Counter("query_node_pulses_total", obs.Labels{"node": "intersect"}).Value() == 0 {
+	if reg.Counter("query_node_pulses_total", obs.Labels{"node": "intersect", "backend": "pulse"}).Value() == 0 {
 		t.Error("private registry recorded no intersect pulses")
 	}
 	var sb strings.Builder
 	if err := reg.WriteText(&sb); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), `query_node_host_seconds_count{node="scan"}`) {
+	if !strings.Contains(sb.String(), `query_node_host_seconds_count{backend="pulse",node="scan"}`) {
 		t.Errorf("private registry missing scan span:\n%s", sb.String())
 	}
 }
@@ -89,8 +89,8 @@ func TestExecuteStats(t *testing.T) {
 	if st.Pulses <= 0 {
 		t.Fatalf("plan-wide pulse total %d, want > 0", st.Pulses)
 	}
-	sum := reg.Counter("query_node_pulses_total", obs.Labels{"node": "join"}).Value() +
-		reg.Counter("query_node_pulses_total", obs.Labels{"node": "project"}).Value()
+	sum := reg.Counter("query_node_pulses_total", obs.Labels{"node": "join", "backend": "pulse"}).Value() +
+		reg.Counter("query_node_pulses_total", obs.Labels{"node": "project", "backend": "pulse"}).Value()
 	if int64(st.Pulses) != sum {
 		t.Errorf("Stats.Pulses = %d, registry per-node sum = %d", st.Pulses, sum)
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"systolicdb/internal/bitset"
 	"systolicdb/internal/dedup"
 	"systolicdb/internal/division"
 	"systolicdb/internal/fault"
@@ -112,7 +113,8 @@ type Catalog map[string]*relation.Relation
 // ExecStats accumulates whole-plan totals across every node of one
 // Execute call.
 type ExecStats struct {
-	Pulses int // simulated array pulses summed over all plan nodes
+	Pulses  int // simulated array pulses summed over all plan nodes (pulse backend)
+	WordOps int // uint64 word operations summed over all plan nodes (bitset backend)
 }
 
 // Options configures ExecuteCtx and CompileOpts.
@@ -126,6 +128,12 @@ type Options struct {
 	// Stats, when non-nil, is filled with plan-wide totals (added to, so a
 	// caller can aggregate several plans into one ExecStats).
 	Stats *ExecStats
+
+	// Backend selects the execution engine for the host executor: the
+	// pulse simulator (the zero value) or the word-parallel bitset
+	// backend. Per-node spans carry the backend as a metric label, so
+	// /metrics distinguishes the two.
+	Backend machine.Backend
 }
 
 // registry resolves the effective metrics registry; usable on a nil
@@ -135,6 +143,15 @@ func (o *Options) registry() *obs.Registry {
 		return o.Metrics
 	}
 	return obs.Default
+}
+
+// backend resolves the effective execution backend; usable on a nil
+// receiver.
+func (o *Options) backend() machine.Backend {
+	if o != nil {
+		return o.Backend
+	}
+	return machine.BackendPulse
 }
 
 // opName returns the stable operator name used as the node label on span
@@ -165,14 +182,20 @@ func opName(n Node) string {
 }
 
 // recordSpan emits one per-plan-node span into the registry: host
-// wall-clock time (inclusive of children, as spans are), the node's own
-// simulated pulses, and the simulated time those pulses cost under the
-// conservative 1980 technology.
-func recordSpan(reg *obs.Registry, n Node, pulses int, start time.Time) {
-	l := obs.Labels{"node": opName(n)}
+// wall-clock time (inclusive of children, as spans are) and the node's own
+// cost on the backend that ran it — simulated pulses plus their cost under
+// the conservative 1980 technology for the pulse simulator, word
+// operations for the bitset backend. Every series carries the backend as a
+// label so /metrics distinguishes the two engines.
+func recordSpan(reg *obs.Registry, n Node, backend machine.Backend, c nodeCost, start time.Time) {
+	l := obs.Labels{"node": opName(n), "backend": backend.String()}
 	reg.Timer("query_node_host_seconds", l).Observe(time.Since(start))
-	reg.Counter("query_node_pulses_total", l).Add(int64(pulses))
-	reg.Timer("query_node_sim_seconds", l).Observe(perf.Conservative1980.PulseTime(pulses))
+	if backend == machine.BackendBitset {
+		reg.Counter("query_node_word_ops_total", l).Add(int64(c.wordOps))
+		return
+	}
+	reg.Counter("query_node_pulses_total", l).Add(int64(c.pulses))
+	reg.Timer("query_node_sim_seconds", l).Observe(perf.Conservative1980.PulseTime(c.pulses))
 }
 
 // Execute evaluates a plan on the host, running every operator on its
@@ -193,6 +216,13 @@ func ExecuteCtx(ctx context.Context, n Node, cat Catalog, o *Options) (*relation
 	return exec(ctx, n, cat, o)
 }
 
+// nodeCost is the per-node cost on whichever backend ran it: simulated
+// pulses for the pulse simulator, word operations for the bitset backend.
+type nodeCost struct {
+	pulses  int
+	wordOps int
+}
+
 // exec evaluates one node (recursively), recording its span and
 // accumulating plan-wide stats.
 func exec(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relation, error) {
@@ -200,116 +230,220 @@ func exec(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relat
 		return nil, fmt.Errorf("query: plan cancelled at %s node: %w", opName(n), err)
 	}
 	start := time.Now()
-	rel, pulses, err := eval(ctx, n, cat, o)
+	rel, c, err := eval(ctx, n, cat, o)
 	if err != nil {
 		return nil, err
 	}
 	if o != nil && o.Stats != nil {
-		o.Stats.Pulses += pulses
+		o.Stats.Pulses += c.pulses
+		o.Stats.WordOps += c.wordOps
 	}
-	recordSpan(o.registry(), n, pulses, start)
+	recordSpan(o.registry(), n, o.backend(), c, start)
 	return rel, nil
 }
 
-// eval computes one node, returning the result and the simulated pulse
-// count of the node's own array run (children report their own).
-func eval(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relation, int, error) {
+// eval computes one node on the selected backend, returning the result and
+// the cost of the node's own run (children report their own).
+func eval(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relation, nodeCost, error) {
+	if o.backend() == machine.BackendBitset {
+		return evalBitset(ctx, n, cat, o)
+	}
+	return evalPulse(ctx, n, cat, o)
+}
+
+// evalPulse computes one node on the pulse-simulated systolic arrays.
+func evalPulse(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relation, nodeCost, error) {
+	none := nodeCost{}
 	switch op := n.(type) {
 	case Scan:
 		r, ok := cat[op.Name]
 		if !ok {
-			return nil, 0, fmt.Errorf("query: unknown relation %q", op.Name)
+			return nil, none, fmt.Errorf("query: unknown relation %q", op.Name)
 		}
-		return r, 0, nil
+		return r, none, nil
 	case Intersect:
 		l, r, err := execPair(ctx, op.L, op.R, cat, o)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
 		res, err := intersect.Intersection(l, r)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
-		return res.Rel, res.Stats.Pulses, nil
+		return res.Rel, nodeCost{pulses: res.Stats.Pulses}, nil
 	case Difference:
 		l, r, err := execPair(ctx, op.L, op.R, cat, o)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
 		res, err := intersect.Difference(l, r)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
-		return res.Rel, res.Stats.Pulses, nil
+		return res.Rel, nodeCost{pulses: res.Stats.Pulses}, nil
 	case Union:
 		l, r, err := execPair(ctx, op.L, op.R, cat, o)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
 		res, err := dedup.Union(l, r)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
-		return res.Rel, res.Stats.Pulses, nil
+		return res.Rel, nodeCost{pulses: res.Stats.Pulses}, nil
 	case Dedup:
 		c, err := exec(ctx, op.Child, cat, o)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
 		res, err := dedup.RemoveDuplicates(c)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
-		return res.Rel, res.Stats.Pulses, nil
+		return res.Rel, nodeCost{pulses: res.Stats.Pulses}, nil
 	case Project:
 		c, err := exec(ctx, op.Child, cat, o)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
 		res, err := dedup.Project(c, op.Cols)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
-		return res.Rel, res.Stats.Pulses, nil
+		return res.Rel, nodeCost{pulses: res.Stats.Pulses}, nil
 	case Join:
 		l, r, err := execPair(ctx, op.L, op.R, cat, o)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
 		res, err := join.Join(l, r, op.Spec)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
-		return res.Rel, res.Stats.Pulses, nil
+		return res.Rel, nodeCost{pulses: res.Stats.Pulses}, nil
 	case Divide:
 		l, r, err := execPair(ctx, op.L, op.R, cat, o)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
 		res, err := division.Divide(l, r, op.AQuot, op.ADiv, op.BCols)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
-		return res.Rel, res.Stats.Pulses, nil
+		return res.Rel, nodeCost{pulses: res.Stats.Pulses}, nil
 	case Select:
+		return evalSelect(ctx, op, cat, o)
+	}
+	return nil, none, fmt.Errorf("query: unsupported plan node %T", n)
+}
+
+// evalBitset computes one node on the word-parallel bitset backend. Every
+// operator maps one-to-one onto internal/bitset; Scan and Select are
+// host-side either way and shared with the pulse path.
+func evalBitset(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relation, nodeCost, error) {
+	none := nodeCost{}
+	switch op := n.(type) {
+	case Scan:
+		r, ok := cat[op.Name]
+		if !ok {
+			return nil, none, fmt.Errorf("query: unknown relation %q", op.Name)
+		}
+		return r, none, nil
+	case Intersect:
+		l, r, err := execPair(ctx, op.L, op.R, cat, o)
+		if err != nil {
+			return nil, none, err
+		}
+		res, err := bitset.Intersection(l, r)
+		if err != nil {
+			return nil, none, err
+		}
+		return res.Rel, nodeCost{wordOps: res.Stats.WordOps}, nil
+	case Difference:
+		l, r, err := execPair(ctx, op.L, op.R, cat, o)
+		if err != nil {
+			return nil, none, err
+		}
+		res, err := bitset.Difference(l, r)
+		if err != nil {
+			return nil, none, err
+		}
+		return res.Rel, nodeCost{wordOps: res.Stats.WordOps}, nil
+	case Union:
+		l, r, err := execPair(ctx, op.L, op.R, cat, o)
+		if err != nil {
+			return nil, none, err
+		}
+		res, err := bitset.Union(l, r)
+		if err != nil {
+			return nil, none, err
+		}
+		return res.Rel, nodeCost{wordOps: res.Stats.WordOps}, nil
+	case Dedup:
 		c, err := exec(ctx, op.Child, cat, o)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
-		if err := op.Query.Validate(c.Schema()); err != nil {
-			return nil, 0, err
-		}
-		keep := make([]bool, c.Cardinality())
-		for i := range keep {
-			keep[i] = op.Query.Matches(c.Tuple(i))
-		}
-		sel, err := c.Select(keep, true)
+		res, err := bitset.RemoveDuplicates(c)
 		if err != nil {
-			return nil, 0, err
+			return nil, none, err
 		}
-		return sel, 0, nil
+		return res.Rel, nodeCost{wordOps: res.Stats.WordOps}, nil
+	case Project:
+		c, err := exec(ctx, op.Child, cat, o)
+		if err != nil {
+			return nil, none, err
+		}
+		res, err := bitset.Project(c, op.Cols)
+		if err != nil {
+			return nil, none, err
+		}
+		return res.Rel, nodeCost{wordOps: res.Stats.WordOps}, nil
+	case Join:
+		l, r, err := execPair(ctx, op.L, op.R, cat, o)
+		if err != nil {
+			return nil, none, err
+		}
+		res, err := bitset.Join(l, r, op.Spec)
+		if err != nil {
+			return nil, none, err
+		}
+		return res.Rel, nodeCost{wordOps: res.Stats.WordOps}, nil
+	case Divide:
+		l, r, err := execPair(ctx, op.L, op.R, cat, o)
+		if err != nil {
+			return nil, none, err
+		}
+		res, err := bitset.Divide(l, r, op.AQuot, op.ADiv, op.BCols)
+		if err != nil {
+			return nil, none, err
+		}
+		return res.Rel, nodeCost{wordOps: res.Stats.WordOps}, nil
+	case Select:
+		return evalSelect(ctx, op, cat, o)
 	}
-	return nil, 0, fmt.Errorf("query: unsupported plan node %T", n)
+	return nil, none, fmt.Errorf("query: unsupported plan node %T", n)
+}
+
+// evalSelect is the host-side row filter shared by both backends (§9's
+// disk-head selection has no array run).
+func evalSelect(ctx context.Context, op Select, cat Catalog, o *Options) (*relation.Relation, nodeCost, error) {
+	c, err := exec(ctx, op.Child, cat, o)
+	if err != nil {
+		return nil, nodeCost{}, err
+	}
+	if err := op.Query.Validate(c.Schema()); err != nil {
+		return nil, nodeCost{}, err
+	}
+	keep := make([]bool, c.Cardinality())
+	for i := range keep {
+		keep[i] = op.Query.Matches(c.Tuple(i))
+	}
+	sel, err := c.Select(keep, true)
+	if err != nil {
+		return nil, nodeCost{}, err
+	}
+	return sel, nodeCost{}, nil
 }
 
 func execPair(ctx context.Context, l, r Node, cat Catalog, o *Options) (*relation.Relation, *relation.Relation, error) {

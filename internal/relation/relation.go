@@ -18,6 +18,12 @@ import (
 )
 
 // Element is a single integer-encoded value inside a tuple (paper §2.3).
+//
+// The usable non-negative range is 62 bits: Null reserves -1 << 62, and
+// the §8 word→bit-level transformation (internal/bitlevel, MaxWidth = 62)
+// can only expand and collapse elements in [0, 1<<62). Domains that encode
+// external values should stay within that ceiling if their relations may
+// be run through a bit-level array.
 type Element int64
 
 // Null is a distinguished element used by the division array (paper §7) to

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"systolicdb/internal/machine"
+)
+
+// queryBackendResp is the slice of the query response these tests care
+// about.
+type queryBackendResp struct {
+	Backend string `json:"backend"`
+	Pulses  int    `json:"pulses"`
+	WordOps int    `json:"word_ops"`
+	Rows    int    `json:"rows"`
+}
+
+func decodeBackendResp(t *testing.T, body string) queryBackendResp {
+	t.Helper()
+	var r queryBackendResp
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatalf("bad response %q: %v", body, err)
+	}
+	return r
+}
+
+// TestServerBackendSelection is the daemon leg of the backend-selection
+// table: the configured default applies, a request may override it either
+// way, and an unknown name is a 400 — never a silent fallback.
+func TestServerBackendSelection(t *testing.T) {
+	_, ts := testServer(t, Config{Backend: machine.BackendBitset})
+	if code, body := do(t, "PUT", ts.URL+"/relations/S", suppliersTable); code != http.StatusOK {
+		t.Fatalf("PUT S: %d %s", code, body)
+	}
+	if code, body := do(t, "PUT", ts.URL+"/relations/P", partsTable); code != http.StatusOK {
+		t.Fatalf("PUT P: %d %s", code, body)
+	}
+	const plan = "project(join(scan(S), scan(P), 0=0), 1)"
+
+	// Server default (bitset) applies when the request names no backend.
+	code, body := postQuery(t, ts.URL, map[string]any{"plan": plan, "no_table": true})
+	if code != http.StatusOK {
+		t.Fatalf("default-backend query: %d %s", code, body)
+	}
+	def := decodeBackendResp(t, body)
+	if def.Backend != "bitset" || def.WordOps == 0 || def.Pulses != 0 {
+		t.Errorf("default backend resp = %+v, want bitset with word ops only", def)
+	}
+
+	// A request override selects pulse on the same server.
+	code, body = postQuery(t, ts.URL, map[string]any{"plan": plan, "no_table": true, "backend": "pulse"})
+	if code != http.StatusOK {
+		t.Fatalf("pulse-override query: %d %s", code, body)
+	}
+	pulse := decodeBackendResp(t, body)
+	if pulse.Backend != "pulse" || pulse.Pulses == 0 || pulse.WordOps != 0 {
+		t.Errorf("pulse override resp = %+v, want pulse with pulses only", pulse)
+	}
+	if pulse.Rows != def.Rows {
+		t.Errorf("backends disagree over HTTP: pulse %d rows, bitset %d rows", pulse.Rows, def.Rows)
+	}
+
+	// The machine path honours the backend too.
+	code, body = postQuery(t, ts.URL, map[string]any{"plan": plan, "no_table": true, "machine": true})
+	if code != http.StatusOK {
+		t.Fatalf("machine bitset query: %d %s", code, body)
+	}
+	if mres := decodeBackendResp(t, body); mres.Backend != "bitset" || mres.Rows != def.Rows {
+		t.Errorf("machine-path resp = %+v, want bitset with %d rows", mres, def.Rows)
+	}
+
+	// Unknown names are rejected up front, not silently defaulted.
+	code, body = postQuery(t, ts.URL, map[string]any{"plan": plan, "backend": "simd"})
+	if code != http.StatusBadRequest || !strings.Contains(body, "unknown backend") {
+		t.Errorf("unknown backend: got %d %s, want 400 naming the error", code, body)
+	}
+}

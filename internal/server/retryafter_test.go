@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterScalesWithBacklog pins the satellite fix: the Retry-After
+// estimate must be derived from the observed query duration and the actual
+// backlog, not the historical hardcoded 1 second.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2})
+
+	// No observations yet: nothing to extrapolate, keep the old 1s.
+	if got := s.retryAfterSeconds("queue_full"); got != 1 {
+		t.Errorf("cold estimate = %d, want 1", got)
+	}
+
+	// Seed the EWMA at 10s per query, occupy both workers and queue four
+	// waiters: 6 backlogged x 10s / 2 workers = 30s.
+	s.avgQueryNanos.Store(int64(10 * time.Second))
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	s.waiting.Store(4)
+	if got := s.retryAfterSeconds("queue_full"); got != 30 {
+		t.Errorf("busy estimate = %d, want 30", got)
+	}
+
+	// A smaller backlog must produce a smaller estimate (the scaling the
+	// regression test exists for).
+	s.waiting.Store(0)
+	small := s.retryAfterSeconds("queue_full")
+	if small != 10 {
+		t.Errorf("2-deep estimate = %d, want 10", small)
+	}
+	s.waiting.Store(4)
+	if big := s.retryAfterSeconds("queue_full"); big <= small {
+		t.Errorf("estimate does not scale: backlog 6 -> %ds, backlog 2 -> %ds", big, small)
+	}
+
+	// The queue-wait estimate is clamped to 60s.
+	s.avgQueryNanos.Store(int64(10 * time.Minute))
+	if got := s.retryAfterSeconds("queue_full"); got != 60 {
+		t.Errorf("clamped estimate = %d, want 60", got)
+	}
+}
+
+// TestRetryAfterDuringDrain pins the shutdown path: the header reflects
+// the time left until the drain deadline, the earliest moment a restarted
+// server could answer.
+func TestRetryAfterDuringDrain(t *testing.T) {
+	s := New(Config{})
+	s.drainDeadline.Store(time.Now().Add(7 * time.Second).UnixNano())
+	if got := s.retryAfterSeconds("shutdown"); got < 6 || got > 8 {
+		t.Errorf("drain estimate = %d, want ~7", got)
+	}
+	// A deadline already in the past degrades to the 1s floor.
+	s.drainDeadline.Store(time.Now().Add(-time.Second).UnixNano())
+	if got := s.retryAfterSeconds("shutdown"); got != 1 {
+		t.Errorf("expired-drain estimate = %d, want 1", got)
+	}
+	// No deadline recorded (Shutdown with a plain context) also floors.
+	s.drainDeadline.Store(0)
+	if got := s.retryAfterSeconds("shutdown"); got != 1 {
+		t.Errorf("no-deadline estimate = %d, want 1", got)
+	}
+}
+
+// TestRejectHeaderCarriesEstimate pins that the estimate actually reaches
+// the Retry-After header on 429/503 rejections, and that the drain
+// deadline captured by Shutdown feeds it.
+func TestRejectHeaderCarriesEstimate(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2})
+	s.avgQueryNanos.Store(int64(4 * time.Second))
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	s.waiting.Store(2)
+
+	rec := httptest.NewRecorder()
+	s.reject(rec, http.StatusTooManyRequests, "queue_full", "busy")
+	got, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || got != 8 { // 4 backlogged x 4s / 2 workers
+		t.Errorf("Retry-After = %q, want 8", rec.Header().Get("Retry-After"))
+	}
+
+	// Non-retryable codes carry no header.
+	rec = httptest.NewRecorder()
+	s.reject(rec, http.StatusUnprocessableEntity, "bad", "bad")
+	if h := rec.Header().Get("Retry-After"); h != "" {
+		t.Errorf("422 carries Retry-After %q", h)
+	}
+
+	// Shutdown(ctx) records its deadline for the drain-time estimate.
+	<-s.sem
+	<-s.sem
+	s.waiting.Store(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	s.reject(rec, http.StatusServiceUnavailable, "shutdown", "draining")
+	if got, err = strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || got < 18 || got > 21 {
+		t.Errorf("drain Retry-After = %q, want ~20", rec.Header().Get("Retry-After"))
+	}
+}
+
+// TestObserveQueryDuration pins the EWMA: first observation adopts the
+// value, later ones move an eighth of the distance.
+func TestObserveQueryDuration(t *testing.T) {
+	s := New(Config{})
+	s.observeQueryDuration(8 * time.Second)
+	if got := time.Duration(s.avgQueryNanos.Load()); got != 8*time.Second {
+		t.Fatalf("first observation = %v, want 8s", got)
+	}
+	s.observeQueryDuration(16 * time.Second)
+	if got := time.Duration(s.avgQueryNanos.Load()); got != 9*time.Second {
+		t.Fatalf("after 16s observation = %v, want 9s", got)
+	}
+}
+
+func TestCeilSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Nanosecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Millisecond, 2},
+		{90 * time.Second, 90},
+	} {
+		if got := ceilSeconds(tc.d); got != tc.want {
+			t.Errorf("ceilSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

@@ -106,6 +106,11 @@ type Config struct {
 	// reports "degraded" until an operator revives it). Nil runs machines
 	// without the fault layer.
 	Fault *machine.FaultConfig
+
+	// Backend is the execution engine queries run on by default: the
+	// pulse simulator (zero value) or the word-parallel bitset backend.
+	// A request may override it with its own "backend" field.
+	Backend machine.Backend
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +166,14 @@ type Server struct {
 	sem      chan struct{} // worker slots; len == running queries
 	waiting  atomic.Int64  // queries queued for a slot
 	draining atomic.Bool   // set once Shutdown begins
+
+	// drainDeadline is the Shutdown context's deadline (unix nanos, 0 =
+	// none): rejects during a drain tell clients to retry after it.
+	drainDeadline atomic.Int64
+
+	// avgQueryNanos is an EWMA of recent query durations, the basis of the
+	// queue-wait estimate behind Retry-After on 429/503 responses.
+	avgQueryNanos atomic.Int64
 
 	httpSrv *http.Server
 }
@@ -239,6 +252,9 @@ func (s *Server) ServeListener(ln net.Listener) error {
 // immediately, and the call blocks until every in-flight request has
 // finished (or ctx expires).
 func (s *Server) Shutdown(ctx context.Context) error {
+	if dl, ok := ctx.Deadline(); ok {
+		s.drainDeadline.Store(dl.UnixNano())
+	}
 	s.draining.Store(true)
 	if s.httpSrv == nil {
 		return nil
@@ -532,6 +548,15 @@ type queryRequest struct {
 	// when the machine gives up, the query fails (503) instead of being
 	// re-executed on the host arrays.
 	NoFallback bool `json:"no_fallback"`
+
+	// Backend overrides the server's configured execution backend for this
+	// request ("pulse" or "bitset"). An unknown name is a 400 — never a
+	// silent fallback to the default.
+	Backend string `json:"backend"`
+
+	// backend is the resolved Backend (request override or server
+	// default), set by handleQuery before the query runs.
+	backend machine.Backend
 }
 
 // machineReport summarises a §9 run for the response.
@@ -551,6 +576,8 @@ type queryResponse struct {
 	Columns   []string       `json:"columns,omitempty"`
 	Table     string         `json:"table,omitempty"`
 	Pulses    int            `json:"pulses"`
+	WordOps   int            `json:"word_ops,omitempty"` // bitset backend's cost unit
+	Backend   string         `json:"backend"`
 	SimTime   float64        `json:"sim_seconds"` // pulses under the 1980 technology model
 	ElapsedMS float64        `json:"elapsed_ms"`
 	Machine   *machineReport `json:"machine,omitempty"`
@@ -580,6 +607,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if strings.TrimSpace(req.Plan) == "" {
 		writeError(w, http.StatusBadRequest, "empty plan")
 		return
+	}
+	req.backend = s.cfg.Backend
+	if req.Backend != "" {
+		b, err := machine.ParseBackend(req.Backend)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		req.backend = b
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -663,6 +699,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		out.resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		s.observeQueryDuration(time.Since(start))
 		s.reg.Counter("server_queries_total", nil).Inc()
 		s.reg.Counter("server_rows_out_total", nil).Add(int64(out.resp.Rows))
 		writeJSON(w, http.StatusOK, out.resp)
@@ -672,13 +709,71 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// reject answers an overload condition and counts it.
+// reject answers an overload condition and counts it. Recoverable
+// rejections carry a Retry-After derived from the actual drain deadline or
+// queue state — not a constant — so well-behaved clients back off for
+// about as long as the condition will last.
 func (s *Server) reject(w http.ResponseWriter, code int, reason, format string, args ...any) {
 	s.reg.Counter("server_rejected_total", obs.Labels{"reason": reason}).Inc()
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(reason)))
 	}
 	writeError(w, code, format, args...)
+}
+
+// maxRetryAfter caps the queue-wait estimate; a drain deadline may exceed
+// it (the remaining drain time is exact, not an estimate).
+const maxRetryAfter = 60 * time.Second
+
+// retryAfterSeconds estimates when capacity is likely to exist again.
+// During a drain it is the time left until the shutdown deadline — the
+// earliest moment a restarted or redeployed server could answer. For
+// queue-pressure rejections it is the expected time for the current
+// backlog (running + waiting queries) to clear, from the EWMA of recent
+// query durations spread over the worker pool, clamped to [1s, 60s].
+// With no observed queries yet there is nothing to extrapolate; the
+// historical 1 second stands.
+func (s *Server) retryAfterSeconds(reason string) int {
+	if reason == "shutdown" {
+		if dl := s.drainDeadline.Load(); dl != 0 {
+			if rem := time.Until(time.Unix(0, dl)); rem > 0 {
+				return ceilSeconds(rem)
+			}
+		}
+		return 1
+	}
+	avg := time.Duration(s.avgQueryNanos.Load())
+	if avg <= 0 {
+		return 1
+	}
+	backlog := int64(len(s.sem)) + s.waiting.Load()
+	est := time.Duration(backlog) * avg / time.Duration(int64(s.cfg.MaxConcurrent))
+	if est > maxRetryAfter {
+		est = maxRetryAfter
+	}
+	return ceilSeconds(est)
+}
+
+// ceilSeconds rounds a duration up to whole seconds, at least 1.
+func ceilSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	return secs
+}
+
+// observeQueryDuration feeds the Retry-After estimate: an exponentially
+// weighted moving average (α = 1/8) of query wall time. Concurrent
+// updates may lose an observation; the estimate only needs to be the
+// right order of magnitude.
+func (s *Server) observeQueryDuration(d time.Duration) {
+	old := s.avgQueryNanos.Load()
+	if old == 0 {
+		s.avgQueryNanos.Store(int64(d))
+		return
+	}
+	s.avgQueryNanos.Store(old - old/8 + int64(d)/8)
 }
 
 // runQuery parses, optimizes and executes one plan against a catalog
@@ -701,7 +796,8 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryRespons
 		rel *relation.Relation
 		st  query.ExecStats
 	)
-	opts := &query.Options{Metrics: s.reg, Stats: &st}
+	opts := &query.Options{Metrics: s.reg, Stats: &st, Backend: req.backend}
+	resp.Backend = req.backend.String()
 	if req.Machine {
 		rel, resp.Machine, resp.Degraded, err = s.runOnMachine(ctx, plan, cat, opts, req)
 	} else {
@@ -712,6 +808,7 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryRespons
 	}
 	resp.Rows = rel.Cardinality()
 	resp.Pulses = st.Pulses
+	resp.WordOps = st.WordOps
 	if resp.Machine != nil {
 		// Host-executor spans don't run on the machine path; the event
 		// pulse counts are the authoritative total there.
@@ -764,6 +861,7 @@ func (s *Server) runOnMachine(ctx context.Context, plan query.Node, cat query.Ca
 		Disk:    perf.Disk1980,
 		Metrics: s.reg,
 		Fault:   s.machineFault(req),
+		Backend: req.backend,
 	})
 	if err != nil {
 		return nil, nil, false, err
