@@ -1,0 +1,298 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"systolicdb/internal/server"
+)
+
+// soakClients is the concurrent client count for the cluster soak. The
+// acceptance bar is >=1000 concurrent clients racing a shard SIGKILL.
+const soakClients = 1000
+
+// soakTable builds one client's typed relation body: three unique (k, v)
+// rows, so multiset equality against the gathered copy is exact.
+func soakTable(c int) string {
+	var sb strings.Builder
+	sb.WriteString("#% types: int, int\nk\tv\n")
+	for r := 0; r < 3; r++ {
+		fmt.Fprintf(&sb, "%d\t%d\n", c*10+r, r)
+	}
+	return sb.String()
+}
+
+// soakSortedRows reduces a typed table dump to its sorted lines: the
+// cluster partitions rows across shards, so gathers come back in shard
+// order, not PUT order.
+func soakSortedRows(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// putRetry PUTs body under name, retrying through the failover window
+// (the coordinator answers 502 while a shard is mid-quarantine). PUT of
+// the same body is idempotent, so retrying an unacked write is safe.
+func putRetry(base, name, body string, deadline time.Duration) bool {
+	until := time.Now().Add(deadline)
+	for {
+		code, _, err := httpDo("PUT", base+"/relations/"+name, body)
+		if err == nil && code == http.StatusOK {
+			return true
+		}
+		if time.Now().After(until) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+type soakHealth struct {
+	Status  string `json:"status"`
+	Cluster *struct {
+		Serving bool `json:"serving"`
+		Shards  []struct {
+			ID       int    `json:"id"`
+			Primary  string `json:"primary"`
+			Replica  string `json:"replica"`
+			Promoted bool   `json:"promoted"`
+		} `json:"shards"`
+	} `json:"cluster"`
+}
+
+func getHealth(t *testing.T, base string) soakHealth {
+	t.Helper()
+	code, body, err := httpDo("GET", base+"/healthz", "")
+	if err != nil || (code != http.StatusOK && code != http.StatusServiceUnavailable) {
+		t.Fatalf("healthz: %d %v", code, err)
+	}
+	var h soakHealth
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz body: %v\n%s", err, body)
+	}
+	return h
+}
+
+// TestClusterSoakFailover is the cluster acceptance harness: 3 shard
+// daemons (shard 0 replicated), 1 coordinator, soakClients concurrent
+// writers; SIGKILL shard 0's primary mid-storm and assert the replica is
+// promoted with zero acked-write loss, distributed results identical to a
+// single node, clean WALs on both sides of the failover, and a healthz
+// arc from degraded back to serving after the operator re-replicates.
+func TestClusterSoakFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak is not short; run without -short")
+	}
+	bin := buildDaemon(t)
+	dirs := map[string]string{}
+	for _, n := range []string{"s0", "r0", "r0b", "s1", "s2", "coord"} {
+		dirs[n] = t.TempDir()
+	}
+
+	// Topology: shard 0 with a WAL-following replica, shards 1-2 bare.
+	s0 := startDaemon(t, bin, dirs["s0"])
+	s1 := startDaemon(t, bin, dirs["s1"])
+	s2 := startDaemon(t, bin, dirs["s2"])
+	r0 := startDaemon(t, bin, dirs["r0"], "-replica-of", s0.base, "-follow-every", "50ms")
+	defer func() {
+		for _, d := range []*daemon{s1, s2, r0} {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	}()
+	shards := fmt.Sprintf("%s=%s,%s,%s", s0.base, r0.base, s1.base, s2.base)
+	coord := startDaemon(t, bin, dirs["coord"], "-coordinator", "-shards", shards,
+		"-snapshot-every", "128")
+
+	// A single-node mirror receives every seed write, as the ground truth
+	// for distributed-vs-local result parity.
+	mirror := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer mirror.Close()
+
+	// Seed the parity relations: a = 6 x-values each with y in {1,2};
+	// b's second column {1,2} makes divide(a, b) cover every x.
+	var a, b strings.Builder
+	a.WriteString("#% types: int, int\nx\ty\n")
+	for x := 1; x <= 6; x++ {
+		fmt.Fprintf(&a, "%d\t1\n%d\t2\n", x, x)
+	}
+	b.WriteString("#% types: int, int\nm\tn\n10\t1\n20\t2\n")
+	for _, base := range []string{coord.base, mirror.URL} {
+		for name, body := range map[string]string{"pa": a.String(), "pb": b.String()} {
+			if code, resp, err := httpDo("PUT", base+"/relations/"+name, body); err != nil || code != http.StatusOK {
+				t.Fatalf("seed %s on %s: %d %s %v", name, base, code, resp, err)
+			}
+		}
+	}
+
+	// The write storm: soakClients concurrent clients, each PUTting one
+	// relation before the crash and one after. A watcher SIGKILLs shard
+	// 0's primary once a quarter of the first wave has acked, and every
+	// client's second write races — then rides — the failover.
+	var (
+		ackedMu sync.Mutex
+		acked   = map[string]string{}
+		ackedN  atomic.Int32
+		wg      sync.WaitGroup
+	)
+	ackPut := func(c int, name string) {
+		body := soakTable(c)
+		if putRetry(coord.base, name, body, 60*time.Second) {
+			ackedMu.Lock()
+			acked[name] = body
+			ackedMu.Unlock()
+			ackedN.Add(1)
+		} else {
+			t.Errorf("client %d: write of %q never acked through failover", c, name)
+		}
+	}
+	killed := make(chan struct{})
+	go func() {
+		for ackedN.Load() < soakClients/4 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		s0.cmd.Process.Kill()
+		s0.cmd.Wait()
+		close(killed)
+	}()
+	for c := 0; c < soakClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ackPut(c, fmt.Sprintf("soak_%d", c))
+			<-killed
+			ackPut(c+soakClients, fmt.Sprintf("soakb_%d", c))
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatalf("write storm failed; coordinator output:\n%s", coord.out.String())
+	}
+
+	// The failover must have promoted the replica.
+	h := getHealth(t, coord.base)
+	if h.Cluster == nil || !h.Cluster.Shards[0].Promoted || h.Cluster.Shards[0].Primary != r0.base {
+		t.Fatalf("shard 0 not promoted onto its replica: %+v shards=%+v\ncoordinator output:\n%s",
+			h, h.Cluster.Shards, coord.out.String())
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("healthz status %q after losing failover headroom, want degraded", h.Status)
+	}
+
+	// Zero acked-write loss: every acked relation gathers back as exactly
+	// the multiset of rows that was written.
+	ackedMu.Lock()
+	defer ackedMu.Unlock()
+	if len(acked) != 2*soakClients {
+		t.Fatalf("%d of %d writes acked", len(acked), 2*soakClients)
+	}
+	for name, want := range acked {
+		code, got, err := httpDo("GET", coord.base+"/relations/"+name, "")
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("acked relation %q lost after failover: %d %v", name, code, err)
+		}
+		if soakSortedRows(got) != soakSortedRows(want) {
+			t.Fatalf("acked relation %q corrupted after failover:\n got: %q\nwant: %q", name, got, want)
+		}
+	}
+
+	// Distributed results stay identical to the single-node mirror across
+	// the failover — join, intersection and division through the promoted
+	// topology.
+	parityPlans := []string{
+		`join(scan(pa),scan(pb),1=1)`,
+		`intersect(scan(pa),scan(pa))`,
+		`difference(scan(pa),scan(pb))`,
+		`divide(scan(pa),scan(pb),quot=0,div=1,by=1)`,
+	}
+	checkParity := func() {
+		for _, plan := range parityPlans {
+			req := fmt.Sprintf(`{"plan":%q}`, plan)
+			codeC, bodyC, errC := httpDo("POST", coord.base+"/query", req)
+			codeM, bodyM, errM := httpDo("POST", mirror.URL+"/query", req)
+			if errC != nil || errM != nil || codeC != http.StatusOK || codeM != http.StatusOK {
+				t.Fatalf("%s: coordinator %d %v / mirror %d %v\n%s", plan, codeC, errC, codeM, errM, bodyC)
+			}
+			var rc, rm struct {
+				Table string `json:"table"`
+			}
+			if err := json.Unmarshal([]byte(bodyC), &rc); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal([]byte(bodyM), &rm); err != nil {
+				t.Fatal(err)
+			}
+			if soakSortedRows(rc.Table) != soakSortedRows(rm.Table) {
+				t.Fatalf("%s: distributed result diverged from single node:\ncluster:\n%s\nmirror:\n%s",
+					plan, rc.Table, rm.Table)
+			}
+		}
+	}
+	checkParity()
+
+	// Both sides of the failover hold clean WALs: the SIGKILLed primary
+	// (torn tail at worst) and the promoted replica.
+	fsckDir(t, dirs["s0"])
+
+	// Operator repair arc: attach a fresh replica to the promoted primary,
+	// then restart the coordinator with the updated shard list. Membership
+	// and the relation directory recover from the coordinator's own WAL,
+	// and with headroom restored healthz goes back to serving.
+	r0b := startDaemon(t, bin, dirs["r0b"], "-replica-of", r0.base, "-follow-every", "50ms")
+	defer func() {
+		r0b.cmd.Process.Kill()
+		r0b.cmd.Wait()
+	}()
+	if err := coord.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.cmd.Wait(); err != nil {
+		t.Fatalf("coordinator graceful shutdown: %v\n%s", err, coord.out.String())
+	}
+	fsckDir(t, dirs["coord"])
+
+	shards2 := fmt.Sprintf("%s=%s,%s,%s", r0.base, r0b.base, s1.base, s2.base)
+	coord = startDaemon(t, bin, dirs["coord"], "-coordinator", "-shards", shards2,
+		"-snapshot-every", "128")
+	h = getHealth(t, coord.base)
+	if h.Status != "ok" || h.Cluster == nil || !h.Cluster.Serving {
+		t.Fatalf("repaired cluster not serving: %+v", h)
+	}
+	if h.Cluster.Shards[0].Primary != r0.base || h.Cluster.Shards[0].Replica != r0b.base {
+		t.Fatalf("repaired shard 0 topology wrong: %+v", h.Cluster.Shards[0])
+	}
+
+	// The restarted coordinator restored its directory from the WAL:
+	// gathers and distributed queries still answer over every acked write.
+	for _, name := range []string{"soak_0", fmt.Sprintf("soakb_%d", soakClients-1)} {
+		code, got, err := httpDo("GET", coord.base+"/relations/"+name, "")
+		if err != nil || code != http.StatusOK || soakSortedRows(got) != soakSortedRows(acked[name]) {
+			t.Fatalf("relation %q wrong after coordinator restart: %d %v\n%s", name, code, err, got)
+		}
+	}
+	checkParity()
+
+	// Graceful teardown: the promoted replica's WAL must validate clean.
+	if err := coord.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	coord.cmd.Wait()
+	if err := r0.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := r0.cmd.Wait(); err != nil {
+		t.Fatalf("replica graceful shutdown: %v\n%s", err, r0.out.String())
+	}
+	fsckDir(t, dirs["r0"])
+	t.Logf("soak complete: %d clients, %d acked relations, shard 0 failed over to %s", soakClients, len(acked), r0.base)
+}

@@ -19,6 +19,18 @@
 // The daemon shuts down gracefully on SIGINT/SIGTERM: listening stops
 // immediately, in-flight queries drain (bounded by -drain), a final
 // snapshot is written, then the process exits 0.
+//
+// Cluster modes (Kung & Lehman's Figure 9-1 crossbar scaled out to many
+// daemons):
+//
+//	systolicdbd -coordinator -shards host1:8081=host1:8181,host2:8082
+//	systolicdbd -replica-of host1:8081 -data-dir /var/lib/sdb-replica
+//
+// A coordinator owns no tuples: it hash-partitions PUTs across the shard
+// daemons, scatters each query as per-shard sub-plans, and gathers the
+// partials. A replica follows its primary's write-ahead log over GET
+// /wal/ship, staying warm for promotion when the coordinator quarantines
+// the primary.
 package main
 
 import (
@@ -31,9 +43,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"systolicdb/internal/cluster"
 	"systolicdb/internal/fault"
 	"systolicdb/internal/machine"
 	"systolicdb/internal/obs"
@@ -66,6 +80,18 @@ type daemonConfig struct {
 
 	Fault *machine.FaultConfig
 	Rels  server.RelSpecs
+
+	// Coordinator scatters queries across the Shards list instead of
+	// executing locally.
+	Coordinator    bool
+	Shards         string
+	PromoteAfter   int
+	Fanout         int
+	BroadcastLimit int
+
+	// ReplicaOf makes this daemon follow another daemon's WAL.
+	ReplicaOf   string
+	FollowEvery time.Duration
 }
 
 func main() {
@@ -89,8 +115,24 @@ func main() {
 		retries    = flag.Int("retries", 0, "max attempts per tile for machine queries (0 = policy default)")
 		quarAfter  = flag.Int("quarantine-after", 0, "consecutive failures before a device is quarantined process-wide (0 = default)")
 	)
+	flag.BoolVar(&cfg.Coordinator, "coordinator", false, "run as a cluster coordinator scattering queries across -shards")
+	flag.StringVar(&cfg.Shards, "shards", "", "coordinator shard list: addr[=replica],... (order is ring position)")
+	flag.IntVar(&cfg.PromoteAfter, "promote-after", 3, "consecutive shard failures before quarantine + replica promotion")
+	flag.IntVar(&cfg.Fanout, "fanout", 0, "concurrent shard sub-queries per scatter (0 = min(shards, 8))")
+	flag.IntVar(&cfg.BroadcastLimit, "broadcast-limit", 0, "max build-side rows broadcast for a distributed join before shuffling (0 = default)")
+	flag.StringVar(&cfg.ReplicaOf, "replica-of", "", "follow this primary daemon's write-ahead log (replica mode)")
+	flag.DurationVar(&cfg.FollowEvery, "follow-every", 250*time.Millisecond, "replica poll cadence against the primary's /wal/ship feed")
 	flag.Var(&cfg.Rels, "rel", "preload a relation: name=file.tbl (repeatable; types from a #% types: line)")
 	flag.Parse()
+
+	if cfg.Coordinator && cfg.ReplicaOf != "" {
+		fmt.Fprintln(os.Stderr, "systolicdbd: -coordinator and -replica-of are mutually exclusive")
+		os.Exit(1)
+	}
+	if cfg.Coordinator != (cfg.Shards != "") {
+		fmt.Fprintln(os.Stderr, "systolicdbd: -coordinator and -shards go together")
+		os.Exit(1)
+	}
 
 	backend, err := machine.ParseBackend(*backendFl)
 	if err == nil {
@@ -150,6 +192,43 @@ func run(cfg daemonConfig) error {
 		defer log.Close()
 	}
 
+	parse := func(text string) (*relation.Relation, error) {
+		return cat.ParseTable(strings.NewReader(text), "")
+	}
+
+	// Coordinator mode: the server routes user relations and queries
+	// through the cluster instead of the local catalog. The coordinator's
+	// Persist hook points back at the server's own durable commit path, so
+	// the shard map and relation directory ride the coordinator's WAL;
+	// srvPtr breaks the construction cycle (promotions can persist from
+	// query goroutines long after boot).
+	var co *cluster.Coordinator
+	var srvPtr atomic.Pointer[server.Server]
+	if cfg.Coordinator {
+		specs, err := cluster.ParseShardSpecs(cfg.Shards)
+		if err != nil {
+			return err
+		}
+		co, err = cluster.NewCoordinator(specs, cluster.CoordinatorOptions{
+			Fanout:         cfg.Fanout,
+			BroadcastLimit: cfg.BroadcastLimit,
+			Backend:        cfg.Backend.String(),
+			LocalBackend:   cfg.Backend,
+			PromoteAfter:   cfg.PromoteAfter,
+			Parse:          parse,
+			Persist: func(name string, rel *relation.Relation) error {
+				if s := srvPtr.Load(); s != nil {
+					return s.CommitPut(name, rel)
+				}
+				return nil // boot-time persist before the server exists
+			},
+			Metrics: reg,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	s := server.New(server.Config{
 		MaxConcurrent:  cfg.Workers,
 		MaxQueue:       cfg.Queue,
@@ -162,7 +241,42 @@ func run(cfg daemonConfig) error {
 		Catalog:        cat,
 		WAL:            log,
 		SnapshotEvery:  cfg.SnapshotEvery,
+		Cluster:        co,
 	})
+	srvPtr.Store(s)
+	if co != nil {
+		// Replay what the previous run persisted: the relation directory
+		// (the width oracle behind the co-partitioned join fast path) and
+		// promotions recorded in the shard map (so a dead ex-primary is
+		// not resurrected). The directory must be restored FIRST:
+		// reconciling a changed shard map re-persists the coordinator's
+		// whole state, and doing that before the restore would commit an
+		// empty directory over the recovered one.
+		if rel, ok := cat.Get(cluster.RelationsRelationName); ok {
+			if err := co.RestoreDirectory(rel); err != nil {
+				return fmt.Errorf("recovering relation directory: %w", err)
+			}
+		}
+		if rel, ok := cat.Get(cluster.MembershipRelationName); ok {
+			if err := co.ReconcileMembership(rel); err != nil {
+				return fmt.Errorf("recovering shard map: %w", err)
+			}
+		}
+		fmt.Printf("systolicdbd: coordinator over %d shard(s)\n", co.Shards())
+	}
+	if cfg.ReplicaOf != "" {
+		base := cfg.ReplicaOf
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		follower := cluster.NewFollower(
+			cluster.NewShardClient(base, parse, cluster.ClientOptions{}),
+			s.Replicator(), parse, cfg.FollowEvery, reg)
+		followCtx, stopFollow := context.WithCancel(context.Background())
+		defer stopFollow()
+		go follower.Run(followCtx)
+		fmt.Printf("systolicdbd: replica following %s (every %v)\n", base, cfg.FollowEvery)
+	}
 	// -rel preloads are boot configuration, not client mutations: they are
 	// re-applied from their files on every boot and bypass the WAL (the
 	// catalog Put, not the server's durable commit path).

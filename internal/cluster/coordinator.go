@@ -1,0 +1,581 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"systolicdb/internal/fault"
+	"systolicdb/internal/machine"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/query"
+	"systolicdb/internal/relation"
+)
+
+// RelationsRelationName is the reserved catalog name the coordinator
+// persists its relation directory under (name, width, rows): the width
+// oracle behind the co-partitioned join fast path, durable across
+// coordinator restarts.
+const RelationsRelationName = "__cluster_relations"
+
+// CoordinatorOptions configures NewCoordinator.
+type CoordinatorOptions struct {
+	// Fanout and BroadcastLimit tune the distributed executor (see
+	// ExecOptions).
+	Fanout         int
+	BroadcastLimit int
+
+	// Backend, when non-empty, overrides every shard's execution engine
+	// per sub-query ("pulse" or "bitset").
+	Backend string
+
+	// LocalBackend runs coordinator-local fallback operators.
+	LocalBackend machine.Backend
+
+	// PromoteAfter is K: consecutive sub-query failures on one shard
+	// before it is quarantined and its replica promoted. Default 3.
+	PromoteAfter int
+
+	// Retry backs off between attempts on a sick shard. Zero values take
+	// the fault package defaults (4 attempts, 1ms..50ms exponential).
+	Retry fault.RetryPolicy
+
+	// ClientTimeout bounds each HTTP call to a shard. Default 30s.
+	ClientTimeout time.Duration
+
+	// Parse decodes typed result tables into the coordinator's domain
+	// pool. Required.
+	Parse TableParser
+
+	// Persist, when non-nil, durably stores a reserved relation (the
+	// shard map, the relation directory) — the coordinator daemon wires
+	// this to its own WAL-backed commit path.
+	Persist func(name string, rel *relation.Relation) error
+
+	// Metrics receives coordinator and executor metrics. Nil selects a
+	// private registry.
+	Metrics *obs.Registry
+}
+
+// Coordinator owns a cluster of shard daemons: it partitions relations at
+// PUT time, scatters query plans through the distributed executor, and
+// walks the failure ladder — retry with backoff, quarantine after K
+// consecutive failures, replica promotion — when a shard goes dark.
+type Coordinator struct {
+	opt    CoordinatorOptions
+	ring   *Ring
+	health *fault.Health
+	reg    *obs.Registry
+	slots  []*shardSlot
+	engine *Engine
+
+	mu     sync.RWMutex // guards widths/rows
+	widths map[string]int
+	rows   map[string]int
+}
+
+// shardSlot is one ring position: a primary client and the replica that
+// takes over if the primary is quarantined.
+type shardSlot struct {
+	id int
+
+	mu       sync.RWMutex
+	primary  *ShardClient
+	replica  *ShardClient // nil = unreplicated (or already consumed)
+	promoted bool
+}
+
+func (s *shardSlot) current() *ShardClient {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.primary
+}
+
+func (s *shardSlot) name() string { return fmt.Sprintf("shard-%d", s.id) }
+
+// NewCoordinator builds a coordinator over the given shard specs. Shard
+// order is ring position and must be stable across restarts.
+func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one shard")
+	}
+	if opt.Parse == nil {
+		return nil, fmt.Errorf("cluster: coordinator needs a table parser")
+	}
+	if opt.PromoteAfter <= 0 {
+		opt.PromoteAfter = 3
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = obs.NewRegistry()
+	}
+	ring, err := NewRing(len(specs))
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		opt:    opt,
+		ring:   ring,
+		health: fault.NewHealth(opt.PromoteAfter),
+		reg:    opt.Metrics,
+		widths: map[string]int{},
+		rows:   map[string]int{},
+	}
+	clientOpt := ClientOptions{
+		Timeout:        opt.ClientTimeout,
+		MaxIdlePerHost: max(opt.Fanout, len(specs)),
+		Backend:        opt.Backend,
+	}
+	for i, spec := range specs {
+		slot := &shardSlot{id: i, primary: NewShardClient(httpBase(spec.Addr), opt.Parse, clientOpt)}
+		if spec.Replica != "" {
+			slot.replica = NewShardClient(httpBase(spec.Replica), opt.Parse, clientOpt)
+		}
+		c.slots = append(c.slots, slot)
+	}
+	execs := make([]ShardExec, len(c.slots))
+	for i, slot := range c.slots {
+		execs[i] = &failoverShard{c: c, slot: slot}
+	}
+	c.engine, err = NewEngine(execs, ring, ExecOptions{
+		Fanout:         opt.Fanout,
+		BroadcastLimit: opt.BroadcastLimit,
+		Backend:        opt.LocalBackend,
+		Width:          c.widthOf,
+		Metrics:        opt.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.persistState()
+	return c, nil
+}
+
+// httpBase normalises a shard address to a base URL.
+func httpBase(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+func (c *Coordinator) widthOf(name string) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	w, ok := c.widths[name]
+	return w, ok
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.slots) }
+
+// Metrics exposes the coordinator's registry.
+func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
+
+// failoverShard is the ShardExec the executor sees: every call walks the
+// retry/quarantine/promotion ladder before giving up.
+type failoverShard struct {
+	c    *Coordinator
+	slot *shardSlot
+}
+
+func (f *failoverShard) Query(ctx context.Context, plan string) (*relation.Relation, error) {
+	return withFailover(ctx, f.c, f.slot, func(cl *ShardClient) (*relation.Relation, error) {
+		return cl.Query(ctx, plan)
+	})
+}
+
+func (f *failoverShard) PutTemp(ctx context.Context, name string, rel *relation.Relation) error {
+	_, err := withFailover(ctx, f.c, f.slot, func(cl *ShardClient) (struct{}, error) {
+		return struct{}{}, cl.PutTemp(ctx, name, rel)
+	})
+	return err
+}
+
+func (f *failoverShard) DeleteTemp(ctx context.Context, name string) error {
+	_, err := withFailover(ctx, f.c, f.slot, func(cl *ShardClient) (struct{}, error) {
+		return struct{}{}, cl.DeleteTemp(ctx, name)
+	})
+	return err
+}
+
+// withFailover runs op against the slot's current primary, retrying
+// retryable failures with backoff. When the health tracker quarantines
+// the shard (K consecutive failures), the replica is promoted and the
+// attempt budget starts over on the new primary. With no replica left,
+// the quarantine stands and the call fails.
+func withFailover[T any](ctx context.Context, c *Coordinator, slot *shardSlot, op func(*ShardClient) (T, error)) (T, error) {
+	var zero T
+	maxAttempts := c.opt.Retry.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 4
+	}
+	attempt := 0
+	for {
+		if c.health.Quarantined(slot.name()) {
+			// Serialise against a promotion in flight: failure accounting
+			// runs under slot.mu, so once the lock is acquired the
+			// quarantine is either revived (a promotion won the race) or
+			// final (no replica was left to promote).
+			slot.mu.RLock()
+			still := c.health.Quarantined(slot.name())
+			slot.mu.RUnlock()
+			if still {
+				// Terminal rung: quarantined with nothing to promote.
+				return zero, fmt.Errorf("cluster: %s is quarantined (no replica left)", slot.name())
+			}
+		}
+		cl := slot.current()
+		v, err := op(cl)
+		if err == nil {
+			c.health.RecordSuccess(slot.name())
+			return v, nil
+		}
+		if ctx.Err() != nil || !RetryableShardError(err) {
+			return zero, err
+		}
+		c.reg.Counter("cluster_shard_failures_total", obs.Labels{"shard": slot.name()}).Inc()
+		switch c.recordFailure(slot, cl) {
+		case failoverPromoted:
+			attempt = 0
+			continue
+		case failoverTerminal:
+			return zero, fmt.Errorf("cluster: %s quarantined after repeated failures: %w", slot.name(), err)
+		}
+		attempt++
+		if attempt >= maxAttempts {
+			return zero, fmt.Errorf("cluster: %s failed %d attempts: %w", slot.name(), attempt, err)
+		}
+		select {
+		case <-time.After(c.opt.Retry.Delay(attempt)):
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+type failoverOutcome int
+
+const (
+	failoverRetry failoverOutcome = iota
+	failoverPromoted
+	failoverTerminal
+)
+
+// recordFailure charges one failure against the slot, promoting the
+// replica when the failure tips the shard into quarantine. Accounting is
+// serialised under slot.mu and checked against the client that actually
+// failed: under concurrent load, dozens of in-flight calls can fail
+// against a dead primary after one of them has already promoted the
+// replica, and those stale failures must not re-quarantine the healthy
+// new primary (that would consume the slot's last rung and go terminal).
+//
+// The promoted replica has been following the old primary's WAL, and
+// dual-written PUTs make it current for every acked write — promotion
+// loses nothing that was acknowledged.
+func (c *Coordinator) recordFailure(slot *shardSlot, cl *ShardClient) failoverOutcome {
+	slot.mu.Lock()
+	if slot.primary != cl {
+		// A concurrent caller already promoted past the daemon that failed
+		// this op. Restart the ladder against the new primary.
+		slot.mu.Unlock()
+		return failoverPromoted
+	}
+	if !c.health.RecordFailure(slot.name()) {
+		slot.mu.Unlock()
+		return failoverRetry
+	}
+	if slot.replica == nil {
+		slot.mu.Unlock()
+		return failoverTerminal
+	}
+	slot.primary = slot.replica
+	slot.replica = nil
+	slot.promoted = true
+	// Revive before releasing the lock so no caller can observe the
+	// promoted slot still quarantined.
+	c.health.Revive(slot.name())
+	slot.mu.Unlock()
+	c.reg.Counter("cluster_promotions_total", obs.Labels{"shard": slot.name()}).Inc()
+	c.persistState()
+	return failoverPromoted
+}
+
+// Execute evaluates a plan across the cluster.
+func (c *Coordinator) Execute(ctx context.Context, n query.Node) (*relation.Relation, error) {
+	return c.engine.Execute(ctx, n)
+}
+
+// Put hash-partitions rel by full tuple across the shards. Each
+// partition is written to the shard's primary AND its replica before the
+// whole Put is acknowledged — an acked write survives the loss of either
+// copy, which is what lets promotion guarantee zero acked-write loss.
+func (c *Coordinator) Put(ctx context.Context, name string, rel *relation.Relation) error {
+	if strings.HasPrefix(name, "__") {
+		return fmt.Errorf("cluster: relation name %q is reserved", name)
+	}
+	parts, err := Partition(rel, c.ring)
+	if err != nil {
+		return err
+	}
+	err = c.engine.fanout(ctx, len(c.slots), func(i int) error {
+		return c.putBoth(ctx, c.slots[i], name, parts[i])
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.widths[name] = rel.Width()
+	c.rows[name] = rel.Cardinality()
+	c.mu.Unlock()
+	c.persistState()
+	return nil
+}
+
+// putBoth writes one partition to a slot's primary (with the failover
+// ladder) and, when a replica is attached, to the replica as well. Both
+// writes must succeed for the Put to ack.
+func (c *Coordinator) putBoth(ctx context.Context, slot *shardSlot, name string, part *relation.Relation) error {
+	if _, err := withFailover(ctx, c, slot, func(cl *ShardClient) (struct{}, error) {
+		return struct{}{}, cl.Put(ctx, name, part)
+	}); err != nil {
+		return err
+	}
+	slot.mu.RLock()
+	replica := slot.replica
+	slot.mu.RUnlock()
+	if replica == nil {
+		return nil
+	}
+	if err := replica.Put(ctx, name, part); err != nil {
+		return fmt.Errorf("cluster: replica write for %s failed (write not acked): %w", slot.name(), err)
+	}
+	return nil
+}
+
+// Delete drops a relation from every shard (primaries and replicas).
+func (c *Coordinator) Delete(ctx context.Context, name string) (bool, error) {
+	c.mu.Lock()
+	_, existed := c.widths[name]
+	delete(c.widths, name)
+	delete(c.rows, name)
+	c.mu.Unlock()
+	err := c.engine.fanout(ctx, len(c.slots), func(i int) error {
+		slot := c.slots[i]
+		if _, err := withFailover(ctx, c, slot, func(cl *ShardClient) (struct{}, error) {
+			return struct{}{}, cl.Delete(ctx, name)
+		}); err != nil {
+			return err
+		}
+		slot.mu.RLock()
+		replica := slot.replica
+		slot.mu.RUnlock()
+		if replica != nil {
+			return replica.Delete(ctx, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return existed, err
+	}
+	c.persistState()
+	return existed, nil
+}
+
+// Gather reassembles a whole partitioned relation (GET /relations/{name}
+// on the coordinator).
+func (c *Coordinator) Gather(ctx context.Context, name string) (*relation.Relation, error) {
+	return c.Execute(ctx, query.Scan{Name: name})
+}
+
+// Names lists the cluster-resident relations (sorted).
+func (c *Coordinator) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.widths))
+	for n := range c.widths {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows returns the global row count recorded at PUT time.
+func (c *Coordinator) Rows(name string) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.rows[name]
+	return r, ok
+}
+
+// ShardInfo is one shard's topology entry, as surfaced by /healthz.
+type ShardInfo struct {
+	ID          int    `json:"id"`
+	Primary     string `json:"primary"`
+	Replica     string `json:"replica,omitempty"`
+	Promoted    bool   `json:"promoted,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+}
+
+// Topology reports the current shard map.
+func (c *Coordinator) Topology() []ShardInfo {
+	out := make([]ShardInfo, len(c.slots))
+	for i, slot := range c.slots {
+		slot.mu.RLock()
+		info := ShardInfo{ID: slot.id, Primary: slot.primary.Addr(), Promoted: slot.promoted}
+		if slot.replica != nil {
+			info.Replica = slot.replica.Addr()
+		}
+		slot.mu.RUnlock()
+		info.Quarantined = c.health.Quarantined(slot.name())
+		out[i] = info
+	}
+	return out
+}
+
+// Degraded reports whether any shard is quarantined or running on a
+// promoted replica.
+func (c *Coordinator) Degraded() bool {
+	for _, s := range c.Topology() {
+		if s.Quarantined || s.Promoted {
+			return true
+		}
+	}
+	return false
+}
+
+// persistState durably records the shard map and the relation directory
+// through the Persist hook (no-op without one). Failures are counted, not
+// fatal: topology state is reconstructable from flags and PUT traffic.
+func (c *Coordinator) persistState() {
+	if c.opt.Persist == nil {
+		return
+	}
+	if rel, err := MembershipRelation(c.Topology()); err == nil {
+		if err := c.opt.Persist(MembershipRelationName, rel); err != nil {
+			c.reg.Counter("cluster_persist_errors_total", nil).Inc()
+		}
+	}
+	if rel, err := c.relationsRelation(); err == nil {
+		if err := c.opt.Persist(RelationsRelationName, rel); err != nil {
+			c.reg.Counter("cluster_persist_errors_total", nil).Inc()
+		}
+	}
+}
+
+// relationsRelation encodes the relation directory: (name dict, width
+// int, rows int).
+func (c *Coordinator) relationsRelation() (*relation.Relation, error) {
+	schema, err := relation.NewSchema(
+		relation.Column{Name: "name", Domain: relation.DictDomain("cluster.relname")},
+		relation.Column{Name: "width", Domain: relation.IntDomain("cluster.width")},
+		relation.Column{Name: "rows", Domain: relation.IntDomain("cluster.rows")},
+	)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var tuples []relation.Tuple
+	for name, w := range c.widths {
+		e, err := schema.Col(0).Domain.EncodeString(name)
+		if err != nil {
+			return nil, err
+		}
+		tuples = append(tuples, relation.Tuple{e, relation.Element(w), relation.Element(c.rows[name])})
+	}
+	return relation.NewRelation(schema, tuples)
+}
+
+// ReconcileMembership replays a recovered shard map (the persisted
+// MembershipRelationName relation) onto the flag-configured topology.
+// When the persisted primary of a shard is the address configured as its
+// replica, a promotion happened in a previous run: it is re-applied, so a
+// coordinator restart does not resurrect a dead ex-primary.
+//
+// On boot, call RestoreDirectory BEFORE this: a reconcile that changes
+// the topology re-persists the coordinator's whole state — including the
+// relation directory — and would overwrite the not-yet-restored
+// directory with an empty one.
+func (c *Coordinator) ReconcileMembership(rel *relation.Relation) error {
+	if rel == nil || rel.Width() != 4 {
+		return fmt.Errorf("cluster: malformed membership relation")
+	}
+	type primaryRow struct {
+		addr     string
+		promoted bool
+	}
+	prim := map[int]primaryRow{}
+	for i := 0; i < rel.Cardinality(); i++ {
+		t := rel.Tuple(i)
+		role, err := rel.Schema().Col(1).Domain.DecodeString(t[1])
+		if err != nil {
+			return err
+		}
+		if role != "primary" {
+			continue
+		}
+		addr, err := rel.Schema().Col(2).Domain.DecodeString(t[2])
+		if err != nil {
+			return err
+		}
+		promoted, err := rel.Schema().Col(3).Domain.DecodeBool(t[3])
+		if err != nil {
+			return err
+		}
+		prim[int(t[0])] = primaryRow{addr: addr, promoted: promoted}
+	}
+	changed := false
+	for _, slot := range c.slots {
+		p, ok := prim[slot.id]
+		if !ok {
+			continue
+		}
+		slot.mu.Lock()
+		switch {
+		case slot.primary.Addr() == p.addr:
+			// Flags agree with the persisted primary. If the operator also
+			// configured a fresh replica, failover headroom is restored and
+			// the old promotion is fully absorbed; with no replica, keep the
+			// promoted mark so /healthz still reports the lost headroom.
+			if p.promoted && !slot.promoted && slot.replica == nil {
+				slot.promoted = true
+				changed = true
+			}
+		case slot.replica != nil && slot.replica.Addr() == p.addr:
+			slot.primary = slot.replica
+			slot.replica = nil
+			slot.promoted = true
+			changed = true
+		}
+		slot.mu.Unlock()
+	}
+	if changed {
+		c.persistState()
+	}
+	return nil
+}
+
+// RestoreDirectory re-seeds the width/row directory from a recovered
+// RelationsRelationName relation (decoded through whatever domains it was
+// recovered with) — it restores the width oracle after a coordinator
+// restart.
+func (c *Coordinator) RestoreDirectory(rel *relation.Relation) error {
+	if rel == nil || rel.Width() != 3 {
+		return fmt.Errorf("cluster: malformed relation directory")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < rel.Cardinality(); i++ {
+		t := rel.Tuple(i)
+		name, err := rel.Schema().Col(0).Domain.DecodeString(t[0])
+		if err != nil {
+			return err
+		}
+		c.widths[name] = int(t[1])
+		c.rows[name] = int(t[2])
+	}
+	return nil
+}

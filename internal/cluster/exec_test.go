@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"systolicdb/internal/machine"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/query"
+	"systolicdb/internal/relation"
+	"systolicdb/internal/workload"
+)
+
+// execBoth runs plan through a fresh memCluster engine and single-node,
+// returning (distributed, singleNode).
+func execBoth(t *testing.T, shards int, base query.Catalog, plan string, opt ExecOptions) (*relation.Relation, *relation.Relation, []*memShard, *obs.Registry) {
+	t.Helper()
+	n, err := query.Parse(plan)
+	if err != nil {
+		t.Fatalf("parse %q: %v", plan, err)
+	}
+	reg := obs.NewRegistry()
+	opt.Metrics = reg
+	ms, ring := memCluster(t, shards, opt.Backend, base)
+	eng, err := NewEngine(asExecs(ms), ring, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Execute(context.Background(), n)
+	if err != nil {
+		t.Fatalf("distributed %q: %v", plan, err)
+	}
+	want, err := query.ExecuteCtx(context.Background(), n, base, &query.Options{
+		Metrics: obs.NewRegistry(), Backend: opt.Backend,
+	})
+	if err != nil {
+		t.Fatalf("single-node %q: %v", plan, err)
+	}
+	return got, want, ms, reg
+}
+
+func requireEqual(t *testing.T, plan string, got, want *relation.Relation) {
+	t.Helper()
+	if !got.EqualAsMultiset(want) {
+		t.Fatalf("%q: distributed result (%d rows) != single-node (%d rows)",
+			plan, got.Cardinality(), want.Cardinality())
+	}
+}
+
+func requireNoTemps(t *testing.T, ms []*memShard) {
+	t.Helper()
+	for i, s := range ms {
+		if n := s.tempCount(); n != 0 {
+			t.Fatalf("shard %d leaked %d staged temporaries", i, n)
+		}
+	}
+}
+
+func joinBase(t *testing.T, seed int64, n, m int) query.Catalog {
+	t.Helper()
+	a, b, err := workload.JoinPair(seed, n, n, m, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return query.Catalog{"j1": a, "j2": b}
+}
+
+func TestExecuteScatterOps(t *testing.T) {
+	a, b, err := workload.OverlapPair(9, 200, 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := workload.WithDuplicates(9, 150, 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := query.Catalog{"a": a, "b": b, "d": d}
+	plans := []string{
+		"scan(a)",
+		"select(scan(d),0<500)",
+		"intersect(scan(a),scan(b))",
+		"difference(scan(a),scan(b))",
+		"union(scan(a),scan(b))",
+		"dedup(scan(d))",
+		"project(scan(a),1)",
+		"project(scan(d),0)",
+		"dedup(union(scan(a),scan(b)))",
+	}
+	for _, plan := range plans {
+		got, want, ms, _ := execBoth(t, 4, base, plan, ExecOptions{})
+		requireEqual(t, plan, got, want)
+		requireNoTemps(t, ms)
+	}
+}
+
+func TestExecuteJoinBroadcast(t *testing.T) {
+	base := joinBase(t, 21, 120, 2)
+	plan := "join(scan(j1),scan(j2),0=0)"
+	got, want, ms, reg := execBoth(t, 3, base, plan, ExecOptions{BroadcastLimit: 10_000})
+	requireEqual(t, plan, got, want)
+	requireNoTemps(t, ms)
+	if reg.Counter("cluster_join_strategy_total", obs.Labels{"strategy": "broadcast"}).Value() != 1 {
+		t.Fatal("expected the broadcast strategy")
+	}
+}
+
+func TestExecuteJoinShuffle(t *testing.T) {
+	base := joinBase(t, 22, 150, 2)
+	plan := "join(scan(j1),scan(j2),0=0)"
+	// BroadcastLimit 1 forces co-partitioning of both sides.
+	got, want, ms, reg := execBoth(t, 4, base, plan, ExecOptions{BroadcastLimit: 1})
+	requireEqual(t, plan, got, want)
+	requireNoTemps(t, ms)
+	if reg.Counter("cluster_join_strategy_total", obs.Labels{"strategy": "shuffle"}).Value() != 1 {
+		t.Fatal("expected the shuffle strategy")
+	}
+}
+
+func TestExecuteJoinCopartitionedFastPath(t *testing.T) {
+	// Width-1 relations joined on column 0: the join key IS the whole
+	// tuple, so PUT-time partitioning already co-partitioned both sides
+	// and nothing should be staged.
+	base := joinBase(t, 23, 200, 1)
+	widths := map[string]int{"j1": 1, "j2": 1}
+	plan := "join(scan(j1),scan(j2),0=0)"
+	got, want, ms, reg := execBoth(t, 4, base, plan, ExecOptions{
+		BroadcastLimit: 1, // would shuffle without the fast path
+		Width:          func(name string) (int, bool) { w, ok := widths[name]; return w, ok },
+	})
+	requireEqual(t, plan, got, want)
+	requireNoTemps(t, ms)
+	if reg.Counter("cluster_join_strategy_total", obs.Labels{"strategy": "copartitioned"}).Value() != 1 {
+		t.Fatal("expected the co-partitioned fast path")
+	}
+	if reg.Counter("cluster_shuffle_rows_total", nil).Value() != 0 {
+		t.Fatal("fast path should move zero rows")
+	}
+}
+
+func TestExecuteThetaJoin(t *testing.T) {
+	base := joinBase(t, 24, 60, 2)
+	plan := "theta(scan(j1),scan(j2),0<0)"
+	// Theta joins must broadcast even past the limit: no key to shuffle on.
+	got, want, ms, reg := execBoth(t, 3, base, plan, ExecOptions{BroadcastLimit: 1})
+	requireEqual(t, plan, got, want)
+	requireNoTemps(t, ms)
+	if reg.Counter("cluster_join_strategy_total", obs.Labels{"strategy": "broadcast"}).Value() != 1 {
+		t.Fatal("theta join should broadcast")
+	}
+}
+
+func TestExecuteJoinWrapperPushdown(t *testing.T) {
+	base := joinBase(t, 25, 100, 2)
+	for _, plan := range []string{
+		"project(join(scan(j1),scan(j2),0=0),0,1)",
+		"dedup(join(scan(j1),scan(j2),0=0))",
+		"select(join(scan(j1),scan(j2),0=0),0<40)",
+		"project(select(join(scan(j1),scan(j2),0=0),0<40),2)",
+	} {
+		got, want, ms, reg := execBoth(t, 3, base, plan, ExecOptions{})
+		requireEqual(t, plan, got, want)
+		requireNoTemps(t, ms)
+		// The wrapper must ride along in the scattered sub-plan, not run
+		// as a coordinator-local fallback.
+		if reg.Counter("cluster_local_fallback_total", obs.Labels{"op": "project"}).Value() != 0 ||
+			reg.Counter("cluster_local_fallback_total", obs.Labels{"op": "dedup"}).Value() != 0 ||
+			reg.Counter("cluster_local_fallback_total", obs.Labels{"op": "select"}).Value() != 0 {
+			t.Fatalf("%q: wrapper fell back to local execution", plan)
+		}
+	}
+}
+
+func TestExecuteJoinWithDerivedProbeSide(t *testing.T) {
+	base := joinBase(t, 26, 120, 2)
+	// The probe side is a projection (PartOverlap), so it must be
+	// materialized and re-partitioned before the join can scatter.
+	plan := "join(project(scan(j1),0,1),scan(j2),0=0)"
+	got, want, ms, _ := execBoth(t, 4, base, plan, ExecOptions{})
+	requireEqual(t, plan, got, want)
+	requireNoTemps(t, ms)
+}
+
+func TestExecuteDivision(t *testing.T) {
+	for _, shards := range []int{1, 3, 5} {
+		a, b, err := workload.DivisionCase(31, 40, 6, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := query.Catalog{"v1": a, "v2": b}
+		plan := "divide(scan(v1),scan(v2),quot=0,div=1,by=0)"
+		got, want, ms, _ := execBoth(t, shards, base, plan, ExecOptions{})
+		requireEqual(t, plan, got, want)
+		requireNoTemps(t, ms)
+	}
+}
+
+func TestExecuteLocalFallback(t *testing.T) {
+	a, b, err := workload.OverlapPair(41, 120, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := query.Catalog{"a": a, "b": b}
+	// Intersection of projections: matching pairs straddle shards, so the
+	// top operator must run at the coordinator over gathered children.
+	plan := "intersect(project(scan(a),0),project(scan(b),0))"
+	got, want, ms, reg := execBoth(t, 4, base, plan, ExecOptions{})
+	requireEqual(t, plan, got, want)
+	requireNoTemps(t, ms)
+	if reg.Counter("cluster_local_fallback_total", obs.Labels{"op": "intersect"}).Value() != 1 {
+		t.Fatal("expected a coordinator-local intersect")
+	}
+}
+
+func TestExecuteSingleShardDegenerate(t *testing.T) {
+	base := joinBase(t, 51, 80, 2)
+	for _, plan := range []string{
+		"join(scan(j1),scan(j2),0=0)",
+		"union(scan(j1),scan(j2))",
+	} {
+		got, want, ms, _ := execBoth(t, 1, base, plan, ExecOptions{})
+		requireEqual(t, plan, got, want)
+		requireNoTemps(t, ms)
+	}
+}
+
+// failShard wraps a ShardExec and fails every call.
+type failShard struct{}
+
+func (failShard) Query(context.Context, string) (*relation.Relation, error) {
+	return nil, errors.New("shard down")
+}
+func (failShard) PutTemp(context.Context, string, *relation.Relation) error {
+	return errors.New("shard down")
+}
+func (failShard) DeleteTemp(context.Context, string) error { return errors.New("shard down") }
+
+func TestExecuteShardFailurePropagates(t *testing.T) {
+	a, err := workload.Uniform(61, 50, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, ring := memCluster(t, 3, machine.BackendPulse, query.Catalog{"a": a})
+	execs := asExecs(ms)
+	execs[1] = failShard{}
+	eng, err := NewEngine(execs, ring, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := query.Parse("dedup(scan(a))")
+	if _, err := eng.Execute(context.Background(), n); err == nil {
+		t.Fatal("engine should surface a failed shard")
+	} else if got := err.Error(); !strings.Contains(got, "shard 1") || !strings.Contains(got, "shard down") {
+		t.Fatalf("error should identify the shard: %v", err)
+	}
+}
+
+func TestExecuteCancelledContext(t *testing.T) {
+	a, err := workload.Uniform(62, 50, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, ring := memCluster(t, 2, machine.BackendPulse, query.Catalog{"a": a})
+	eng, err := NewEngine(asExecs(ms), ring, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, _ := query.Parse("scan(a)")
+	if _, err := eng.Execute(ctx, n); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	ring, _ := NewRing(2)
+	if _, err := NewEngine(nil, ring, ExecOptions{}); err == nil {
+		t.Fatal("no shards should fail")
+	}
+	if _, err := NewEngine([]ShardExec{failShard{}}, ring, ExecOptions{}); err == nil {
+		t.Fatal("ring/shard mismatch should fail")
+	}
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"systolicdb/internal/relation"
+)
+
+// MembershipRelationName is the reserved catalog name the coordinator
+// persists its shard map under. It goes through the ordinary durable
+// commit path (WAL append before publish), so a coordinator restart
+// recovers the topology — including any promotions — from its own log.
+const MembershipRelationName = "__cluster_shards"
+
+// ShardSpec is one shard's addressing: the primary daemon and an optional
+// replica following the primary's WAL.
+type ShardSpec struct {
+	Addr    string
+	Replica string // "" = unreplicated
+}
+
+// ParseShardSpecs parses the -shards flag syntax:
+//
+//	addr[=replica],addr[=replica],...
+//
+// e.g. "127.0.0.1:7001=127.0.0.1:7101,127.0.0.1:7002". Shard order is
+// position on the ring, so the list must be identical on every
+// coordinator start.
+func ParseShardSpecs(s string) ([]ShardSpec, error) {
+	var specs []ShardSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		addr, replica, _ := strings.Cut(part, "=")
+		addr, replica = strings.TrimSpace(addr), strings.TrimSpace(replica)
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: empty shard address in %q", s)
+		}
+		specs = append(specs, ShardSpec{Addr: addr, Replica: replica})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: no shards in %q", s)
+	}
+	return specs, nil
+}
+
+// membership relation schema: (shard int, role dict, addr dict, promoted bool).
+func membershipSchema() (*relation.Schema, error) {
+	return relation.NewSchema(
+		relation.Column{Name: "shard", Domain: relation.IntDomain("cluster.shard")},
+		relation.Column{Name: "role", Domain: relation.DictDomain("cluster.role")},
+		relation.Column{Name: "addr", Domain: relation.DictDomain("cluster.addr")},
+		relation.Column{Name: "promoted", Domain: relation.BoolDomain("cluster.promoted")},
+	)
+}
+
+// MembershipRelation encodes the current topology as a relation — one row
+// per (shard, role, address) — ready for the durable commit path.
+// promoted marks shards whose listed primary is a promoted ex-replica.
+func MembershipRelation(topo []ShardInfo) (*relation.Relation, error) {
+	schema, err := membershipSchema()
+	if err != nil {
+		return nil, err
+	}
+	var tuples []relation.Tuple
+	addRow := func(shard int, role, addr string, promoted bool) error {
+		if addr == "" {
+			return nil
+		}
+		r, err := schema.Col(1).Domain.EncodeString(role)
+		if err != nil {
+			return err
+		}
+		a, err := schema.Col(2).Domain.EncodeString(addr)
+		if err != nil {
+			return err
+		}
+		p, err := schema.Col(3).Domain.EncodeBool(promoted)
+		if err != nil {
+			return err
+		}
+		tuples = append(tuples, relation.Tuple{relation.Element(shard), r, a, p})
+		return nil
+	}
+	for _, s := range topo {
+		if err := addRow(s.ID, "primary", s.Primary, s.Promoted); err != nil {
+			return nil, err
+		}
+		if err := addRow(s.ID, "replica", s.Replica, false); err != nil {
+			return nil, err
+		}
+	}
+	return relation.NewRelation(schema, tuples)
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"systolicdb/internal/machine"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/query"
+	"systolicdb/internal/relation"
+)
+
+// memShard is an in-process ShardExec: one catalog slice behind a mutex,
+// executed on the real query engine. It lets the distributed executor and
+// the equivalence property test run the full scatter/shuffle/gather logic
+// without HTTP in the loop.
+type memShard struct {
+	mu      sync.Mutex
+	cat     query.Catalog
+	backend machine.Backend
+}
+
+func (s *memShard) snapshot() query.Catalog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make(query.Catalog, len(s.cat))
+	for k, v := range s.cat {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (s *memShard) Query(ctx context.Context, plan string) (*relation.Relation, error) {
+	n, err := query.Parse(plan)
+	if err != nil {
+		return nil, err
+	}
+	return query.ExecuteCtx(ctx, n, s.snapshot(), &query.Options{
+		Metrics: obs.NewRegistry(),
+		Backend: s.backend,
+	})
+}
+
+func (s *memShard) PutTemp(_ context.Context, name string, rel *relation.Relation) error {
+	if !strings.HasPrefix(name, "__tmp_") {
+		return fmt.Errorf("memShard: refusing non-temp put %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cat[name] = rel
+	return nil
+}
+
+func (s *memShard) DeleteTemp(_ context.Context, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cat, name)
+	return nil
+}
+
+// tempCount reports leftover staged temporaries (should be zero after any
+// Execute returns).
+func (s *memShard) tempCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.cat {
+		if strings.HasPrefix(k, "__tmp_") {
+			n++
+		}
+	}
+	return n
+}
+
+// memCluster partitions every relation in base across n in-process shards
+// (full-tuple hash on a fresh ring) and returns the shards plus the ring.
+func memCluster(t *testing.T, n int, backend machine.Backend, base query.Catalog) ([]*memShard, *Ring) {
+	t.Helper()
+	ring, err := NewRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*memShard, n)
+	for i := range shards {
+		shards[i] = &memShard{cat: query.Catalog{}, backend: backend}
+	}
+	for name, rel := range base {
+		parts, err := Partition(rel, ring)
+		if err != nil {
+			t.Fatalf("partitioning %s: %v", name, err)
+		}
+		for i, p := range parts {
+			shards[i].cat[name] = p
+		}
+	}
+	return shards, ring
+}
+
+func asExecs(shards []*memShard) []ShardExec {
+	out := make([]ShardExec, len(shards))
+	for i, s := range shards {
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"systolicdb/internal/machine"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/query"
+	"systolicdb/internal/workload"
+)
+
+// TestDistributedEquivalenceProperty is the scatter/gather soundness
+// property: for every decomposable operator and for the executor's
+// join/division strategies,
+//
+//	gather(op(shard_1), ..., op(shard_N)) ≡ op(whole relation)
+//
+// as multisets, across 1000 randomly generated relation sets, shard counts
+// 1–8, and both execution backends. Plans are drawn to exercise every
+// classification (aligned, disjoint via joins, overlap via projections)
+// plus the shuffle, broadcast and local-fallback paths.
+func TestDistributedEquivalenceProperty(t *testing.T) {
+	trials := 1000
+	if testing.Short() {
+		trials = 100
+	}
+	rng := rand.New(rand.NewSource(19800605)) // SIGMOD '80
+
+	// Plan templates over the per-trial catalog: a/b are an overlap pair,
+	// d has planted duplicates (all width m); j1/j2 are a join pair
+	// (width mj); v1/v2 are a division dividend/divisor.
+	templates := []func(m, mj int) string{
+		func(m, mj int) string { return "scan(a)" },
+		func(m, mj int) string { return "select(scan(d),0<120)" },
+		func(m, mj int) string { return "intersect(scan(a),scan(b))" },
+		func(m, mj int) string { return "difference(scan(a),scan(b))" },
+		func(m, mj int) string { return "difference(scan(b),scan(a))" },
+		func(m, mj int) string { return "union(scan(a),scan(b))" },
+		func(m, mj int) string { return "dedup(scan(d))" },
+		func(m, mj int) string { return fmt.Sprintf("project(scan(a),%d)", m-1) },
+		func(m, mj int) string { return "project(scan(d),0)" },
+		func(m, mj int) string { return "dedup(union(scan(a),scan(b)))" },
+		func(m, mj int) string { return "select(intersect(scan(a),scan(b)),0>60)" },
+		func(m, mj int) string { return "union(project(scan(a),0),project(scan(b),0))" },
+		func(m, mj int) string { return "intersect(project(scan(a),0),project(scan(b),0))" }, // local fallback
+		func(m, mj int) string { return "join(scan(j1),scan(j2),0=0)" },
+		// Equi-join output width is 2*mj-1 (the redundant key column is
+		// dropped), so mj-1 is always in range.
+		func(m, mj int) string { return fmt.Sprintf("project(join(scan(j1),scan(j2),0=0),%d)", mj-1) },
+		func(m, mj int) string { return "dedup(join(scan(j1),scan(j2),0=0))" },
+		func(m, mj int) string { return "theta(scan(j1),scan(j2),0<0)" },
+		func(m, mj int) string { return "join(project(scan(j1),0),scan(j2),0=0)" },
+		func(m, mj int) string { return "divide(scan(v1),scan(v2),quot=0,div=1,by=0)" },
+		func(m, mj int) string { return "project(divide(scan(v1),scan(v2),quot=0,div=1,by=0),0)" },
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		seed := rng.Int63()
+		shards := 1 + rng.Intn(8)
+		backend := machine.BackendPulse
+		if trial%2 == 1 {
+			backend = machine.BackendBitset
+		}
+		m := 1 + rng.Intn(3)
+		mj := 1 + rng.Intn(3)
+		n := 10 + rng.Intn(120)
+
+		a, b, err := workload.OverlapPair(seed, n, m, rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := workload.WithDuplicates(seed+1, n, m, rng.Float64()*0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j1, j2, err := workload.JoinPair(seed+2, n/2+1, n/2+1, mj, rng.Float64()*3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, v2, err := workload.DivisionCase(seed+3, n/4+1, 1+rng.Intn(6), rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := query.Catalog{"a": a, "b": b, "d": d, "j1": j1, "j2": j2, "v1": v1, "v2": v2}
+
+		plan := templates[rng.Intn(len(templates))](m, mj)
+		node, err := query.Parse(plan)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, plan, err)
+		}
+
+		opt := ExecOptions{Backend: backend}
+		// Alternate join strategy pressure: sometimes force the shuffle
+		// path, sometimes expose PUT-time co-partitioning via the width
+		// oracle.
+		switch trial % 3 {
+		case 1:
+			opt.BroadcastLimit = 1
+		case 2:
+			opt.Width = func(name string) (int, bool) {
+				if rel, ok := base[name]; ok {
+					return rel.Width(), true
+				}
+				return 0, false
+			}
+		}
+
+		ms, ring := memCluster(t, shards, backend, base)
+		eng, err := NewEngine(asExecs(ms), ring, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Execute(context.Background(), node)
+		if err != nil {
+			t.Fatalf("trial %d (seed %d, %d shards, %v): distributed %q: %v",
+				trial, seed, shards, backend, plan, err)
+		}
+		want, err := query.ExecuteCtx(context.Background(), node, base, &query.Options{
+			Metrics: obs.NewRegistry(), Backend: backend,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: single-node %q: %v", trial, plan, err)
+		}
+		if !got.EqualAsMultiset(want) {
+			t.Fatalf("trial %d (seed %d, %d shards, %v): %q diverged: distributed %d rows, single-node %d rows",
+				trial, seed, shards, backend, plan, got.Cardinality(), want.Cardinality())
+		}
+		for i, s := range ms {
+			if leak := s.tempCount(); leak != 0 {
+				t.Fatalf("trial %d: shard %d leaked %d temporaries after %q", trial, i, leak, plan)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"systolicdb/internal/obs"
+	"systolicdb/internal/relation"
+)
+
+// Applier is the durable surface a follower replays shipped records into —
+// the replica daemon's own WAL-backed commit path, so the replica is
+// exactly as crash-safe as its primary.
+type Applier interface {
+	ApplyPut(name string, rel *relation.Relation) error
+	ApplyDelete(name string) error
+	// Names lists the relations currently held, so the bootstrap resync can
+	// drop leftovers the primary no longer has.
+	Names() []string
+}
+
+// Follower replicates one primary: it polls the primary's GET /wal/ship
+// feed and replays every record through the Applier. The cursor lives in
+// memory only — after a replica restart the follower re-requests from 0,
+// which either replays the whole log (puts are idempotent, deletes of
+// missing names are no-ops) or triggers a full resync if the primary has
+// compacted.
+type Follower struct {
+	client   *ShardClient
+	apply    Applier
+	parse    TableParser
+	interval time.Duration
+	reg      *obs.Registry
+	seq      atomic.Uint64
+}
+
+// NewFollower builds a follower of the primary at the client's address.
+// interval is the poll cadence (default 250ms).
+func NewFollower(client *ShardClient, apply Applier, parse TableParser, interval time.Duration, reg *obs.Registry) *Follower {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Follower{client: client, apply: apply, parse: parse, interval: interval, reg: reg}
+}
+
+// Seq returns the follower's replication high-water mark (the primary's
+// sequence number it has fully applied).
+func (f *Follower) Seq() uint64 { return f.seq.Load() }
+
+// Run polls until ctx is cancelled. Fetch or apply errors are counted and
+// retried on the next tick — a dead primary just means no progress, and a
+// promoted follower's loop is simply cancelled.
+func (f *Follower) Run(ctx context.Context) {
+	ticker := time.NewTicker(f.interval)
+	defer ticker.Stop()
+	for {
+		if err := f.Sync(ctx); err != nil && ctx.Err() == nil {
+			f.reg.Counter("cluster_follow_errors_total", nil).Inc()
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Sync performs one fetch-and-apply round: incremental records, or a full
+// state replacement when the primary's log can no longer bridge the gap.
+func (f *Follower) Sync(ctx context.Context) error {
+	payload, err := f.client.Ship(ctx, f.seq.Load())
+	if err != nil {
+		return err
+	}
+	if payload.Full {
+		return f.applyFull(payload)
+	}
+	for _, rec := range payload.Records {
+		switch rec.Op {
+		case "put":
+			rel, err := f.parse(rec.Table)
+			if err != nil {
+				return fmt.Errorf("cluster: follower decoding %q @%d: %w", rec.Name, rec.Seq, err)
+			}
+			if err := f.apply.ApplyPut(rec.Name, rel); err != nil {
+				return err
+			}
+		case "del":
+			if err := f.apply.ApplyDelete(rec.Name); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("cluster: unknown ship op %q", rec.Op)
+		}
+		// Advance per record: a failure mid-batch resumes after the last
+		// applied record, not the whole batch.
+		f.seq.Store(rec.Seq)
+		f.reg.Counter("cluster_follow_records_total", nil).Inc()
+	}
+	return nil
+}
+
+// applyFull replaces the follower's state with the primary's snapshot
+// image. On the bootstrap sync (cursor still 0) local relations missing
+// from the snapshot are dropped too: whatever a fresh replica holds is
+// leftovers from a previous life, and the primary's image is
+// authoritative. Once replication is under way the drop is skipped — the
+// coordinator dual-writes every acked PUT directly to the replica, so a
+// relation the snapshot lacks may be one the replica received moments
+// *after* the primary's image was taken; dropping it would lose an acked
+// write. Deletes still propagate: incrementally as shipped "del" records,
+// and synchronously through the coordinator's dual-delete.
+func (f *Follower) applyFull(payload *ShipPayload) error {
+	bootstrap := f.seq.Load() == 0
+	keep := make(map[string]bool, len(payload.State))
+	for name, table := range payload.State {
+		rel, err := f.parse(table)
+		if err != nil {
+			return fmt.Errorf("cluster: follower decoding snapshot %q: %w", name, err)
+		}
+		if err := f.apply.ApplyPut(name, rel); err != nil {
+			return err
+		}
+		keep[name] = true
+	}
+	if bootstrap {
+		for _, name := range f.apply.Names() {
+			if !keep[name] {
+				if err := f.apply.ApplyDelete(name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	f.seq.Store(payload.Seq)
+	f.reg.Counter("cluster_follow_fulls_total", nil).Inc()
+	return nil
+}

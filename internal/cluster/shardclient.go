@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"systolicdb/internal/relation"
+	"systolicdb/internal/wal"
+)
+
+// TableParser decodes a typed text table (leading `#% types:` directive)
+// into a relation. The coordinator passes its catalog's parser, so every
+// gathered partial interns into one shared domain pool and partials from
+// different shards stay union-compatible.
+type TableParser func(text string) (*relation.Relation, error)
+
+// ClientOptions tunes a ShardClient.
+type ClientOptions struct {
+	// Timeout bounds each individual HTTP call. Default 30s.
+	Timeout time.Duration
+
+	// MaxIdlePerHost sizes the connection pool to one shard. It should be
+	// at least the coordinator's fan-out so a scatter never stalls
+	// re-dialling. Default 16.
+	MaxIdlePerHost int
+
+	// Backend, when non-empty, is sent with every sub-query ("pulse" or
+	// "bitset") overriding the shard's default engine.
+	Backend string
+}
+
+// ShardClient speaks the systolicdbd HTTP API on behalf of the
+// coordinator: sub-queries, relation staging, log shipping and health.
+// It implements ShardExec.
+type ShardClient struct {
+	base  string
+	hc    *http.Client
+	parse TableParser
+	opt   ClientOptions
+}
+
+// NewShardClient builds a client for one daemon at base (e.g.
+// "http://127.0.0.1:8080"). The transport keeps a warm connection pool
+// sized for scatter fan-out.
+func NewShardClient(base string, parse TableParser, opt ClientOptions) *ShardClient {
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	if opt.MaxIdlePerHost <= 0 {
+		opt.MaxIdlePerHost = 16
+	}
+	tr := &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          4 * opt.MaxIdlePerHost,
+		MaxIdleConnsPerHost:   opt.MaxIdlePerHost,
+		IdleConnTimeout:       90 * time.Second,
+		ResponseHeaderTimeout: opt.Timeout,
+	}
+	return &ShardClient{
+		base:  strings.TrimRight(base, "/"),
+		hc:    &http.Client{Transport: tr, Timeout: opt.Timeout},
+		parse: parse,
+		opt:   opt,
+	}
+}
+
+// Addr returns the daemon base URL this client talks to.
+func (c *ShardClient) Addr() string { return c.base }
+
+// shardHTTPError is a non-transport failure from a shard, carrying the
+// HTTP status so callers can tell a sick shard (5xx, retryable elsewhere)
+// from a rejected request (4xx, the query itself is wrong).
+type shardHTTPError struct {
+	code int
+	msg  string
+}
+
+func (e *shardHTTPError) Error() string {
+	return fmt.Sprintf("shard answered %d: %s", e.code, e.msg)
+}
+
+// RetryableShardError reports whether err looks like shard sickness
+// (transport failure, 5xx, overload) rather than a caller mistake (4xx).
+// Retryable errors feed the failover ladder; the rest fail the query.
+func RetryableShardError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var he *shardHTTPError
+	if errors.As(err, &he) {
+		return he.code >= 500 || he.code == http.StatusTooManyRequests
+	}
+	// Transport-level failures (refused, reset, timed out) are exactly the
+	// crash model the replica ladder exists for.
+	return true
+}
+
+func (c *ShardClient) do(req *http.Request) ([]byte, error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		msg := strings.TrimSpace(string(body))
+		var env struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &env) == nil && env.Error != "" {
+			msg = env.Error
+		}
+		return nil, &shardHTTPError{code: resp.StatusCode, msg: msg}
+	}
+	return body, nil
+}
+
+// Query runs plan text on the shard and parses the typed result table.
+func (c *ShardClient) Query(ctx context.Context, plan string) (*relation.Relation, error) {
+	payload, err := json.Marshal(map[string]any{
+		"plan":        plan,
+		"table_types": true,
+		"backend":     c.opt.Backend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Table string `json:"table"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("cluster: bad query response: %w", err)
+	}
+	rel, err := c.parse(out.Table)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: parsing sub-query result: %w", err)
+	}
+	return rel, nil
+}
+
+// Put uploads rel under name (typed table body, so the shard reconstructs
+// the exact column domains).
+func (c *ShardClient) Put(ctx context.Context, name string, rel *relation.Relation) error {
+	var sb strings.Builder
+	if err := relation.FormatTableTypes(&sb, rel); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		c.base+"/relations/"+url.PathEscape(name), strings.NewReader(sb.String()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	_, err = c.do(req)
+	return err
+}
+
+// Delete drops a relation; deleting a name the shard doesn't hold is not
+// an error (idempotent cleanup).
+func (c *ShardClient) Delete(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.base+"/relations/"+url.PathEscape(name), nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.do(req)
+	var he *shardHTTPError
+	if errors.As(err, &he) && he.code == http.StatusNotFound {
+		return nil
+	}
+	return err
+}
+
+// PutTemp and DeleteTemp complete ShardExec; staging uses the same
+// relation endpoints (the shard recognises the __tmp_ prefix and skips
+// its WAL).
+func (c *ShardClient) PutTemp(ctx context.Context, name string, rel *relation.Relation) error {
+	return c.Put(ctx, name, rel)
+}
+
+func (c *ShardClient) DeleteTemp(ctx context.Context, name string) error {
+	return c.Delete(ctx, name)
+}
+
+// ShipPayload mirrors the shard's GET /wal/ship response.
+type ShipPayload struct {
+	Seq     uint64            `json:"seq"`
+	Full    bool              `json:"full"`
+	Records []wal.ShipRecord  `json:"records"`
+	State   map[string]string `json:"state"`
+}
+
+// Ship fetches the primary's log-shipping feed past afterSeq.
+func (c *ShardClient) Ship(ctx context.Context, afterSeq uint64) (*ShipPayload, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/wal/ship?after=%d", c.base, afterSeq), nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var out ShipPayload
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("cluster: bad ship response: %w", err)
+	}
+	return &out, nil
+}
+
+// Healthz fetches the shard's health document.
+func (c *ShardClient) Healthz(ctx context.Context) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package query
+
+import (
+	"testing"
+)
+
+// TestFormatRoundTrip checks Parse ∘ Format is the identity on parsed
+// plans: the formatted text re-parses to a plan that renders and formats
+// identically.
+func TestFormatRoundTrip(t *testing.T) {
+	cases := []string{
+		"scan(A)",
+		"intersect(scan(A), scan(B))",
+		"difference(scan(A), scan(B))",
+		"union(scan(emp), scan(mgr))",
+		"dedup(scan(A))",
+		"project(scan(A), 0)",
+		"project(scan(A), 2, 0, 1)",
+		"join(scan(A), scan(B), 0=0)",
+		"join(scan(A), scan(B), 0=1, 1=0)",
+		"theta(scan(A), scan(B), 0>1)",
+		"theta(scan(A), scan(B), 0=0, 1<=1)",
+		"divide(scan(A), scan(B), quot=0, div=1, by=0)",
+		"divide(scan(A), scan(B), quot=0+1, div=2+3, by=0+1)",
+		"select(scan(A), 0<5)",
+		"select(scan(A), 0>=2, 1!=3)",
+		"intersect(project(join(scan(A), scan(B), 1=0), 0, 2), dedup(scan(C)))",
+	}
+	for _, src := range cases {
+		plan, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		text, err := Format(plan)
+		if err != nil {
+			t.Fatalf("Format(%q): %v", src, err)
+		}
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(Format(%q)) = Parse(%q): %v", src, text, err)
+		}
+		text2, err := Format(back)
+		if err != nil {
+			t.Fatalf("Format(Parse(%q)): %v", text, err)
+		}
+		if text != text2 {
+			t.Fatalf("Format not a fixed point: %q -> %q -> %q", src, text, text2)
+		}
+		if Render(plan) != Render(back) {
+			t.Fatalf("round trip changed plan: %q renders %q, reparse renders %q",
+				src, Render(plan), Render(back))
+		}
+	}
+}
+
+func TestFormatRejectsUnformattable(t *testing.T) {
+	if _, err := Format(Scan{Name: "bad name"}); err == nil {
+		t.Fatal("Format accepted a scan name with a space")
+	}
+	if _, err := Format(Project{Child: Scan{Name: "A"}, Cols: nil}); err == nil {
+		t.Fatal("Format accepted a project with no columns")
+	}
+	if _, err := Format(nil); err == nil {
+		t.Fatal("Format accepted a nil plan")
+	}
+}

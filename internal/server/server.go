@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"systolicdb/internal/cluster"
 	"systolicdb/internal/decompose"
 	"systolicdb/internal/fault"
 	"systolicdb/internal/machine"
@@ -74,8 +75,18 @@ type Config struct {
 	// Default 64.
 	ArraySize int
 
-	// MaxBodyBytes caps request bodies (relation uploads). Default 32 MiB.
+	// MaxBodyBytes caps request bodies — relation uploads and query
+	// bodies alike. Default 32 MiB.
 	MaxBodyBytes int64
+
+	// ReadTimeout bounds reading an entire request (headers + body); it
+	// protects the accept loop from clients that trickle a body forever.
+	// Default 2m. ReadHeaderTimeout stays a separate, tighter 10s.
+	ReadTimeout time.Duration
+
+	// IdleTimeout bounds how long a keep-alive connection may sit idle
+	// between requests before the server closes it. Default 2m.
+	IdleTimeout time.Duration
 
 	// Metrics is the registry all server, query and machine metrics are
 	// recorded into. Nil selects a fresh private registry (not
@@ -111,6 +122,13 @@ type Config struct {
 	// pulse simulator (zero value) or the word-parallel bitset backend.
 	// A request may override it with its own "backend" field.
 	Backend machine.Backend
+
+	// Cluster, when non-nil, puts the server in coordinator mode: PUT and
+	// DELETE partition/scatter relations across the cluster's shards, and
+	// POST /query runs plans through the distributed executor instead of
+	// the local engine. The coordinator's own catalog+WAL still hold the
+	// reserved cluster-state relations (shard map, relation directory).
+	Cluster *cluster.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +152,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 2 * time.Minute
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 256
@@ -206,6 +230,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /query", s.instrument("query", s.handleQuery))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /wal/ship", s.instrument("wal_ship", s.handleWALShip))
 
 	// Pre-register the overload metrics so /metrics exposes them from the
 	// first scrape, not only after the first rejection.
@@ -244,7 +269,12 @@ func (s *Server) Serve(addr string) error {
 // ServeListener runs the service on an existing listener (which lets the
 // daemon bind ":0" and report the kernel-chosen port before serving).
 func (s *Server) ServeListener(ln net.Listener) error {
-	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 	return s.httpSrv.Serve(ln)
 }
 
@@ -319,6 +349,21 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.cfg.Cluster != nil && !strings.HasPrefix(name, hiddenPrefix) {
+		// Coordinator mode: hash-partition across the shards; the ack
+		// requires every shard's primary AND replica to have committed.
+		if err := s.cfg.Cluster.Put(r.Context(), name, rel); err != nil {
+			writeError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		s.reg.Counter("server_relation_loads_total", nil).Inc()
+		s.reg.Counter("server_rows_in_total", nil).Add(int64(rel.Cardinality()))
+		writeJSON(w, http.StatusOK, map[string]any{
+			"name": name, "rows": rel.Cardinality(), "columns": rel.Schema().Names(),
+			"shards": s.cfg.Cluster.Shards(),
+		})
+		return
+	}
 	if err := s.commitPut(name, rel); err != nil {
 		if errors.Is(err, errWAL) {
 			writeError(w, http.StatusInternalServerError, "%v", err)
@@ -338,8 +383,22 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 // (as opposed to one the catalog itself rejected).
 var errWAL = errors.New("write-ahead log append failed")
 
+// TempPrefix marks ephemeral relations: the staging area the cluster
+// coordinator's shuffle and broadcast strategies write into. Temp
+// relations are never write-ahead logged (they are mid-query scratch
+// state, recreated on retry) and are hidden from catalog listings.
+const TempPrefix = "__tmp_"
+
+// hiddenPrefix marks reserved relations (cluster membership, temps) that
+// exist in the catalog but are not part of the user-visible namespace.
+const hiddenPrefix = "__"
+
+// IsTemp reports whether name is an ephemeral staging relation.
+func IsTemp(name string) bool { return strings.HasPrefix(name, TempPrefix) }
+
 // commitPut publishes one relation, write-ahead logging it first when the
 // server is durable. The commit mutex makes log order equal publish order.
+// Temp relations bypass the log entirely.
 func (s *Server) commitPut(name string, rel *relation.Relation) error {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
@@ -349,7 +408,7 @@ func (s *Server) commitPut(name string, rel *relation.Relation) error {
 	if err := s.cat.CheckPut(name, rel); err != nil {
 		return err
 	}
-	if s.wal != nil {
+	if s.wal != nil && !IsTemp(name) {
 		if err := s.wal.AppendPut(name, rel); err != nil {
 			s.reg.Counter("server_wal_errors_total", nil).Inc()
 			return fmt.Errorf("%w: %v", errWAL, err)
@@ -364,14 +423,14 @@ func (s *Server) commitPut(name string, rel *relation.Relation) error {
 
 // commitDelete removes a relation, write-ahead logging the delete first.
 // It reports whether the relation existed; a delete of a missing relation
-// is not logged.
+// is not logged, and temp relations are never logged.
 func (s *Server) commitDelete(name string) (bool, error) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	if _, ok := s.cat.Get(name); !ok {
 		return false, nil
 	}
-	if s.wal != nil {
+	if s.wal != nil && !IsTemp(name) {
 		if err := s.wal.AppendDelete(name); err != nil {
 			s.reg.Counter("server_wal_errors_total", nil).Inc()
 			return true, fmt.Errorf("%w: %v", errWAL, err)
@@ -381,6 +440,38 @@ func (s *Server) commitDelete(name string) (bool, error) {
 	s.maybeSnapshot()
 	return ok, nil
 }
+
+// CommitPut is the exported durable commit path: WAL append (fsync per
+// the log's policy) before catalog publish, under the commit mutex. The
+// replication follower applies shipped records through it so a replica's
+// own log stays exactly as durable as the primary's.
+func (s *Server) CommitPut(name string, rel *relation.Relation) error {
+	return s.commitPut(name, rel)
+}
+
+// CommitDelete is the exported durable delete path (see CommitPut).
+func (s *Server) CommitDelete(name string) (bool, error) {
+	return s.commitDelete(name)
+}
+
+// Replicator adapts this server's durable commit path to the cluster
+// follower's Applier interface: a replica daemon replays the primary's
+// shipped WAL records through the same append-then-publish ordering as
+// its own PUT traffic, so promotion hands over an equally durable copy.
+func (s *Server) Replicator() cluster.Applier { return serverApplier{s} }
+
+type serverApplier struct{ s *Server }
+
+func (a serverApplier) ApplyPut(name string, rel *relation.Relation) error {
+	return a.s.commitPut(name, rel)
+}
+
+func (a serverApplier) ApplyDelete(name string) error {
+	_, err := a.s.commitDelete(name)
+	return err
+}
+
+func (a serverApplier) Names() []string { return a.s.cat.Names() }
 
 // maybeSnapshot kicks off a background snapshot once the WAL lag crosses
 // the configured threshold. Caller holds commitMu; the snapshot itself
@@ -425,9 +516,26 @@ func (s *Server) WriteSnapshot() error {
 }
 
 func (s *Server) handleGetRelation(w http.ResponseWriter, r *http.Request) {
-	rel, ok := s.cat.Get(r.PathValue("name"))
+	name := r.PathValue("name")
+	if s.cfg.Cluster != nil && !strings.HasPrefix(name, hiddenPrefix) {
+		if _, known := s.cfg.Cluster.Rows(name); !known {
+			writeError(w, http.StatusNotFound, "unknown relation %q", name)
+			return
+		}
+		rel, err := s.cfg.Cluster.Gather(r.Context(), name)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := relation.FormatTableTypes(w, rel); err != nil {
+			s.reg.Counter("server_dump_errors_total", nil).Inc()
+		}
+		return
+	}
+	rel, ok := s.cat.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown relation %q", r.PathValue("name"))
+		writeError(w, http.StatusNotFound, "unknown relation %q", name)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -445,13 +553,27 @@ func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusServiceUnavailable, "shutdown", "server is shutting down")
 		return
 	}
-	ok, err := s.commitDelete(r.PathValue("name"))
+	name := r.PathValue("name")
+	if s.cfg.Cluster != nil && !strings.HasPrefix(name, hiddenPrefix) {
+		existed, err := s.cfg.Cluster.Delete(r.Context(), name)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		if !existed {
+			writeError(w, http.StatusNotFound, "unknown relation %q", name)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	ok, err := s.commitDelete(name)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown relation %q", r.PathValue("name"))
+		writeError(w, http.StatusNotFound, "unknown relation %q", name)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -466,11 +588,27 @@ type relationInfo struct {
 }
 
 func (s *Server) handleListRelations(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Cluster != nil {
+		// Coordinator mode: the directory is what PUT traffic recorded;
+		// the tuples themselves live on the shards.
+		out := make([]relationInfo, 0)
+		for _, name := range s.cfg.Cluster.Names() {
+			rows, _ := s.cfg.Cluster.Rows(name)
+			out = append(out, relationInfo{Name: name, Rows: rows})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"relations": out})
+		return
+	}
 	snap := s.cat.Snapshot()
 	out := make([]relationInfo, 0, len(snap))
 	for _, name := range s.cat.Names() {
 		rel := snap[name]
 		if rel == nil { // deleted between Names and Snapshot; skip
+			continue
+		}
+		if strings.HasPrefix(name, hiddenPrefix) {
+			// Reserved namespace: cluster membership and staged temps are
+			// catalog entries, not user relations.
 			continue
 		}
 		info := relationInfo{Name: name, Rows: rel.Cardinality(), Columns: rel.Schema().Names()}
@@ -506,6 +644,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			body["quarantined"] = q
 		}
 	}
+	if c := s.cfg.Cluster; c != nil {
+		// Cluster topology: per-shard primary/replica addressing, who has
+		// been promoted, who is quarantined. A promoted or quarantined
+		// shard degrades the cluster (it lost its failover headroom) even
+		// though queries still answer.
+		topo := c.Topology()
+		serving := true
+		for _, sh := range topo {
+			if sh.Quarantined {
+				serving = false
+			}
+		}
+		body["cluster"] = map[string]any{
+			"shards":  topo,
+			"serving": serving,
+		}
+		if c.Degraded() {
+			status = "degraded"
+		}
+	}
 	if s.draining.Load() {
 		status = "draining"
 	}
@@ -534,6 +692,12 @@ type queryRequest struct {
 
 	// NoTable omits the result rows from the response (row count only).
 	NoTable bool `json:"no_table"`
+
+	// TableTypes leads the result table with a `#% types:` directive, so
+	// the receiver can reconstruct the exact column domains. The cluster
+	// coordinator sets this on every sub-query: gathered partials must be
+	// schema-exact to concatenate.
+	TableTypes bool `json:"table_types"`
 
 	// TimeoutMS overrides the server's default per-request deadline,
 	// capped at Config.MaxTimeout.
@@ -585,6 +749,10 @@ type queryResponse struct {
 	// Degraded reports that the machine gave up and the result was
 	// produced by the host-executor fallback instead.
 	Degraded bool `json:"degraded,omitempty"`
+
+	// Distributed reports that the plan was scattered across cluster
+	// shards by a coordinator rather than executed locally.
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // queryOutcome carries a finished query from its worker goroutine.
@@ -599,8 +767,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req queryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "query body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -785,6 +958,33 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryRespons
 	}
 	cat := s.cat.Snapshot()
 	resp := &queryResponse{Plan: query.Render(plan)}
+	if s.cfg.Cluster != nil {
+		// Coordinator mode: the optimizer needs catalog cardinalities the
+		// coordinator doesn't hold, so the plan scatters as written; the
+		// executor's own strategies (co-partition, broadcast, shuffle) do
+		// the distributed planning.
+		resp.Optimized = resp.Plan
+		resp.Backend = req.backend.String()
+		resp.Distributed = true
+		rel, err := s.cfg.Cluster.Execute(ctx, plan)
+		if err != nil {
+			return nil, err
+		}
+		resp.Rows = rel.Cardinality()
+		if !req.NoTable {
+			resp.Columns = rel.Schema().Names()
+			var sb strings.Builder
+			format := relation.FormatTable
+			if req.TableTypes {
+				format = relation.FormatTableTypes
+			}
+			if err := format(&sb, rel); err != nil {
+				return nil, err
+			}
+			resp.Table = sb.String()
+		}
+		return resp, nil
+	}
 	if !req.NoOptimize {
 		if plan, err = query.Optimize(plan, cat); err != nil {
 			return nil, err
@@ -818,7 +1018,11 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryRespons
 	if !req.NoTable {
 		resp.Columns = rel.Schema().Names()
 		var sb strings.Builder
-		if err := relation.FormatTable(&sb, rel); err != nil {
+		format := relation.FormatTable
+		if req.TableTypes {
+			format = relation.FormatTableTypes
+		}
+		if err := format(&sb, rel); err != nil {
 			return nil, err
 		}
 		resp.Table = sb.String()

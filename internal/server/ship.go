@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"systolicdb/internal/relation"
+	"systolicdb/internal/wal"
+)
+
+// GET /wal/ship?after=N — the log-shipping feed a replica follows.
+//
+// The normal answer is incremental: every WAL record with seq > N, in log
+// order, exactly as the primary persisted them before acking. When the
+// log alone cannot bridge from N (snapshot compaction GC'd the needed
+// segments, or the follower is brand new), the response carries a full
+// catalog image captured under the commit mutex together with the
+// sequence number it corresponds to; the follower replaces its state and
+// resumes following from there.
+
+// shipResponse is the GET /wal/ship reply.
+type shipResponse struct {
+	// Seq is the follower's new high-water mark after applying this
+	// response.
+	Seq uint64 `json:"seq"`
+
+	// Full marks a snapshot response: State replaces the follower's whole
+	// catalog; Records is empty.
+	Full bool `json:"full"`
+
+	// Records are the incremental mutations (put/del) past the requested
+	// sequence number.
+	Records []wal.ShipRecord `json:"records,omitempty"`
+
+	// State maps relation name to its typed text-table serialisation, for
+	// full resyncs.
+	State map[string]string `json:"state,omitempty"`
+}
+
+func (s *Server) handleWALShip(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		writeError(w, http.StatusNotFound, "server has no write-ahead log to ship")
+		return
+	}
+	after := uint64(0)
+	if a := r.URL.Query().Get("after"); a != "" {
+		v, err := strconv.ParseUint(a, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad after=%q: %v", a, err)
+			return
+		}
+		after = v
+	}
+	recs, needFull, err := s.wal.ReadSince(after)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !needFull {
+		seq := after
+		if len(recs) > 0 {
+			seq = recs[len(recs)-1].Seq
+		}
+		s.reg.Counter("server_ship_records_total", nil).Add(int64(len(recs)))
+		writeJSON(w, http.StatusOK, shipResponse{Seq: seq, Records: recs})
+		return
+	}
+
+	// Full resync: capture catalog + sequence number atomically with
+	// respect to commits, so the image is exactly the state as of Seq.
+	s.commitMu.Lock()
+	seq := s.wal.Seq()
+	snap := s.cat.Snapshot()
+	s.commitMu.Unlock()
+
+	state := make(map[string]string, len(snap))
+	for name, rel := range snap {
+		if IsTemp(name) {
+			continue // mid-query scratch, not durable state
+		}
+		var sb strings.Builder
+		if err := relation.FormatTableTypes(&sb, rel); err != nil {
+			writeError(w, http.StatusInternalServerError, "serialising %q: %v", name, err)
+			return
+		}
+		state[name] = sb.String()
+	}
+	s.reg.Counter("server_ship_fulls_total", nil).Inc()
+	writeJSON(w, http.StatusOK, shipResponse{Seq: seq, Full: true, State: state})
+}

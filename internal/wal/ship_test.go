@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"strings"
+	"testing"
+
+	"systolicdb/internal/relation"
+)
+
+// shipTestLog opens a log in a temp dir with a trivial int-schema decoder.
+func shipTestLog(t *testing.T, dir string) *Log {
+	t.Helper()
+	l, err := Open(Options{
+		Dir: dir,
+		Decode: func(table string) (*relation.Relation, error) {
+			schema := relation.MustSchema(
+				relation.Column{Name: "k", Domain: relation.IntDomain("int")},
+				relation.Column{Name: "v", Domain: relation.IntDomain("int")},
+			)
+			return relation.ParseTable(strings.NewReader(table), schema)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func shipTestRel(t *testing.T, k int) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "k", Domain: relation.IntDomain("int")},
+		relation.Column{Name: "v", Domain: relation.IntDomain("int")},
+	)
+	return relation.MustRelation(schema, []relation.Tuple{{relation.Element(k), relation.Element(k * 10)}})
+}
+
+func TestReadSinceIncremental(t *testing.T) {
+	dir := t.TempDir()
+	l := shipTestLog(t, dir)
+	defer l.Close()
+
+	state := map[string]*relation.Relation{}
+	for i := 1; i <= 5; i++ {
+		rel := shipTestRel(t, i)
+		name := string(rune('a' + i - 1))
+		if err := l.AppendPut(name, rel); err != nil {
+			t.Fatal(err)
+		}
+		state[name] = rel
+	}
+	if err := l.AppendDelete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Seq(); got != 6 {
+		t.Fatalf("Seq = %d, want 6", got)
+	}
+
+	// From zero: everything, in order, no full resync needed (no snapshot
+	// yet, so the log is complete history).
+	recs, full, err := l.ReadSince(0)
+	if err != nil || full {
+		t.Fatalf("ReadSince(0): full=%v err=%v", full, err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("ReadSince(0) returned %d records, want 6", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	if recs[5].Op != "del" || recs[5].Name != "b" {
+		t.Fatalf("last record = %+v, want del b", recs[5])
+	}
+	if !strings.Contains(recs[0].Table, "#% types:") {
+		t.Fatalf("put record table lost its types directive: %q", recs[0].Table)
+	}
+
+	// Mid-stream: only the tail.
+	recs, full, err = l.ReadSince(4)
+	if err != nil || full {
+		t.Fatalf("ReadSince(4): full=%v err=%v", full, err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 5 || recs[1].Seq != 6 {
+		t.Fatalf("ReadSince(4) = %+v", recs)
+	}
+
+	// Caught up: empty, no resync.
+	recs, full, err = l.ReadSince(6)
+	if err != nil || full || len(recs) != 0 {
+		t.Fatalf("ReadSince(6) = %v full=%v err=%v", recs, full, err)
+	}
+
+	// Spans a rotation: records on both sides of the segment boundary.
+	gen, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("f", shipTestRel(t, 6)); err != nil {
+		t.Fatal(err)
+	}
+	recs, full, err = l.ReadSince(5)
+	if err != nil || full {
+		t.Fatalf("ReadSince(5) across rotation: full=%v err=%v", full, err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 6 || recs[1].Seq != 7 {
+		t.Fatalf("ReadSince(5) across rotation = %+v", recs)
+	}
+
+	// After the snapshot GCs the old segment, a follower stuck before the
+	// snapshot horizon needs a full resync; one past it does not.
+	delete(state, "b")
+	state["f"] = shipTestRel(t, 6)
+	if err := l.WriteSnapshot(gen, state); err != nil {
+		t.Fatal(err)
+	}
+	if _, full, err = l.ReadSince(3); err != nil || !full {
+		t.Fatalf("ReadSince(3) after compaction: full=%v err=%v (want full resync)", full, err)
+	}
+	recs, full, err = l.ReadSince(6)
+	if err != nil || full || len(recs) != 1 || recs[0].Seq != 7 {
+		t.Fatalf("ReadSince(6) after compaction = %+v full=%v err=%v", recs, full, err)
+	}
+}
+
+func TestReadSinceSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := shipTestLog(t, dir)
+	if err := l.AppendPut("a", shipTestRel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := shipTestLog(t, dir)
+	defer l2.Close()
+	if err := l2.AppendPut("b", shipTestRel(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recs, full, err := l2.ReadSince(0)
+	if err != nil || full {
+		t.Fatalf("ReadSince(0) after reopen: full=%v err=%v", full, err)
+	}
+	if len(recs) != 2 || recs[0].Name != "a" || recs[1].Name != "b" {
+		t.Fatalf("ReadSince(0) after reopen = %+v", recs)
+	}
+}
