@@ -1,0 +1,331 @@
+package main
+
+// Chaos soak: the cluster acceptance storm from cluster_soak_test.go run
+// under an adversarial network. The coordinator's shard transport drops
+// requests, delays them, flips response bytes, delivers duplicates, and
+// mid-storm partitions the replicated primary — and the bar stays where
+// the clean soak set it: zero acked-write loss, no double-applied
+// retried writes (WAL fsck dup-key check), distributed results
+// byte-identical to a single node.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"systolicdb/internal/server"
+)
+
+// httpDoHdr is httpDo with request headers: the chaos storm stamps
+// client-side Idempotency-Keys so every retry of one logical write
+// shares one key end-to-end (client → coordinator → shard WAL).
+func httpDoHdr(method, url, body string, hdr map[string]string) (int, string, error) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(b), nil
+}
+
+// putRetryKeyed is putRetry with a stable Idempotency-Key across every
+// retry of the same logical write.
+func putRetryKeyed(base, name, key, body string, deadline time.Duration) bool {
+	until := time.Now().Add(deadline)
+	for {
+		code, _, err := httpDoHdr("PUT", base+"/relations/"+name, body,
+			map[string]string{"Idempotency-Key": key})
+		if err == nil && code == http.StatusOK {
+			return true
+		}
+		if time.Now().After(until) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// getRetry GETs a relation until 200 or the deadline. Chaos stays on
+// through the verification pass, so any single gather can eat an
+// injected drop; only a persistent failure is a loss.
+func getRetry(base, name string, deadline time.Duration) (string, bool) {
+	until := time.Now().Add(deadline)
+	for {
+		code, body, err := httpDo("GET", base+"/relations/"+name, "")
+		if err == nil && code == http.StatusOK {
+			return body, true
+		}
+		if time.Now().After(until) {
+			return fmt.Sprintf("code=%d err=%v body=%s", code, err, body), false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// queryRetry POSTs a plan until 200 or the deadline, returning the
+// result table.
+func queryRetry(t *testing.T, base, plan string, deadline time.Duration) string {
+	t.Helper()
+	req := fmt.Sprintf(`{"plan":%q}`, plan)
+	until := time.Now().Add(deadline)
+	for {
+		code, body, err := httpDo("POST", base+"/query", req)
+		if err == nil && code == http.StatusOK {
+			var r struct {
+				Table string `json:"table"`
+			}
+			if jerr := json.Unmarshal([]byte(body), &r); jerr != nil {
+				t.Fatalf("%s: bad query response: %v\n%s", plan, jerr, body)
+			}
+			return r.Table
+		}
+		if time.Now().After(until) {
+			t.Fatalf("%s: no success before deadline: %d %v\n%s", plan, code, err, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// scrapeMetric sums every sample of one counter in a daemon's /metrics
+// dump, keeping only lines containing labelSub (empty keeps all).
+func scrapeMetric(t *testing.T, base, name, labelSub string) int64 {
+	t.Helper()
+	code, body, err := httpDo("GET", base+"/metrics", "")
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("metrics scrape: %d %v", code, err)
+	}
+	var sum int64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name) || !strings.Contains(line, labelSub) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, perr := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if perr != nil {
+			t.Fatalf("metrics line %q: %v", line, perr)
+		}
+		sum += int64(v)
+	}
+	return sum
+}
+
+// TestClusterChaosSoak runs the 1000-client storm with the network
+// chaos layer armed: drop + latency + corrupt + dup on every
+// coordinator→shard call, and a symmetric partition of the replicated
+// primary opening mid-storm. Asserts zero acked-write loss, replica
+// promotion through the breaker ladder, single-node-identical results,
+// clean deduplicated WALs, and nonzero injection/breaker/hedge
+// counters (the chaos actually happened).
+func TestClusterChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short; run without -short")
+	}
+	bin := buildDaemon(t)
+	dirs := map[string]string{}
+	for _, n := range []string{"s0", "r0", "s1", "s2", "coord"} {
+		dirs[n] = t.TempDir()
+	}
+
+	s0 := startDaemon(t, bin, dirs["s0"])
+	s1 := startDaemon(t, bin, dirs["s1"])
+	s2 := startDaemon(t, bin, dirs["s2"])
+	r0 := startDaemon(t, bin, dirs["r0"], "-replica-of", s0.base, "-follow-every", "50ms")
+	defer func() {
+		for _, d := range []*daemon{s1, s2} {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	}()
+
+	// The campaign: background drop/latency/corrupt/dup everywhere, plus
+	// a permanent symmetric partition of shard 0's primary starting 2s
+	// after the coordinator builds its transports. promote-after=6 with
+	// breaker-after=3 puts the breaker-open window strictly inside the
+	// quarantine ladder, so denials provably fire before promotion.
+	target := strings.TrimPrefix(s0.base, "http://")
+	chaos := fmt.Sprintf("seed=42,drop=0.02,latency=2ms±2ms,corrupt=0.02,dup=0.05,partition=%s:2s+1h", target)
+	shards := fmt.Sprintf("%s=%s,%s,%s", s0.base, r0.base, s1.base, s2.base)
+	coord := startDaemon(t, bin, dirs["coord"], "-coordinator", "-shards", shards,
+		"-snapshot-every", "128",
+		"-netchaos", chaos,
+		"-promote-after", "6",
+		"-breaker-after", "3",
+		"-breaker-cooldown", "200ms",
+		"-hedge-after", "2ms")
+	coordStart := time.Now()
+	if !strings.Contains(coord.out.String(), "network chaos on") {
+		t.Fatalf("coordinator did not announce the chaos layer:\n%s", coord.out.String())
+	}
+
+	// Single-node ground truth for result parity.
+	mirror := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer mirror.Close()
+	var a, b strings.Builder
+	a.WriteString("#% types: int, int\nx\ty\n")
+	for x := 1; x <= 6; x++ {
+		fmt.Fprintf(&a, "%d\t1\n%d\t2\n", x, x)
+	}
+	b.WriteString("#% types: int, int\nm\tn\n10\t1\n20\t2\n")
+	for name, body := range map[string]string{"pa": a.String(), "pb": b.String()} {
+		if !putRetry(coord.base, name, body, 30*time.Second) {
+			t.Fatalf("seed %s on coordinator never acked", name)
+		}
+		if code, resp, err := httpDo("PUT", mirror.URL+"/relations/"+name, body); err != nil || code != http.StatusOK {
+			t.Fatalf("seed %s on mirror: %d %s %v", name, code, resp, err)
+		}
+	}
+
+	// Drive hedge-eligible reads while the replicated shard's primary is
+	// still up and the system is otherwise quiet: the injected 2ms±2ms
+	// latency pushes about half the primary legs past the 2ms hedge
+	// timer, so a hundred sequential reads make a zero hedge counter a
+	// 2^-100 event, not a scheduling accident.
+	for i := 0; i < 100; i++ {
+		httpDo("POST", coord.base+"/query", `{"plan":"scan(pa)"}`)
+	}
+
+	// partitioned closes once the partition window is provably open:
+	// wave 2 of the storm then races — and rides — the failover.
+	partitioned := make(chan struct{})
+	go func() {
+		time.Sleep(time.Until(coordStart.Add(2200 * time.Millisecond)))
+		close(partitioned)
+	}()
+
+	// The storm: every client writes one relation under chaos, waits for
+	// the partition to open, then writes a second straight into the
+	// failover. Client-supplied idempotency keys make each retry chain
+	// one logical write end-to-end.
+	var (
+		ackedMu sync.Mutex
+		acked   = map[string]string{}
+		wg      sync.WaitGroup
+	)
+	ackPut := func(c int, name string) {
+		body := soakTable(c)
+		if putRetryKeyed(coord.base, name, "chaos-"+name, body, 60*time.Second) {
+			ackedMu.Lock()
+			acked[name] = body
+			ackedMu.Unlock()
+		} else {
+			t.Errorf("client %d: write of %q never acked through the chaos", c, name)
+		}
+	}
+	for c := 0; c < soakClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ackPut(c, fmt.Sprintf("chaos_%d", c))
+			<-partitioned
+			ackPut(c+soakClients, fmt.Sprintf("chaosb_%d", c))
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatalf("chaos storm failed; coordinator output:\n%s", coord.out.String())
+	}
+
+	// The partition walked the breaker ladder to promotion: shard 0 now
+	// serves from its ex-replica.
+	h := getHealth(t, coord.base)
+	if h.Cluster == nil || !h.Cluster.Shards[0].Promoted || h.Cluster.Shards[0].Primary != r0.base {
+		t.Fatalf("partitioned primary not failed over to its replica: %+v\ncoordinator output:\n%s",
+			h.Cluster, coord.out.String())
+	}
+
+	// Zero acked-write loss: every acked relation gathers back as the
+	// exact multiset of rows that was written — through still-active
+	// drop/corrupt/dup chaos, hence the retry.
+	ackedMu.Lock()
+	defer ackedMu.Unlock()
+	if len(acked) != 2*soakClients {
+		t.Fatalf("%d of %d writes acked", len(acked), 2*soakClients)
+	}
+	for name, want := range acked {
+		got, ok := getRetry(coord.base, name, 30*time.Second)
+		if !ok {
+			t.Fatalf("acked relation %q lost under chaos: %s", name, got)
+		}
+		if soakSortedRows(got) != soakSortedRows(want) {
+			t.Fatalf("acked relation %q corrupted under chaos:\n got: %q\nwant: %q", name, got, want)
+		}
+	}
+
+	// Distributed results stay byte-identical to the single-node mirror
+	// across the chaos and the failover.
+	for _, plan := range []string{
+		`join(scan(pa),scan(pb),1=1)`,
+		`intersect(scan(pa),scan(pa))`,
+		`difference(scan(pa),scan(pb))`,
+		`divide(scan(pa),scan(pb),quot=0,div=1,by=1)`,
+	} {
+		gotC := queryRetry(t, coord.base, plan, 30*time.Second)
+		gotM := queryRetry(t, mirror.URL, plan, 30*time.Second)
+		if soakSortedRows(gotC) != soakSortedRows(gotM) {
+			t.Fatalf("%s: distributed result diverged from single node:\ncluster:\n%s\nmirror:\n%s",
+				plan, gotC, gotM)
+		}
+	}
+
+	// The chaos actually happened, and every hardening layer fired:
+	// injections of each armed kind, breaker denials during the open
+	// window, hedged reads racing the replica, and shard-side
+	// idempotent dedup swallowing duplicate deliveries.
+	for _, kind := range []string{"drop", "latency", "corrupt", "dup", "partition"} {
+		if n := scrapeMetric(t, coord.base, "netchaos_injections_total", `kind="`+kind+`"`); n == 0 {
+			t.Errorf("no %s injections recorded — chaos layer not exercised", kind)
+		}
+	}
+	if n := scrapeMetric(t, coord.base, "cluster_breaker_denials_total", ""); n == 0 {
+		t.Error("no breaker denials recorded — circuit never opened under the partition")
+	}
+	if n := scrapeMetric(t, coord.base, "cluster_hedged_requests_total", ""); n == 0 {
+		t.Error("no hedged reads recorded — replica race never armed")
+	}
+	var dedups int64
+	for _, d := range []*daemon{s0, s1, s2, r0} {
+		dedups += scrapeMetric(t, d.base, "server_idempotent_dedup_total", "")
+	}
+	if dedups == 0 {
+		t.Error("no idempotent dedups recorded on any shard — duplicate delivery never hit the window")
+	}
+	if t.Failed() {
+		t.Fatalf("chaos counters missing; coordinator output:\n%s", coord.out.String())
+	}
+
+	// Graceful teardown, then fsck every WAL: the partitioned ex-primary,
+	// the promoted replica (its log must hold each keyed write once —
+	// dual-write + WAL-ship + transport duplicates all collapse), and
+	// the coordinator's own membership/directory log.
+	for dir, d := range map[string]*daemon{"coord": coord, "s0": s0, "r0": r0} {
+		if err := d.cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.cmd.Wait(); err != nil {
+			t.Fatalf("%s graceful shutdown: %v\n%s", dir, err, d.out.String())
+		}
+		fsckDir(t, dirs[dir])
+	}
+	t.Logf("chaos soak complete: %d clients, %d acked relations, shard 0 failed over to %s under partition",
+		soakClients, len(acked), r0.base)
+}

@@ -50,6 +50,7 @@ import (
 	"systolicdb/internal/cluster"
 	"systolicdb/internal/fault"
 	"systolicdb/internal/machine"
+	"systolicdb/internal/netchaos"
 	"systolicdb/internal/obs"
 	"systolicdb/internal/relation"
 	"systolicdb/internal/server"
@@ -89,6 +90,15 @@ type daemonConfig struct {
 	Fanout         int
 	BroadcastLimit int
 
+	// NetChaos injects deterministic network faults into every
+	// coordinator→shard call (testing/soak only).
+	NetChaos string
+	// HedgeAfter races slow primary reads against the replica.
+	HedgeAfter time.Duration
+	// BreakerAfter/BreakerCooldown tune the per-shard circuit breakers.
+	BreakerAfter    int
+	BreakerCooldown time.Duration
+
 	// ReplicaOf makes this daemon follow another daemon's WAL.
 	ReplicaOf   string
 	FollowEvery time.Duration
@@ -120,6 +130,10 @@ func main() {
 	flag.IntVar(&cfg.PromoteAfter, "promote-after", 3, "consecutive shard failures before quarantine + replica promotion")
 	flag.IntVar(&cfg.Fanout, "fanout", 0, "concurrent shard sub-queries per scatter (0 = min(shards, 8))")
 	flag.IntVar(&cfg.BroadcastLimit, "broadcast-limit", 0, "max build-side rows broadcast for a distributed join before shuffling (0 = default)")
+	flag.StringVar(&cfg.NetChaos, "netchaos", "", "inject network faults into coordinator→shard calls; "+netchaos.SpecHelp())
+	flag.DurationVar(&cfg.HedgeAfter, "hedge-after", 0, "hedge read sub-queries against the replica after this delay (0 = off)")
+	flag.IntVar(&cfg.BreakerAfter, "breaker-after", 0, "consecutive failures before a shard's circuit breaker opens (0 = promote-after)")
+	flag.DurationVar(&cfg.BreakerCooldown, "breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0 = default 500ms)")
 	flag.StringVar(&cfg.ReplicaOf, "replica-of", "", "follow this primary daemon's write-ahead log (replica mode)")
 	flag.DurationVar(&cfg.FollowEvery, "follow-every", 250*time.Millisecond, "replica poll cadence against the primary's /wal/ship feed")
 	flag.Var(&cfg.Rels, "rel", "preload a relation: name=file.tbl (repeatable; types from a #% types: line)")
@@ -209,13 +223,16 @@ func run(cfg daemonConfig) error {
 		if err != nil {
 			return err
 		}
-		co, err = cluster.NewCoordinator(specs, cluster.CoordinatorOptions{
-			Fanout:         cfg.Fanout,
-			BroadcastLimit: cfg.BroadcastLimit,
-			Backend:        cfg.Backend.String(),
-			LocalBackend:   cfg.Backend,
-			PromoteAfter:   cfg.PromoteAfter,
-			Parse:          parse,
+		opts := cluster.CoordinatorOptions{
+			Fanout:           cfg.Fanout,
+			BroadcastLimit:   cfg.BroadcastLimit,
+			Backend:          cfg.Backend.String(),
+			LocalBackend:     cfg.Backend,
+			PromoteAfter:     cfg.PromoteAfter,
+			HedgeAfter:       cfg.HedgeAfter,
+			BreakerThreshold: cfg.BreakerAfter,
+			BreakerCooldown:  cfg.BreakerCooldown,
+			Parse:            parse,
 			Persist: func(name string, rel *relation.Relation) error {
 				if s := srvPtr.Load(); s != nil {
 					return s.CommitPut(name, rel)
@@ -223,7 +240,18 @@ func run(cfg daemonConfig) error {
 				return nil // boot-time persist before the server exists
 			},
 			Metrics: reg,
-		})
+		}
+		if cfg.NetChaos != "" {
+			sp, perr := netchaos.ParseSpec(cfg.NetChaos)
+			if perr != nil {
+				return fmt.Errorf("-netchaos: %w", perr)
+			}
+			opts.WrapTransport = func(base http.RoundTripper) http.RoundTripper {
+				return netchaos.NewTransport(sp, base, reg)
+			}
+			fmt.Printf("systolicdbd: network chaos on (%s)\n", cfg.NetChaos)
+		}
+		co, err = cluster.NewCoordinator(specs, opts)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-shard circuit breaker, the network analogue of the
+// fault package's quarantine counter. Where quarantine is the ladder's
+// permanent rung (K consecutive failures ⇒ stop trusting the device until
+// an operator or a promotion intervenes), the breaker is the fast
+// transient rung in front of it: after Threshold consecutive failures the
+// circuit opens and calls fail immediately — no connection, no timeout
+// spent — until a cooldown passes. Then one half-open probe is let
+// through: success re-closes the circuit (a transient partition healed),
+// failure re-opens it for another cooldown.
+//
+// Only real call outcomes feed the health accounting behind quarantine:
+// open-circuit denials are fail-fast conveniences, not new evidence, so a
+// partition walks the ladder at one half-open probe per cooldown while a
+// burst of transient noise that trips the breaker heals on the first
+// successful probe without ever threatening promotion.
+type breaker struct {
+	threshold int           // consecutive failures to open
+	cooldown  time.Duration // open duration before a half-open probe
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// defaultBreakerCooldown is the open period before a half-open probe.
+const defaultBreakerCooldown = 500 * time.Millisecond
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call may proceed. In the open state it starts
+// denying immediately; once the cooldown has passed it admits exactly one
+// half-open probe at a time.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.probing {
+			return false // one probe at a time
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful call: the circuit closes and the failure
+// count resets.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a failed call, opening the circuit at the threshold. A
+// failed half-open probe re-opens immediately.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// State reports the breaker's current rung for /healthz.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied call %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state after 2/3 failures = %s, want closed", b.State())
+	}
+	b.Failure() // third consecutive failure opens the circuit
+	if b.State() != "open" {
+		t.Fatalf("state after threshold failures = %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call inside the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success() // breaks the consecutive run
+	b.Failure()
+	b.Failure()
+	if b.State() != "closed" {
+		t.Fatalf("non-consecutive failures opened the circuit: %s", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe was denied")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state during probe = %s, want half-open", b.State())
+	}
+	// Only one probe at a time: a concurrent caller is still denied.
+	if b.Allow() {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+
+	// Probe succeeds: the circuit closes and stays closed.
+	b.Success()
+	if b.State() != "closed" || !b.Allow() {
+		t.Fatalf("successful probe did not re-close the circuit (state %s)", b.State())
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied after cooldown")
+	}
+	b.Failure() // the probe failed
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a call before the next cooldown")
+	}
+	// The re-open restarted the cooldown clock.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied after the second cooldown")
+	}
+}

@@ -1,0 +1,313 @@
+package cluster_test
+
+// Network chaos matrix: the netchaos layer wrapped around real shard
+// servers, exercising the coordinator hardening paths the fault-grid
+// tests can't reach — corrupt responses caught by the table checksum,
+// duplicate delivery absorbed by idempotency keys, asymmetric (torn-ack)
+// partitions resolved by keyed retries plus promotion, and hedged reads
+// racing a slow primary against its replica.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"systolicdb/internal/cluster"
+	"systolicdb/internal/fault"
+	"systolicdb/internal/netchaos"
+	"systolicdb/internal/obs"
+	"systolicdb/internal/query"
+	"systolicdb/internal/server"
+)
+
+// chaosWrap builds a CoordinatorOptions.WrapTransport that injects the
+// given netchaos spec into every shard client, counting injections in reg.
+func chaosWrap(t *testing.T, spec string, reg *obs.Registry) func(http.RoundTripper) http.RoundTripper {
+	t.Helper()
+	sp, err := netchaos.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("parsing chaos spec %q: %v", spec, err)
+	}
+	return func(base http.RoundTripper) http.RoundTripper {
+		return netchaos.NewTransport(sp, base, reg)
+	}
+}
+
+func injections(reg *obs.Registry, kind string) int64 {
+	return reg.Counter("netchaos_injections_total", obs.Labels{"kind": kind}).Value()
+}
+
+// metricShard is a real single-node server whose metrics registry the
+// test can read (dedup counters prove single-apply under chaos).
+type metricShard struct {
+	ts  *httptest.Server
+	reg *obs.Registry
+}
+
+func newMetricShard(t *testing.T) *metricShard {
+	t.Helper()
+	reg := obs.NewRegistry()
+	srv := server.New(server.Config{Metrics: reg})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &metricShard{ts: ts, reg: reg}
+}
+
+func (m *metricShard) host() string { return strings.TrimPrefix(m.ts.URL, "http://") }
+
+func (m *metricShard) dedups(op string) int64 {
+	return m.reg.Counter("server_idempotent_dedup_total", obs.Labels{"op": op}).Value()
+}
+
+// TestChaosCorruptResponsesMidGather: a corrupting network path garbles
+// sub-query responses mid-gather. Every corruption must be caught (bad
+// JSON or table-checksum mismatch → retryable) and retried until a clean
+// copy arrives — never silently merged into the result.
+func TestChaosCorruptResponsesMidGather(t *testing.T) {
+	s0, s1 := newMetricShard(t), newMetricShard(t)
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, []cluster.ShardSpec{{Addr: s0.ts.URL}, {Addr: s1.ts.URL}},
+		cluster.CoordinatorOptions{
+			PromoteAfter:  100, // corruption is the network's fault, not the shard's: stay off the ladder
+			Retry:         fault.RetryPolicy{MaxAttempts: 16, BaseDelay: 1, MaxDelay: 1},
+			Metrics:       reg,
+			WrapTransport: chaosWrap(t, "seed=7,corrupt=0.4", reg),
+		})
+	putKV(t, c, "r")
+
+	for i := 0; i < 10; i++ {
+		rel, err := c.Execute(context.Background(), query.Scan{Name: "r"})
+		if err != nil {
+			t.Fatalf("scan %d under corruption: %v", i, err)
+		}
+		if rel.Cardinality() != 6 {
+			t.Fatalf("scan %d gathered %d rows, want 6 — corruption leaked into a result", i, rel.Cardinality())
+		}
+	}
+	if n := injections(reg, netchaos.KindCorrupt); n == 0 {
+		t.Fatal("chaos transport never corrupted a response; test proves nothing")
+	}
+	for _, sh := range c.Topology() {
+		if sh.Promoted || sh.Quarantined {
+			t.Fatalf("network corruption escalated to the shard ladder: %+v", sh)
+		}
+	}
+}
+
+// TestChaosDuplicateDeliveryAppliesOnce: the network delivers every
+// request twice. Keyed writes must commit exactly once per shard; the
+// duplicate is acked from the dedup window.
+func TestChaosDuplicateDeliveryAppliesOnce(t *testing.T) {
+	s0, s1 := newMetricShard(t), newMetricShard(t)
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, []cluster.ShardSpec{{Addr: s0.ts.URL}, {Addr: s1.ts.URL}},
+		cluster.CoordinatorOptions{
+			PromoteAfter:  100,
+			Retry:         fault.RetryPolicy{MaxAttempts: 8, BaseDelay: 1, MaxDelay: 1},
+			Metrics:       reg,
+			WrapTransport: chaosWrap(t, "seed=3,dup=1.0", reg),
+		})
+	putKV(t, c, "r")
+
+	rel, err := c.Execute(context.Background(), query.Scan{Name: "r"})
+	if err != nil || rel.Cardinality() != 6 {
+		t.Fatalf("scan after duplicated puts: rel=%v err=%v", rel, err)
+	}
+	if n := injections(reg, netchaos.KindDup); n == 0 {
+		t.Fatal("chaos transport never duplicated a request; test proves nothing")
+	}
+	if d0, d1 := s0.dedups("put"), s1.dedups("put"); d0 == 0 || d1 == 0 {
+		t.Fatalf("duplicate deliveries were not deduped (shard0=%d shard1=%d) — writes double-applied", d0, d1)
+	}
+}
+
+// TestChaosAsymmetricPartitionTornAck: a one-way partition delivers every
+// request to shard 0's primary but drops every response — the classic
+// torn ack. The keyed retries are delivered and deduped (no double
+// apply), the unacked primary walks the ladder, the replica is promoted,
+// and the write is acked with zero loss.
+func TestChaosAsymmetricPartitionTornAck(t *testing.T) {
+	prim, repl, other := newMetricShard(t), newMetricShard(t), newMetricShard(t)
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t,
+		[]cluster.ShardSpec{{Addr: prim.ts.URL, Replica: repl.ts.URL}, {Addr: other.ts.URL}},
+		cluster.CoordinatorOptions{
+			PromoteAfter:  2,
+			Retry:         fault.RetryPolicy{MaxAttempts: 8, BaseDelay: 1, MaxDelay: 1},
+			Metrics:       reg,
+			WrapTransport: chaosWrap(t, "seed=5,partition="+prim.host()+":1h:oneway", reg),
+		})
+
+	putKV(t, c, "r") // must ack despite the torn primary
+
+	rel, err := c.Execute(context.Background(), query.Scan{Name: "r"})
+	if err != nil {
+		t.Fatalf("scan after torn-ack promotion: %v", err)
+	}
+	if rel.Cardinality() != 6 {
+		t.Fatalf("acked write lost rows under asymmetric partition: %d, want 6", rel.Cardinality())
+	}
+
+	topo := c.Topology()
+	if !topo[0].Promoted || topo[0].Primary != repl.ts.URL {
+		t.Fatalf("torn-ack primary was not demoted: %+v", topo[0])
+	}
+	if n := injections(reg, netchaos.KindPartition); n == 0 {
+		t.Fatal("chaos transport never partitioned; test proves nothing")
+	}
+	// The one-way partition DELIVERED the retried puts to the ex-primary:
+	// the first applied, the rest hit the dedup window. No double apply.
+	if prim.dedups("put") == 0 {
+		t.Fatal("torn-ack retries were not deduped on the partitioned primary")
+	}
+}
+
+// TestChaosHedgedReadRacesReplica: a slow (not dead) primary is out-raced
+// by a hedged replica read — the query returns the replica's answer long
+// before the primary would have answered, without touching the ladder.
+func TestChaosHedgedReadRacesReplica(t *testing.T) {
+	var slow atomic.Bool
+	inner := server.New(server.Config{}).Handler()
+	prim := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if slow.Load() && r.URL.Path == "/query" {
+			select {
+			case <-time.After(500 * time.Millisecond):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer prim.Close()
+	repl, other := newMetricShard(t), newMetricShard(t)
+
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t,
+		[]cluster.ShardSpec{{Addr: prim.URL, Replica: repl.ts.URL}, {Addr: other.ts.URL}},
+		cluster.CoordinatorOptions{
+			PromoteAfter: 3,
+			HedgeAfter:   20 * time.Millisecond,
+			Metrics:      reg,
+		})
+	putKV(t, c, "r") // dual-written: the replica can answer reads
+
+	slow.Store(true)
+	start := time.Now()
+	rel, err := c.Execute(context.Background(), query.Scan{Name: "r"})
+	elapsed := time.Since(start)
+	if err != nil || rel.Cardinality() != 6 {
+		t.Fatalf("hedged scan: rel=%v err=%v", rel, err)
+	}
+	if elapsed >= 450*time.Millisecond {
+		t.Fatalf("hedge did not out-race the slow primary: took %v", elapsed)
+	}
+	if reg.Counter("cluster_hedged_requests_total", obs.Labels{"shard": "shard-0"}).Value() == 0 {
+		t.Fatal("no hedge was launched")
+	}
+	if reg.Counter("cluster_hedge_wins_total", obs.Labels{"shard": "shard-0"}).Value() == 0 {
+		t.Fatal("hedge launched but never won against a 500ms-slow primary")
+	}
+	for _, sh := range c.Topology() {
+		if sh.Promoted || sh.Quarantined {
+			t.Fatalf("a merely slow primary was escalated: %+v", sh)
+		}
+	}
+}
+
+// TestPartitionDuringPromotionStaleSubqueries is the promotion race: a
+// storm of in-flight sub-queries is mid-air when the primary is
+// partitioned away. The losers fail against the ex-primary AFTER another
+// caller has promoted the replica; those stale failures must neither
+// re-quarantine the slot (that would consume its last rung) nor may any
+// later write reach the demoted node.
+func TestPartitionDuringPromotionStaleSubqueries(t *testing.T) {
+	var down atomic.Bool
+	var mu sync.Mutex
+	var primLog []string
+	inner := server.New(server.Config{}).Handler()
+	prim := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		primLog = append(primLog, r.Method+" "+r.URL.Path)
+		mu.Unlock()
+		if down.Load() {
+			http.Error(w, `{"error":"partitioned"}`, http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer prim.Close()
+	repl, other := newMetricShard(t), newMetricShard(t)
+
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t,
+		[]cluster.ShardSpec{{Addr: prim.URL, Replica: repl.ts.URL}, {Addr: other.ts.URL}},
+		cluster.CoordinatorOptions{
+			PromoteAfter: 3,
+			Retry:        fault.RetryPolicy{MaxAttempts: 16, BaseDelay: 1, MaxDelay: 1},
+			Metrics:      reg,
+		})
+	putKV(t, c, "r")
+
+	// Storm of concurrent readers; the partition drops mid-storm.
+	const readers = 8
+	var wg sync.WaitGroup
+	var failed atomic.Int32
+	deadline := time.Now().Add(300 * time.Millisecond)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		down.Store(true)
+	}()
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				rel, err := c.Execute(context.Background(), query.Scan{Name: "r"})
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				if rel.Cardinality() != 6 {
+					failed.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d/%d readers failed across the partition+promotion", n, readers)
+	}
+
+	topo := c.Topology()
+	if !topo[0].Promoted || topo[0].Primary != repl.ts.URL {
+		t.Fatalf("partitioned primary was not demoted: %+v", topo[0])
+	}
+	if topo[0].Quarantined {
+		t.Fatalf("stale in-flight failures re-quarantined the promoted slot: %+v", topo[0])
+	}
+
+	// Writes after the promotion must not reach the demoted node.
+	mu.Lock()
+	primRequests := len(primLog)
+	mu.Unlock()
+	putKV(t, c, "r2")
+	if rel, err := c.Execute(context.Background(), query.Scan{Name: "r2"}); err != nil || rel.Cardinality() != 6 {
+		t.Fatalf("post-promotion put/scan: rel=%v err=%v", rel, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range primLog[primRequests:] {
+		t.Errorf("demoted node received post-promotion request: %s", line)
+	}
+	for _, line := range primLog {
+		if strings.Contains(line, "/relations/r2") {
+			t.Errorf("demoted node received a write for r2: %s", line)
+		}
+	}
+}

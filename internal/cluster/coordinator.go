@@ -2,10 +2,14 @@ package cluster
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"systolicdb/internal/fault"
@@ -39,12 +43,32 @@ type CoordinatorOptions struct {
 	// before it is quarantined and its replica promoted. Default 3.
 	PromoteAfter int
 
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// shard's circuit breaker; once open, calls to that shard fail
+	// immediately (no connection, no timeout spent) and still feed the
+	// quarantine/promotion ladder. Default: PromoteAfter.
+	BreakerThreshold int
+
+	// BreakerCooldown is how long an open circuit denies calls before
+	// letting one half-open probe through. Default 500ms.
+	BreakerCooldown time.Duration
+
+	// HedgeAfter, when positive, hedges read sub-queries: if a shard's
+	// primary hasn't answered within this duration, the same sub-query is
+	// raced against its replica and the first success wins. Zero disables
+	// hedging.
+	HedgeAfter time.Duration
+
 	// Retry backs off between attempts on a sick shard. Zero values take
 	// the fault package defaults (4 attempts, 1ms..50ms exponential).
 	Retry fault.RetryPolicy
 
 	// ClientTimeout bounds each HTTP call to a shard. Default 30s.
 	ClientTimeout time.Duration
+
+	// WrapTransport, when non-nil, wraps every shard client's HTTP
+	// transport — the netchaos injection point.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
 
 	// Parse decodes typed result tables into the coordinator's domain
 	// pool. Required.
@@ -72,6 +96,12 @@ type Coordinator struct {
 	slots  []*shardSlot
 	engine *Engine
 
+	// bootID + keySeq mint idempotency keys for writes whose client didn't
+	// supply one: unique across coordinator restarts, stable across the
+	// retries of one logical write.
+	bootID string
+	keySeq atomic.Uint64
+
 	mu     sync.RWMutex // guards widths/rows
 	widths map[string]int
 	rows   map[string]int
@@ -81,6 +111,7 @@ type Coordinator struct {
 // takes over if the primary is quarantined.
 type shardSlot struct {
 	id int
+	br *breaker // circuit breaker for the current primary
 
 	mu       sync.RWMutex
 	primary  *ShardClient
@@ -115,11 +146,15 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 	if err != nil {
 		return nil, err
 	}
+	if opt.BreakerThreshold <= 0 {
+		opt.BreakerThreshold = opt.PromoteAfter
+	}
 	c := &Coordinator{
 		opt:    opt,
 		ring:   ring,
 		health: fault.NewHealth(opt.PromoteAfter),
 		reg:    opt.Metrics,
+		bootID: newBootID(),
 		widths: map[string]int{},
 		rows:   map[string]int{},
 	}
@@ -127,9 +162,14 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 		Timeout:        opt.ClientTimeout,
 		MaxIdlePerHost: max(opt.Fanout, len(specs)),
 		Backend:        opt.Backend,
+		Wrap:           opt.WrapTransport,
 	}
 	for i, spec := range specs {
-		slot := &shardSlot{id: i, primary: NewShardClient(httpBase(spec.Addr), opt.Parse, clientOpt)}
+		slot := &shardSlot{
+			id:      i,
+			br:      newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
+			primary: NewShardClient(httpBase(spec.Addr), opt.Parse, clientOpt),
+		}
 		if spec.Replica != "" {
 			slot.replica = NewShardClient(httpBase(spec.Replica), opt.Parse, clientOpt)
 		}
@@ -161,6 +201,33 @@ func httpBase(addr string) string {
 	return "http://" + addr
 }
 
+// newBootID draws a random coordinator incarnation tag, so minted
+// idempotency keys never collide across restarts.
+func newBootID() string {
+	var b [6]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Degrade to a time-based tag; uniqueness across restarts is a
+		// best-effort property, collisions only risk a spurious dedup.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// nextKey mints an idempotency key for one logical write.
+func (c *Coordinator) nextKey(name string) string {
+	return fmt.Sprintf("%s-%d-%s", c.bootID, c.keySeq.Add(1), name)
+}
+
+// shardKey derives the per-shard idempotency key for one partition of a
+// logical write. Each shard slot gets its own key (the partitions differ)
+// but the SAME key goes to that slot's primary and replica, and survives
+// every retry — so a torn ack retried through the ladder, or a record
+// arriving over both the dual-write and WAL-shipping paths, commits
+// exactly once per copy.
+func shardKey(key string, shard int) string {
+	return fmt.Sprintf("%s@s%d", key, shard)
+}
+
 func (c *Coordinator) widthOf(name string) (int, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -182,9 +249,79 @@ type failoverShard struct {
 }
 
 func (f *failoverShard) Query(ctx context.Context, plan string) (*relation.Relation, error) {
-	return withFailover(ctx, f.c, f.slot, func(cl *ShardClient) (*relation.Relation, error) {
-		return cl.Query(ctx, plan)
-	})
+	primary := func(ctx context.Context) (*relation.Relation, error) {
+		return withFailover(ctx, f.c, f.slot, func(cl *ShardClient) (*relation.Relation, error) {
+			return cl.Query(ctx, plan)
+		})
+	}
+	hedgeAfter := f.c.opt.HedgeAfter
+	// Hedging only applies to plans over durable relations: __tmp_ shuffle
+	// stages are staged on the primary alone, so a replica copy of such a
+	// plan would answer from missing inputs.
+	if hedgeAfter <= 0 || strings.Contains(plan, "__tmp_") {
+		return primary(ctx)
+	}
+	f.slot.mu.RLock()
+	replica := f.slot.replica
+	f.slot.mu.RUnlock()
+	if replica == nil {
+		return primary(ctx)
+	}
+	return f.hedge(ctx, plan, primary, replica, hedgeAfter)
+}
+
+// hedge races the primary path (with its full failover ladder) against a
+// late-started replica copy of the same read: if the primary hasn't
+// answered within hedgeAfter — slow disk, lossy path, mid-promotion stall
+// — the replica runs the identical sub-query and the first success wins.
+// Reads only; writes stay on the strictly-ordered dual-write path.
+func (f *failoverShard) hedge(ctx context.Context, plan string,
+	primary func(context.Context) (*relation.Relation, error),
+	replica *ShardClient, hedgeAfter time.Duration) (*relation.Relation, error) {
+	type result struct {
+		rel    *relation.Relation
+		err    error
+		hedged bool
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reaps the losing leg
+	ch := make(chan result, 2)
+	go func() {
+		rel, err := primary(hctx)
+		ch <- result{rel, err, false}
+	}()
+	timer := time.NewTimer(hedgeAfter)
+	defer timer.Stop()
+	launched := false
+	var firstErr error
+	for pending := 1; pending > 0; {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				if r.hedged {
+					f.c.reg.Counter("cluster_hedge_wins_total", obs.Labels{"shard": f.slot.name()}).Inc()
+				}
+				return r.rel, nil
+			}
+			// Keep the primary leg's error for reporting: it carries the
+			// ladder's diagnosis (quarantine, attempts exhausted).
+			if !r.hedged || firstErr == nil {
+				firstErr = r.err
+			}
+		case <-timer.C:
+			if !launched {
+				launched = true
+				pending++
+				f.c.reg.Counter("cluster_hedged_requests_total", obs.Labels{"shard": f.slot.name()}).Inc()
+				go func() {
+					rel, err := replica.Query(hctx, plan)
+					ch <- result{rel, err, true}
+				}()
+			}
+		}
+	}
+	return nil, firstErr
 }
 
 func (f *failoverShard) PutTemp(ctx context.Context, name string, rel *relation.Relation) error {
@@ -201,11 +338,22 @@ func (f *failoverShard) DeleteTemp(ctx context.Context, name string) error {
 	return err
 }
 
+// errBreakerOpen is the immediate failure an open circuit substitutes for
+// a network call. It is retryable by classification but carries no new
+// evidence about the shard: the health ladder advances on the half-open
+// probes instead, so an open circuit under heavy load cannot snowball
+// three noise failures into a quarantine.
+var errBreakerOpen = fmt.Errorf("cluster: circuit breaker open")
+
 // withFailover runs op against the slot's current primary, retrying
 // retryable failures with backoff. When the health tracker quarantines
 // the shard (K consecutive failures), the replica is promoted and the
 // attempt budget starts over on the new primary. With no replica left,
 // the quarantine stands and the call fails.
+//
+// An open circuit breaker short-circuits the network call entirely; a
+// Retry-After hint from an overloaded shard stretches the backoff to at
+// least what the shard asked for.
 func withFailover[T any](ctx context.Context, c *Coordinator, slot *shardSlot, op func(*ShardClient) (T, error)) (T, error) {
 	var zero T
 	maxAttempts := c.opt.Retry.MaxAttempts
@@ -228,28 +376,51 @@ func withFailover[T any](ctx context.Context, c *Coordinator, slot *shardSlot, o
 			}
 		}
 		cl := slot.current()
-		v, err := op(cl)
+		var v T
+		var err error
+		if slot.br.Allow() {
+			v, err = op(cl)
+		} else {
+			err = errBreakerOpen
+			c.reg.Counter("cluster_breaker_denials_total", obs.Labels{"shard": slot.name()}).Inc()
+		}
 		if err == nil {
+			slot.br.Success()
 			c.health.RecordSuccess(slot.name())
 			return v, nil
 		}
 		if ctx.Err() != nil || !RetryableShardError(err) {
 			return zero, err
 		}
-		c.reg.Counter("cluster_shard_failures_total", obs.Labels{"shard": slot.name()}).Inc()
-		switch c.recordFailure(slot, cl) {
-		case failoverPromoted:
-			attempt = 0
-			continue
-		case failoverTerminal:
-			return zero, fmt.Errorf("cluster: %s quarantined after repeated failures: %w", slot.name(), err)
+		if err == errBreakerOpen {
+			// A denial is the breaker doing its job, not the shard failing
+			// again — only the probes change the evidence. A concurrent
+			// promotion may have swapped the primary out from under the
+			// denied call; restart the ladder against the new one.
+			if slot.current() != cl {
+				attempt = 0
+				continue
+			}
+		} else {
+			c.reg.Counter("cluster_shard_failures_total", obs.Labels{"shard": slot.name()}).Inc()
+			switch c.recordFailure(slot, cl) {
+			case failoverPromoted:
+				attempt = 0
+				continue
+			case failoverTerminal:
+				return zero, fmt.Errorf("cluster: %s quarantined after repeated failures: %w", slot.name(), err)
+			}
 		}
 		attempt++
 		if attempt >= maxAttempts {
 			return zero, fmt.Errorf("cluster: %s failed %d attempts: %w", slot.name(), attempt, err)
 		}
+		delay := c.opt.Retry.Delay(attempt)
+		if hint, ok := RetryAfterHint(err); ok && hint > delay {
+			delay = hint
+		}
 		select {
-		case <-time.After(c.opt.Retry.Delay(attempt)):
+		case <-time.After(delay):
 		case <-ctx.Done():
 			return zero, ctx.Err()
 		}
@@ -283,6 +454,7 @@ func (c *Coordinator) recordFailure(slot *shardSlot, cl *ShardClient) failoverOu
 		slot.mu.Unlock()
 		return failoverPromoted
 	}
+	slot.br.Failure()
 	if !c.health.RecordFailure(slot.name()) {
 		slot.mu.Unlock()
 		return failoverRetry
@@ -294,6 +466,8 @@ func (c *Coordinator) recordFailure(slot *shardSlot, cl *ShardClient) failoverOu
 	slot.primary = slot.replica
 	slot.replica = nil
 	slot.promoted = true
+	// The new primary starts with a clean circuit.
+	slot.br.Success()
 	// Revive before releasing the lock so no caller can observe the
 	// promoted slot still quarantined.
 	c.health.Revive(slot.name())
@@ -313,15 +487,27 @@ func (c *Coordinator) Execute(ctx context.Context, n query.Node) (*relation.Rela
 // whole Put is acknowledged — an acked write survives the loss of either
 // copy, which is what lets promotion guarantee zero acked-write loss.
 func (c *Coordinator) Put(ctx context.Context, name string, rel *relation.Relation) error {
+	return c.PutKeyed(ctx, name, "", rel)
+}
+
+// PutKeyed is Put carrying the client's idempotency key ("" mints one):
+// every shard copy of this logical write — primary, replica, each retry,
+// even the WAL-shipped replay — carries the same per-shard key, so the
+// write commits at most once per node no matter how many times the
+// network makes the coordinator resend it.
+func (c *Coordinator) PutKeyed(ctx context.Context, name, key string, rel *relation.Relation) error {
 	if strings.HasPrefix(name, "__") {
 		return fmt.Errorf("cluster: relation name %q is reserved", name)
+	}
+	if key == "" {
+		key = c.nextKey(name)
 	}
 	parts, err := Partition(rel, c.ring)
 	if err != nil {
 		return err
 	}
 	err = c.engine.fanout(ctx, len(c.slots), func(i int) error {
-		return c.putBoth(ctx, c.slots[i], name, parts[i])
+		return c.putBoth(ctx, c.slots[i], name, shardKey(key, i), parts[i])
 	})
 	if err != nil {
 		return err
@@ -337,9 +523,9 @@ func (c *Coordinator) Put(ctx context.Context, name string, rel *relation.Relati
 // putBoth writes one partition to a slot's primary (with the failover
 // ladder) and, when a replica is attached, to the replica as well. Both
 // writes must succeed for the Put to ack.
-func (c *Coordinator) putBoth(ctx context.Context, slot *shardSlot, name string, part *relation.Relation) error {
+func (c *Coordinator) putBoth(ctx context.Context, slot *shardSlot, name, key string, part *relation.Relation) error {
 	if _, err := withFailover(ctx, c, slot, func(cl *ShardClient) (struct{}, error) {
-		return struct{}{}, cl.Put(ctx, name, part)
+		return struct{}{}, cl.PutKeyed(ctx, name, key, part)
 	}); err != nil {
 		return err
 	}
@@ -349,7 +535,7 @@ func (c *Coordinator) putBoth(ctx context.Context, slot *shardSlot, name string,
 	if replica == nil {
 		return nil
 	}
-	if err := replica.Put(ctx, name, part); err != nil {
+	if err := replica.PutKeyed(ctx, name, key, part); err != nil {
 		return fmt.Errorf("cluster: replica write for %s failed (write not acked): %w", slot.name(), err)
 	}
 	return nil
@@ -357,6 +543,14 @@ func (c *Coordinator) putBoth(ctx context.Context, slot *shardSlot, name string,
 
 // Delete drops a relation from every shard (primaries and replicas).
 func (c *Coordinator) Delete(ctx context.Context, name string) (bool, error) {
+	return c.DeleteKeyed(ctx, name, "")
+}
+
+// DeleteKeyed is Delete with an idempotency key (see PutKeyed).
+func (c *Coordinator) DeleteKeyed(ctx context.Context, name, key string) (bool, error) {
+	if key == "" {
+		key = c.nextKey(name)
+	}
 	c.mu.Lock()
 	_, existed := c.widths[name]
 	delete(c.widths, name)
@@ -364,8 +558,9 @@ func (c *Coordinator) Delete(ctx context.Context, name string) (bool, error) {
 	c.mu.Unlock()
 	err := c.engine.fanout(ctx, len(c.slots), func(i int) error {
 		slot := c.slots[i]
+		k := shardKey(key, i)
 		if _, err := withFailover(ctx, c, slot, func(cl *ShardClient) (struct{}, error) {
-			return struct{}{}, cl.Delete(ctx, name)
+			return struct{}{}, cl.DeleteKeyed(ctx, name, k)
 		}); err != nil {
 			return err
 		}
@@ -373,7 +568,7 @@ func (c *Coordinator) Delete(ctx context.Context, name string) (bool, error) {
 		replica := slot.replica
 		slot.mu.RUnlock()
 		if replica != nil {
-			return replica.Delete(ctx, name)
+			return replica.DeleteKeyed(ctx, name, k)
 		}
 		return nil
 	})
@@ -417,6 +612,8 @@ type ShardInfo struct {
 	Replica     string `json:"replica,omitempty"`
 	Promoted    bool   `json:"promoted,omitempty"`
 	Quarantined bool   `json:"quarantined,omitempty"`
+	// Breaker is the shard's circuit state ("closed", "open", "half-open").
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // Topology reports the current shard map.
@@ -430,6 +627,7 @@ func (c *Coordinator) Topology() []ShardInfo {
 		}
 		slot.mu.RUnlock()
 		info.Quarantined = c.health.Quarantined(slot.name())
+		info.Breaker = slot.br.State()
 		out[i] = info
 	}
 	return out

@@ -443,24 +443,41 @@ func TestRecoveryOrderPreservesDirectory(t *testing.T) {
 	}
 }
 
-// mapApplier is an in-memory Applier for follower tests.
+// mapApplier is an in-memory Applier for follower tests. It honours
+// idempotency keys the way a real shard does: a key already applied is
+// acked without re-applying.
 type mapApplier struct {
 	mu   sync.Mutex
 	rels map[string]*relation.Relation
+	keys map[string]bool
 }
 
-func newMapApplier() *mapApplier { return &mapApplier{rels: map[string]*relation.Relation{}} }
+func newMapApplier() *mapApplier {
+	return &mapApplier{rels: map[string]*relation.Relation{}, keys: map[string]bool{}}
+}
 
-func (m *mapApplier) ApplyPut(name string, rel *relation.Relation) error {
+func (m *mapApplier) ApplyPut(name, key string, rel *relation.Relation) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if key != "" {
+		if m.keys[key] {
+			return nil
+		}
+		m.keys[key] = true
+	}
 	m.rels[name] = rel
 	return nil
 }
 
-func (m *mapApplier) ApplyDelete(name string) error {
+func (m *mapApplier) ApplyDelete(name, key string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if key != "" {
+		if m.keys[key] {
+			return nil
+		}
+		m.keys[key] = true
+	}
 	delete(m.rels, name)
 	return nil
 }
@@ -505,7 +522,7 @@ func TestFollowerFullResync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = apply.ApplyPut("stale", stale)
+	_ = apply.ApplyPut("stale", "", stale)
 
 	f := cluster.NewFollower(cluster.NewShardClient(ts.URL, parse, cluster.ClientOptions{}), apply, parse, 0, nil)
 	if err := f.Sync(context.Background()); err != nil {

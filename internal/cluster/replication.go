@@ -12,10 +12,13 @@ import (
 
 // Applier is the durable surface a follower replays shipped records into —
 // the replica daemon's own WAL-backed commit path, so the replica is
-// exactly as crash-safe as its primary.
+// exactly as crash-safe as its primary. key is the record's idempotency
+// key ("" when unkeyed): the applier uses it to recognise a mutation it
+// already committed through the coordinator's direct dual-write, so the
+// same logical write arriving over both paths lands exactly once.
 type Applier interface {
-	ApplyPut(name string, rel *relation.Relation) error
-	ApplyDelete(name string) error
+	ApplyPut(name, key string, rel *relation.Relation) error
+	ApplyDelete(name, key string) error
 	// Names lists the relations currently held, so the bootstrap resync can
 	// drop leftovers the primary no longer has.
 	Names() []string
@@ -87,11 +90,11 @@ func (f *Follower) Sync(ctx context.Context) error {
 			if err != nil {
 				return fmt.Errorf("cluster: follower decoding %q @%d: %w", rec.Name, rec.Seq, err)
 			}
-			if err := f.apply.ApplyPut(rec.Name, rel); err != nil {
+			if err := f.apply.ApplyPut(rec.Name, rec.Key, rel); err != nil {
 				return err
 			}
 		case "del":
-			if err := f.apply.ApplyDelete(rec.Name); err != nil {
+			if err := f.apply.ApplyDelete(rec.Name, rec.Key); err != nil {
 				return err
 			}
 		default:
@@ -123,7 +126,9 @@ func (f *Follower) applyFull(payload *ShipPayload) error {
 		if err != nil {
 			return fmt.Errorf("cluster: follower decoding snapshot %q: %w", name, err)
 		}
-		if err := f.apply.ApplyPut(name, rel); err != nil {
+		// Snapshot images are state, not mutations — applied unkeyed, so a
+		// full resync always writes through regardless of dedup history.
+		if err := f.apply.ApplyPut(name, "", rel); err != nil {
 			return err
 		}
 		keep[name] = true
@@ -131,7 +136,7 @@ func (f *Follower) applyFull(payload *ShipPayload) error {
 	if bootstrap {
 		for _, name := range f.apply.Names() {
 			if !keep[name] {
-				if err := f.apply.ApplyDelete(name); err != nil {
+				if err := f.apply.ApplyDelete(name, ""); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,363 @@
+// Package netchaos is the network-level sibling of internal/fault: a
+// deterministic, seeded fault layer injected between the cluster
+// coordinator and its shard daemons. Where fault corrupts tokens inside
+// one systolic grid (the paper's §2/§8 "identical cells, detect and
+// retire" argument), netchaos corrupts the crossbar that stands between
+// devices once the crossbar is a real network — dropped requests, torn
+// acks, injected latency, partitions, flipped response bytes, duplicate
+// delivery.
+//
+// The layer has two injection points:
+//
+//   - Transport: an http.RoundTripper wrapping the coordinator's shard
+//     transport. Every decision (drop? how much latency? corrupt which
+//     byte?) hashes the campaign seed with a per-request nonce through
+//     splitmix64, so a chaos run is exactly reproducible from its spec —
+//     the same discipline fault.Injector applies per cell-pulse.
+//
+//   - Proxy: an optional TCP relay for the cases HTTP round-trip
+//     granularity cannot express — torn byte streams (the connection dies
+//     mid-response) and slow-drip transfers (bytes trickle, stalling
+//     readers without ever failing fast).
+//
+// Specs use a CLI grammar mirroring fault's plan specs:
+//
+//	seed=7,drop=0.05,latency=20ms±10ms,partition=shard1:30s,corrupt=0.01,dup=0.02
+package netchaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PartitionSpec is one partition window: requests to hosts matching
+// Target fail while the window is active.
+type PartitionSpec struct {
+	// Target is matched as a substring of the request's URL host (an
+	// address like "127.0.0.1:7001", or any operator-chosen label baked
+	// into shard hostnames).
+	Target string
+	// After is the window's start, measured from the transport's first
+	// activation; zero starts partitioned.
+	After time.Duration
+	// For is the window length; zero means the partition never heals.
+	For time.Duration
+	// OneWay makes the partition asymmetric: the request is delivered
+	// (the shard performs its side effects) but the response is dropped —
+	// the torn-ack case that makes retried writes double-apply unless
+	// they are idempotent.
+	OneWay bool
+}
+
+// Spec describes one network-chaos campaign. The zero value injects
+// nothing; build specs with ParseSpec or fill fields and call Validate.
+type Spec struct {
+	// Seed makes the campaign reproducible: two transports built from the
+	// same spec make identical decisions in request order.
+	Seed int64
+
+	// Drop is the probability a request is dropped before it reaches the
+	// shard (connection refused / reset analogue).
+	Drop float64
+
+	// DropResp is the probability the request is delivered but its
+	// response is dropped — the shard applied the mutation, the caller
+	// saw a network error (the classic retry/double-apply trap).
+	DropResp float64
+
+	// Latency and Jitter delay each request by Latency ± uniform Jitter.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// Corrupt is the probability one byte of the response body is
+	// flipped (position chosen deterministically).
+	Corrupt float64
+
+	// Dup is the probability the request is delivered twice (the
+	// duplicate's response is discarded) — at-least-once delivery.
+	Dup float64
+
+	// Partitions are timed unreachability windows per target.
+	Partitions []PartitionSpec
+}
+
+// Validate checks the spec's fields.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return fmt.Errorf("netchaos: nil spec")
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", s.Drop}, {"dropresp", s.DropResp}, {"corrupt", s.Corrupt}, {"dup", s.Dup}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("netchaos: %s=%v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if s.Latency < 0 || s.Jitter < 0 {
+		return fmt.Errorf("netchaos: negative latency/jitter")
+	}
+	if s.Jitter > 0 && s.Latency == 0 {
+		return fmt.Errorf("netchaos: jitter without base latency")
+	}
+	for _, p := range s.Partitions {
+		if p.Target == "" {
+			return fmt.Errorf("netchaos: partition with empty target")
+		}
+		if p.After < 0 || p.For < 0 {
+			return fmt.Errorf("netchaos: partition %q has negative timing", p.Target)
+		}
+	}
+	return nil
+}
+
+// Quiet reports whether the spec injects nothing at all.
+func (s *Spec) Quiet() bool {
+	return s.Drop == 0 && s.DropResp == 0 && s.Latency == 0 &&
+		s.Corrupt == 0 && s.Dup == 0 && len(s.Partitions) == 0
+}
+
+// String renders the spec in the grammar ParseSpec accepts (canonical
+// form: fixed key order, "±" jitter, "delay+dur" windows).
+func (s *Spec) String() string {
+	var opts []string
+	if s.Seed != 0 {
+		opts = append(opts, "seed="+strconv.FormatInt(s.Seed, 10))
+	}
+	addP := func(key string, v float64) {
+		if v > 0 {
+			opts = append(opts, key+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	addP("drop", s.Drop)
+	addP("dropresp", s.DropResp)
+	if s.Latency > 0 {
+		l := "latency=" + s.Latency.String()
+		if s.Jitter > 0 {
+			l += "±" + s.Jitter.String()
+		}
+		opts = append(opts, l)
+	}
+	addP("corrupt", s.Corrupt)
+	addP("dup", s.Dup)
+	for _, p := range s.Partitions {
+		w := "partition=" + p.Target + ":"
+		if p.After > 0 {
+			w += p.After.String() + "+"
+		}
+		w += p.For.String()
+		if p.OneWay {
+			w += ":oneway"
+		}
+		opts = append(opts, w)
+	}
+	return strings.Join(opts, ",")
+}
+
+// ParseSpec parses a chaos spec of the form
+//
+//	key=value,key=value,...
+//
+// with keys
+//
+//	seed=<int>                 determinism seed
+//	drop=<0..1>                drop the request before delivery
+//	dropresp=<0..1>            deliver, then drop the response (torn ack)
+//	latency=<dur>[±<dur>]      per-request delay, base ± uniform jitter
+//	                           ("+-" is accepted for "±")
+//	corrupt=<0..1>             flip one response-body byte
+//	dup=<0..1>                 deliver the request twice
+//	partition=<target>:[<delay>+]<dur>[:oneway]
+//	                           requests to hosts matching <target> fail
+//	                           from <delay> (default 0) for <dur> (0 =
+//	                           forever); :oneway delivers the request but
+//	                           drops the response (repeatable)
+//
+// Example: "seed=7,drop=0.05,latency=20ms±10ms,partition=shard1:30s,corrupt=0.01,dup=0.02".
+func ParseSpec(spec string) (*Spec, error) {
+	s := &Spec{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("netchaos: empty spec")
+	}
+	for _, kv := range splitTop(spec) {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("netchaos: option %q is not key=value", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			if s.Seed, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return nil, fmt.Errorf("netchaos: bad seed %q: %v", val, err)
+			}
+		case "drop":
+			if s.Drop, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("netchaos: bad drop %q: %v", val, err)
+			}
+		case "dropresp":
+			if s.DropResp, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("netchaos: bad dropresp %q: %v", val, err)
+			}
+		case "corrupt":
+			if s.Corrupt, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("netchaos: bad corrupt %q: %v", val, err)
+			}
+		case "dup":
+			if s.Dup, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("netchaos: bad dup %q: %v", val, err)
+			}
+		case "latency":
+			base, jitter, hasJitter := cutJitter(val)
+			if s.Latency, err = time.ParseDuration(base); err != nil {
+				return nil, fmt.Errorf("netchaos: bad latency %q: %v", val, err)
+			}
+			if hasJitter {
+				if s.Jitter, err = time.ParseDuration(jitter); err != nil {
+					return nil, fmt.Errorf("netchaos: bad latency jitter %q: %v", val, err)
+				}
+			}
+		case "partition":
+			p, err := parsePartition(val)
+			if err != nil {
+				return nil, err
+			}
+			s.Partitions = append(s.Partitions, p)
+		default:
+			return nil, fmt.Errorf("netchaos: unknown option %q", key)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// splitTop splits a spec on commas. Partition targets cannot contain
+// commas (they are host substrings), so a plain split is the grammar.
+func splitTop(s string) []string { return strings.Split(s, ",") }
+
+// parseProb parses a probability in [0, 1].
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", v)
+	}
+	return v, nil
+}
+
+// cutJitter splits "20ms±10ms" (or "20ms+-10ms") into base and jitter.
+func cutJitter(s string) (base, jitter string, ok bool) {
+	if b, j, found := strings.Cut(s, "±"); found {
+		return b, j, true
+	}
+	if b, j, found := strings.Cut(s, "+-"); found {
+		return b, j, true
+	}
+	return s, "", false
+}
+
+// parsePartition parses "<target>:[<delay>+]<dur>[:oneway]".
+func parsePartition(val string) (PartitionSpec, error) {
+	var p PartitionSpec
+	parts := strings.Split(val, ":")
+	// The target itself may contain a colon (host:port), so the window is
+	// the first segment that parses as a timing spec, scanning from the
+	// right; everything before it is the target.
+	winIdx := -1
+	for i := len(parts) - 1; i > 0; i-- {
+		seg := parts[i]
+		if seg == "oneway" {
+			if i != len(parts)-1 {
+				return p, fmt.Errorf("netchaos: bad partition %q (:oneway must be last)", val)
+			}
+			p.OneWay = true
+			continue
+		}
+		if _, _, err := parseWindow(seg); err == nil {
+			winIdx = i
+			break
+		}
+	}
+	if winIdx <= 0 {
+		return p, fmt.Errorf("netchaos: bad partition %q (want <target>:[<delay>+]<dur>[:oneway])", val)
+	}
+	p.Target = strings.Join(parts[:winIdx], ":")
+	if p.Target == "" {
+		return p, fmt.Errorf("netchaos: partition %q has empty target", val)
+	}
+	var err error
+	if p.After, p.For, err = parseWindow(parts[winIdx]); err != nil {
+		return p, fmt.Errorf("netchaos: bad partition window in %q: %v", val, err)
+	}
+	return p, nil
+}
+
+// parseWindow parses "[<delay>+]<dur>".
+func parseWindow(s string) (after, dur time.Duration, err error) {
+	if d, rest, ok := strings.Cut(s, "+"); ok {
+		if after, err = time.ParseDuration(d); err != nil {
+			return 0, 0, err
+		}
+		s = rest
+	}
+	if dur, err = time.ParseDuration(s); err != nil {
+		return 0, 0, err
+	}
+	return after, dur, nil
+}
+
+// splitmix64 is the shared mixing function driving every injection
+// decision (identical to fault's; duplicated to keep the packages
+// dependency-free of each other).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rateThreshold converts a probability into a uint64 comparison threshold.
+func rateThreshold(rate float64) uint64 {
+	switch {
+	case rate <= 0:
+		return 0
+	case rate >= 1:
+		return ^uint64(0)
+	}
+	return uint64(rate * float64(1<<63) * 2)
+}
+
+// Kinds of injection, for metrics and test accounting.
+const (
+	KindDrop      = "drop"
+	KindDropResp  = "dropresp"
+	KindLatency   = "latency"
+	KindCorrupt   = "corrupt"
+	KindDup       = "dup"
+	KindPartition = "partition"
+)
+
+// Kinds lists every injection kind (sorted), for metric pre-registration.
+func Kinds() []string {
+	ks := []string{KindDrop, KindDropResp, KindLatency, KindCorrupt, KindDup, KindPartition}
+	sort.Strings(ks)
+	return ks
+}
+
+// SpecHelp is a one-line usage string for -netchaos flags.
+func SpecHelp() string {
+	return "chaos spec: seed=N,drop=P,dropresp=P,latency=DUR[±DUR],corrupt=P,dup=P," +
+		"partition=TARGET:[DELAY+]DUR[:oneway], e.g. seed=7,drop=0.05,latency=20ms±10ms,partition=shard1:30s"
+}

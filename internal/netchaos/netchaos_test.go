@@ -1,0 +1,390 @@
+package netchaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"systolicdb/internal/obs"
+)
+
+func TestParseSpecExample(t *testing.T) {
+	s, err := ParseSpec("seed=7,drop=0.05,latency=20ms±10ms,partition=shard1:30s,corrupt=0.01,dup=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 || s.Drop != 0.05 || s.Latency != 20*time.Millisecond ||
+		s.Jitter != 10*time.Millisecond || s.Corrupt != 0.01 || s.Dup != 0.02 {
+		t.Fatalf("bad parse: %+v", s)
+	}
+	if len(s.Partitions) != 1 {
+		t.Fatalf("want 1 partition, got %+v", s.Partitions)
+	}
+	p := s.Partitions[0]
+	if p.Target != "shard1" || p.After != 0 || p.For != 30*time.Second || p.OneWay {
+		t.Fatalf("bad partition: %+v", p)
+	}
+}
+
+func TestParseSpecVariants(t *testing.T) {
+	cases := []struct {
+		spec string
+		want func(*Spec) error
+	}{
+		{"latency=5ms+-2ms", func(s *Spec) error {
+			if s.Latency != 5*time.Millisecond || s.Jitter != 2*time.Millisecond {
+				return fmt.Errorf("got %v±%v", s.Latency, s.Jitter)
+			}
+			return nil
+		}},
+		{"partition=127.0.0.1:7001:2s+5s:oneway", func(s *Spec) error {
+			p := s.Partitions[0]
+			if p.Target != "127.0.0.1:7001" || p.After != 2*time.Second || p.For != 5*time.Second || !p.OneWay {
+				return fmt.Errorf("got %+v", p)
+			}
+			return nil
+		}},
+		{"partition=a:1s,partition=b:2s", func(s *Spec) error {
+			if len(s.Partitions) != 2 {
+				return fmt.Errorf("got %+v", s.Partitions)
+			}
+			return nil
+		}},
+		{"partition=shard0:0s", func(s *Spec) error {
+			if p := s.Partitions[0]; p.For != 0 {
+				return fmt.Errorf("got %+v", p)
+			}
+			return nil
+		}},
+		{"dropresp=1", func(s *Spec) error {
+			if s.DropResp != 1 {
+				return fmt.Errorf("got %v", s.DropResp)
+			}
+			return nil
+		}},
+	}
+	for _, c := range cases {
+		s, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if err := c.want(s); err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"drop",
+		"drop=2",
+		"drop=-0.1",
+		"drop=x",
+		"seed=1.5",
+		"latency=-5ms",
+		"latency=±2ms",
+		"partition=:5s",
+		"partition=shard1",
+		"partition=shard1:5s:oneway:extra",
+		"bogus=1",
+		"dup=1.01",
+	}
+	for _, spec := range bad {
+		if s, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) = %+v, want error", spec, s)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"seed=7,drop=0.05,latency=20ms±10ms,partition=shard1:30s,corrupt=0.01,dup=0.02",
+		"drop=1",
+		"dropresp=0.5,dup=1",
+		"latency=1ms",
+		"partition=host:2s+5s:oneway",
+		"seed=-3,partition=127.0.0.1:7001:1s",
+	}
+	for _, spec := range specs {
+		s1, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		rendered := s1.String()
+		s2, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, spec, err)
+		}
+		if s2.String() != rendered {
+			t.Errorf("String not canonical: %q -> %q -> %q", spec, rendered, s2.String())
+		}
+	}
+}
+
+// chaosRig is a target server plus a transport-wrapped client.
+type chaosRig struct {
+	ts    *httptest.Server
+	tr    *Transport
+	cl    *http.Client
+	hits  atomic.Int64
+	body  []byte
+	reg   *obs.Registry
+	fakeT atomic.Int64 // nanoseconds of fake elapsed time
+}
+
+func newRig(t *testing.T, spec string) *chaosRig {
+	t.Helper()
+	s, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &chaosRig{body: []byte("the quick brown fox jumps over the lazy dog"), reg: obs.NewRegistry()}
+	r.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.hits.Add(1)
+		io.Copy(io.Discard, req.Body)
+		w.Write(r.body)
+	}))
+	t.Cleanup(r.ts.Close)
+	r.tr = NewTransport(s, nil, r.reg)
+	r.tr.sleep = func(time.Duration) {}
+	r.tr.now = func() time.Time { return r.tr.start.Add(time.Duration(r.fakeT.Load())) }
+	r.cl = &http.Client{Transport: r.tr}
+	return r
+}
+
+func (r *chaosRig) get(t *testing.T) ([]byte, error) {
+	t.Helper()
+	resp, err := r.cl.Get(r.ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func TestTransportDrop(t *testing.T) {
+	r := newRig(t, "drop=1")
+	if _, err := r.get(t); err == nil || !strings.Contains(err.Error(), "injected drop") {
+		t.Fatalf("want injected drop error, got %v", err)
+	}
+	if r.hits.Load() != 0 {
+		t.Fatalf("dropped request reached server %d times", r.hits.Load())
+	}
+	if got := r.tr.Counts()[KindDrop]; got != 1 {
+		t.Fatalf("drop count = %d, want 1", got)
+	}
+}
+
+func TestTransportDropResp(t *testing.T) {
+	r := newRig(t, "dropresp=1")
+	if _, err := r.get(t); err == nil || !strings.Contains(err.Error(), "injected dropresp") {
+		t.Fatalf("want injected dropresp error, got %v", err)
+	}
+	if r.hits.Load() != 1 {
+		t.Fatalf("dropresp request hit server %d times, want 1 (delivered, ack lost)", r.hits.Load())
+	}
+}
+
+func TestTransportQuietPassThrough(t *testing.T) {
+	r := newRig(t, "seed=1")
+	body, err := r.get(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, r.body) {
+		t.Fatalf("body altered under quiet spec: %q", body)
+	}
+	if r.tr.Total() != 0 {
+		t.Fatalf("quiet spec injected %v", r.tr.Counts())
+	}
+}
+
+func TestTransportCorrupt(t *testing.T) {
+	r := newRig(t, "corrupt=1")
+	body, err := r.get(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(body, r.body) {
+		t.Fatal("corrupt=1 left body untouched")
+	}
+	diff := 0
+	for i := range body {
+		if body[i] != r.body[i] {
+			diff++
+		}
+	}
+	if len(body) != len(r.body) || diff != 1 {
+		t.Fatalf("want exactly one flipped byte, got %d (len %d vs %d)", diff, len(body), len(r.body))
+	}
+}
+
+func TestTransportDup(t *testing.T) {
+	r := newRig(t, "dup=1")
+	req, _ := http.NewRequest("POST", r.ts.URL, strings.NewReader("payload"))
+	resp, err := r.cl.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if r.hits.Load() != 2 {
+		t.Fatalf("dup=1 delivered %d times, want 2", r.hits.Load())
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	r := newRig(t, "latency=20ms±10ms")
+	var slept []time.Duration
+	r.tr.sleep = func(d time.Duration) { slept = append(slept, d) }
+	for i := 0; i < 10; i++ {
+		if _, err := r.get(t); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(slept) != 10 {
+		t.Fatalf("latency applied to %d/10 requests", len(slept))
+	}
+	for _, d := range slept {
+		if d < 10*time.Millisecond || d > 30*time.Millisecond {
+			t.Fatalf("sleep %v outside 20ms±10ms", d)
+		}
+	}
+}
+
+func TestTransportPartitionWindow(t *testing.T) {
+	r := newRig(t, "partition=127.0.0.1:2s+5s")
+	// Before the window opens: delivered.
+	if _, err := r.get(t); err != nil {
+		t.Fatalf("pre-window request failed: %v", err)
+	}
+	// Inside the window: fails, never reaches the server.
+	r.fakeT.Store(int64(3 * time.Second))
+	pre := r.hits.Load()
+	if _, err := r.get(t); err == nil || !strings.Contains(err.Error(), "injected partition") {
+		t.Fatalf("in-window request: want partition error, got %v", err)
+	}
+	if r.hits.Load() != pre {
+		t.Fatal("partitioned request reached the server")
+	}
+	// After it heals: delivered again.
+	r.fakeT.Store(int64(8 * time.Second))
+	if _, err := r.get(t); err != nil {
+		t.Fatalf("post-window request failed: %v", err)
+	}
+}
+
+func TestTransportPartitionForever(t *testing.T) {
+	r := newRig(t, "partition=127.0.0.1:0s")
+	r.fakeT.Store(int64(1000 * time.Hour))
+	if _, err := r.get(t); err == nil {
+		t.Fatal("dur=0 partition healed")
+	}
+}
+
+func TestTransportPartitionOneWay(t *testing.T) {
+	r := newRig(t, "partition=127.0.0.1:0s:oneway")
+	_, err := r.get(t)
+	if err == nil || !strings.Contains(err.Error(), "injected dropresp") {
+		t.Fatalf("want dropped response, got %v", err)
+	}
+	if r.hits.Load() != 1 {
+		t.Fatalf("one-way partition delivered %d times, want 1", r.hits.Load())
+	}
+}
+
+func TestTransportPartitionOtherHostUnaffected(t *testing.T) {
+	r := newRig(t, "partition=shard9:0s")
+	if _, err := r.get(t); err != nil {
+		t.Fatalf("non-matching partition blocked request: %v", err)
+	}
+}
+
+func TestTransportDeterministic(t *testing.T) {
+	const spec = "seed=42,drop=0.3,corrupt=0.3,dup=0.2"
+	run := func() []string {
+		r := newRig(t, spec)
+		var trace []string
+		for i := 0; i < 200; i++ {
+			body, err := r.get(t)
+			switch {
+			case err != nil:
+				trace = append(trace, "err")
+			case bytes.Equal(body, r.body):
+				trace = append(trace, "ok")
+			default:
+				trace = append(trace, "corrupt")
+			}
+		}
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProxyTearAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write(bytes.Repeat([]byte("x"), 64<<10))
+	}))
+	defer ts.Close()
+	target := strings.TrimPrefix(ts.URL, "http://")
+	p, err := NewProxy(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.TearAfter = 1024
+
+	resp, err := http.Get("http://" + p.Addr())
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("torn stream delivered a complete body")
+	}
+	if p.Torn() == 0 {
+		t.Fatal("proxy reported no torn connections")
+	}
+}
+
+func TestProxyDrip(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("hello"))
+	}))
+	defer ts.Close()
+	p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.DripEvery = 2 * time.Millisecond
+
+	start := time.Now()
+	resp, err := http.Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(body) != "hello" {
+		t.Fatalf("drip read: %q, %v", body, err)
+	}
+	// Headers + 5 body bytes dripped one at a time: the transfer cannot
+	// complete instantly.
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatalf("drip completed too fast: %v", time.Since(start))
+	}
+}

@@ -1,0 +1,170 @@
+package netchaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a TCP relay injecting the faults HTTP round-trip granularity
+// cannot express: torn byte streams (the connection dies mid-response,
+// after some bytes were already delivered) and slow-drip transfers
+// (bytes trickle through a throttle, stalling readers without ever
+// failing fast). Point a shard client at Addr() instead of the real
+// shard to interpose it.
+type Proxy struct {
+	// TearAfter, when > 0, kills each connection after relaying that many
+	// response bytes — the wire dies mid-frame, exercising torn-body
+	// detection (CRC mismatch, truncated JSON) rather than clean errors.
+	TearAfter int64
+
+	// DripEvery, when > 0, relays response bytes in single-byte writes
+	// separated by this delay — a pathologically slow peer that only a
+	// deadline budget can defend against.
+	DripEvery time.Duration
+
+	ln      net.Listener
+	target  string
+	torn    atomic.Int64 // connections killed mid-stream
+	relayed atomic.Int64 // total response bytes forwarded
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// NewProxy starts a relay on a random localhost port forwarding to
+// target (a host:port). Close must be called to release it.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Torn returns how many connections the proxy killed mid-stream.
+func (p *Proxy) Torn() int64 { return p.torn.Load() }
+
+// Relayed returns how many response bytes the proxy has forwarded.
+func (p *Proxy) Relayed() int64 { return p.relayed.Load() }
+
+// Close stops the listener and severs every live connection.
+func (p *Proxy) Close() error {
+	close(p.done)
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	return err
+}
+
+func (p *Proxy) accept() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.relay(conn)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) func() {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+		c.Close()
+	}
+}
+
+func (p *Proxy) relay(client net.Conn) {
+	defer p.track(client)()
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer p.track(upstream)()
+
+	// Request direction: verbatim.
+	go io.Copy(upstream, client)
+
+	// Response direction: through the fault pipeline.
+	var w io.Writer = client
+	if p.DripEvery > 0 {
+		w = &dripWriter{w: client, every: p.DripEvery, done: p.done}
+	}
+	budget := p.TearAfter
+	buf := make([]byte, 4<<10)
+	for {
+		n, rerr := upstream.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if budget > 0 && int64(len(chunk)) >= budget {
+				// Deliver exactly the budget, then tear the wire.
+				w.Write(chunk[:budget])
+				p.relayed.Add(budget)
+				p.torn.Add(1)
+				tearDown(client)
+				return
+			}
+			if budget > 0 {
+				budget -= int64(len(chunk))
+			}
+			if _, werr := w.Write(chunk); werr != nil {
+				return
+			}
+			p.relayed.Add(int64(len(chunk)))
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// tearDown aborts a TCP connection with a RST rather than a clean FIN,
+// so the reader sees "connection reset", not a short-but-clean body.
+func tearDown(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// dripWriter writes one byte at a time with a pause between bytes.
+type dripWriter struct {
+	w     io.Writer
+	every time.Duration
+	done  chan struct{}
+}
+
+func (d *dripWriter) Write(b []byte) (int, error) {
+	for i := range b {
+		if _, err := d.w.Write(b[i : i+1]); err != nil {
+			return i, err
+		}
+		select {
+		case <-time.After(d.every):
+		case <-d.done:
+			return i + 1, io.ErrClosedPipe
+		}
+	}
+	return len(b), nil
+}

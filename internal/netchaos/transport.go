@@ -1,0 +1,267 @@
+package netchaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"systolicdb/internal/obs"
+)
+
+// Error is the failure a chaos injection surfaces to the caller. It is a
+// transport-level error (not an HTTP status), so the cluster client
+// classifies it the same way it classifies a real connection reset:
+// retryable.
+type Error struct {
+	Kind string // which injection fired (KindDrop, KindPartition, ...)
+	Host string // the target host the request was headed for
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("netchaos: injected %s (host %s)", e.Kind, e.Host)
+}
+
+// Per-kind salts mixed into the decision hash so one request's drop and
+// corrupt decisions are independent coin flips.
+const (
+	saltDrop     = 0x9e90_0001
+	saltDropResp = 0x9e90_0002
+	saltLatency  = 0x9e90_0003
+	saltJitter   = 0x9e90_0004
+	saltCorrupt  = 0x9e90_0005
+	saltCorrByte = 0x9e90_0006
+	saltDup      = 0x9e90_0007
+)
+
+// Transport is an http.RoundTripper that applies a Spec's faults to every
+// request passing through it. All decisions are pure functions of
+// (spec.Seed, request ordinal), so a campaign replays identically given
+// the same request order.
+type Transport struct {
+	spec *Spec
+	base http.RoundTripper
+
+	n      atomic.Uint64 // request ordinal
+	start  time.Time     // partition clock epoch
+	counts [6]atomic.Int64
+
+	// Injectable clocks for tests; production uses time.Now/time.Sleep.
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	metrics [6]*obs.Counter
+}
+
+// kindIndex maps injection kinds onto count slots.
+var kindIndex = map[string]int{
+	KindDrop: 0, KindDropResp: 1, KindLatency: 2,
+	KindCorrupt: 3, KindDup: 4, KindPartition: 5,
+}
+
+// NewTransport wraps base (nil selects http.DefaultTransport) with the
+// spec's faults, recording injection counts into reg (nil selects
+// obs.Default). The partition clock starts now: a window with
+// delay 5s opens five seconds after NewTransport returns.
+func NewTransport(spec *Spec, base http.RoundTripper, reg *obs.Registry) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if reg == nil {
+		reg = obs.Default
+	}
+	t := &Transport{
+		spec:  spec,
+		base:  base,
+		start: time.Now(),
+		now:   time.Now,
+		sleep: time.Sleep,
+	}
+	for kind, i := range kindIndex {
+		t.metrics[i] = reg.Counter("netchaos_injections_total", obs.Labels{"kind": kind})
+	}
+	return t
+}
+
+// Counts returns per-kind injection totals since the transport was built.
+func (t *Transport) Counts() map[string]int64 {
+	out := make(map[string]int64, len(kindIndex))
+	for kind, i := range kindIndex {
+		out[kind] = t.counts[i].Load()
+	}
+	return out
+}
+
+// Total returns the total number of injections across all kinds.
+func (t *Transport) Total() int64 {
+	var sum int64
+	for i := range t.counts {
+		sum += t.counts[i].Load()
+	}
+	return sum
+}
+
+func (t *Transport) record(kind string) {
+	i := kindIndex[kind]
+	t.counts[i].Add(1)
+	t.metrics[i].Inc()
+}
+
+// decide is one deterministic coin flip for request ordinal i.
+func (t *Transport) decide(i uint64, salt uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return splitmix64(uint64(t.spec.Seed)^splitmix64(i*0x9e3779b97f4a7c15+salt)) < rateThreshold(p)
+}
+
+// draw returns a deterministic value in [0, n) for request ordinal i.
+func (t *Transport) draw(i uint64, salt uint64, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return splitmix64(uint64(t.spec.Seed)^splitmix64(i*0xbf58476d1ce4e5b9+salt)) % n
+}
+
+// partitioned reports whether a partition window covers host right now,
+// and whether that window is one-way (deliver request, drop response).
+func (t *Transport) partitioned(host string) (hit, oneWay bool) {
+	if len(t.spec.Partitions) == 0 {
+		return false, false
+	}
+	elapsed := t.now().Sub(t.start)
+	for _, p := range t.spec.Partitions {
+		if !hostMatches(host, p.Target) {
+			continue
+		}
+		if elapsed < p.After {
+			continue
+		}
+		if p.For > 0 && elapsed >= p.After+p.For {
+			continue
+		}
+		if !p.OneWay {
+			return true, false // a symmetric window dominates
+		}
+		hit, oneWay = true, true
+	}
+	return hit, oneWay
+}
+
+// hostMatches reports whether a partition target selects a host. Targets
+// are substrings ("shard1", "127.0.0.1:7001"), matching how operators
+// name shards in -shards specs.
+func hostMatches(host, target string) bool {
+	return target != "" && bytes.Contains([]byte(host), []byte(target))
+}
+
+// RoundTrip applies the spec's faults around one request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := t.n.Add(1) - 1
+	host := req.URL.Host
+
+	// Latency first: a partitioned network is still a slow one.
+	if t.spec.Latency > 0 && t.decide(i, saltLatency, 1) {
+		d := t.spec.Latency
+		if t.spec.Jitter > 0 {
+			span := uint64(2*t.spec.Jitter) + 1
+			d += time.Duration(t.draw(i, saltJitter, span)) - t.spec.Jitter
+		}
+		if d > 0 {
+			t.record(KindLatency)
+			t.sleep(d)
+		}
+	}
+
+	dropResp := false
+	if hit, oneWay := t.partitioned(host); hit {
+		if !oneWay {
+			t.record(KindPartition)
+			closeBody(req)
+			return nil, &Error{Kind: KindPartition, Host: host}
+		}
+		// One-way: deliver the request, then drop the response below.
+		t.record(KindPartition)
+		dropResp = true
+	}
+
+	if t.decide(i, saltDrop, t.spec.Drop) {
+		t.record(KindDrop)
+		closeBody(req)
+		return nil, &Error{Kind: KindDrop, Host: host}
+	}
+
+	if t.decide(i, saltDropResp, t.spec.DropResp) {
+		t.record(KindDropResp)
+		dropResp = true
+	}
+
+	// Duplicate delivery: send a full copy first and discard its
+	// response, so the shard observes the request twice. Only possible
+	// when the body is replayable (GetBody) or absent.
+	if t.decide(i, saltDup, t.spec.Dup) {
+		if dup := cloneRequest(req); dup != nil {
+			t.record(KindDup)
+			if resp, err := t.base.RoundTrip(dup); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+
+	if dropResp {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &Error{Kind: KindDropResp, Host: host}
+	}
+
+	if t.decide(i, saltCorrupt, t.spec.Corrupt) {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(body) > 0 {
+			pos := t.draw(i, saltCorrByte, uint64(len(body)))
+			body[pos] ^= 1 << t.draw(i, saltCorrByte+1, 8)
+			t.record(KindCorrupt)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+	}
+
+	return resp, nil
+}
+
+// closeBody discharges the RoundTripper contract (the transport owns the
+// request body, even on error) for requests dropped before delivery.
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// cloneRequest builds an independent copy of req for duplicate delivery,
+// or nil if the body cannot be replayed.
+func cloneRequest(req *http.Request) *http.Request {
+	dup := req.Clone(req.Context())
+	switch {
+	case req.Body == nil || req.Body == http.NoBody:
+		return dup
+	case req.GetBody != nil:
+		body, err := req.GetBody()
+		if err != nil {
+			return nil
+		}
+		dup.Body = body
+		return dup
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package server
+
+import "sync"
+
+// dedupWindow is the server's idempotency-key memory: a bounded FIFO set
+// of the keys whose mutations have already committed. A retried
+// dual-write (same key, delivered again after a torn ack) is recognised
+// and acked without re-applying, so primary and replica cannot diverge
+// by replay and the WAL never records the same logical write twice.
+//
+// The window is bounded (default 8192 keys) rather than unbounded: a
+// retry storm resolves in seconds, while the window holds hours of write
+// traffic. On restart it is re-seeded from WAL recovery, so dedup
+// survives a crash exactly as far as the log does.
+type dedupWindow struct {
+	mu   sync.Mutex
+	cap  int
+	keys map[string]struct{}
+	ring []string // insertion order; oldest evicted first
+	head int      // next eviction slot once the ring is full
+}
+
+// defaultDedupWindow is the key capacity when the config doesn't say.
+const defaultDedupWindow = 8192
+
+func newDedupWindow(capacity int) *dedupWindow {
+	if capacity <= 0 {
+		capacity = defaultDedupWindow
+	}
+	return &dedupWindow{
+		cap:  capacity,
+		keys: make(map[string]struct{}, capacity),
+		ring: make([]string, 0, capacity),
+	}
+}
+
+// Seen reports whether key has already committed. Empty keys are never
+// remembered (unkeyed writes always apply).
+func (d *dedupWindow) Seen(key string) bool {
+	if key == "" {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.keys[key]
+	return ok
+}
+
+// Add records a committed key, evicting the oldest once full.
+func (d *dedupWindow) Add(key string) {
+	if key == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.keys[key]; ok {
+		return
+	}
+	if len(d.ring) < d.cap {
+		d.ring = append(d.ring, key)
+	} else {
+		delete(d.keys, d.ring[d.head])
+		d.ring[d.head] = key
+		d.head = (d.head + 1) % d.cap
+	}
+	d.keys[key] = struct{}{}
+}
+
+// Len returns the number of remembered keys.
+func (d *dedupWindow) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.keys)
+}

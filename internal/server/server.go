@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"net/http"
 	"strconv"
@@ -177,6 +178,7 @@ type Server struct {
 	mux    *http.ServeMux
 	health *fault.Health // process-wide quarantine state (nil without cfg.Fault)
 	wal    *wal.Log      // durability log (nil = in-memory catalog)
+	dedup  *dedupWindow  // idempotency keys already committed
 
 	// commitMu orders WAL appends against catalog publishes: each mutation
 	// holds it across append + publish, and the snapshot trigger holds it
@@ -210,12 +212,21 @@ func New(cfg Config) *Server {
 		cat = NewCatalog()
 	}
 	s := &Server{
-		cfg: cfg,
-		cat: cat,
-		reg: cfg.Metrics,
-		mux: http.NewServeMux(),
-		wal: cfg.WAL,
-		sem: make(chan struct{}, cfg.MaxConcurrent),
+		cfg:   cfg,
+		cat:   cat,
+		reg:   cfg.Metrics,
+		mux:   http.NewServeMux(),
+		wal:   cfg.WAL,
+		dedup: newDedupWindow(0),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	if s.wal != nil {
+		// Re-seed the idempotency window from the log, so a retry that
+		// lands after a crash+restart is still recognised: dedup is exactly
+		// as durable as the writes it guards.
+		for _, key := range s.wal.Recovered().AppliedKeys {
+			s.dedup.Add(key)
+		}
 	}
 	if cfg.Fault != nil {
 		s.health = cfg.Fault.Health
@@ -351,8 +362,10 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Cluster != nil && !strings.HasPrefix(name, hiddenPrefix) {
 		// Coordinator mode: hash-partition across the shards; the ack
-		// requires every shard's primary AND replica to have committed.
-		if err := s.cfg.Cluster.Put(r.Context(), name, rel); err != nil {
+		// requires every shard's primary AND replica to have committed. The
+		// client's Idempotency-Key (or a coordinator-generated one) stamps
+		// each shard part, so a retried storm PUT cannot double-apply.
+		if err := s.cfg.Cluster.PutKeyed(r.Context(), name, r.Header.Get("Idempotency-Key"), rel); err != nil {
 			writeError(w, http.StatusBadGateway, "%v", err)
 			return
 		}
@@ -364,7 +377,7 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if err := s.commitPut(name, rel); err != nil {
+	if err := s.commitPut(name, r.Header.Get("Idempotency-Key"), rel); err != nil {
 		if errors.Is(err, errWAL) {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -398,10 +411,18 @@ func IsTemp(name string) bool { return strings.HasPrefix(name, TempPrefix) }
 
 // commitPut publishes one relation, write-ahead logging it first when the
 // server is durable. The commit mutex makes log order equal publish order.
-// Temp relations bypass the log entirely.
-func (s *Server) commitPut(name string, rel *relation.Relation) error {
+// Temp relations bypass the log entirely. key, when non-empty, is the
+// write's idempotency key: a key the server has already committed makes
+// the whole call a successful no-op (the earlier commit IS this write),
+// so a retried dual-write or a shipped record the replica already applied
+// cannot double-apply.
+func (s *Server) commitPut(name, key string, rel *relation.Relation) error {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	if s.dedup.Seen(key) {
+		s.reg.Counter("server_idempotent_dedup_total", obs.Labels{"op": "put"}).Inc()
+		return nil
+	}
 	// Validate before logging so the WAL never records a mutation the
 	// catalog would refuse (CheckPut performs the same name/relation
 	// validation Put does, without publishing).
@@ -409,7 +430,7 @@ func (s *Server) commitPut(name string, rel *relation.Relation) error {
 		return err
 	}
 	if s.wal != nil && !IsTemp(name) {
-		if err := s.wal.AppendPut(name, rel); err != nil {
+		if err := s.wal.AppendPutKeyed(name, key, rel); err != nil {
 			s.reg.Counter("server_wal_errors_total", nil).Inc()
 			return fmt.Errorf("%w: %v", errWAL, err)
 		}
@@ -417,26 +438,39 @@ func (s *Server) commitPut(name string, rel *relation.Relation) error {
 	if err := s.cat.Put(name, rel); err != nil {
 		return err
 	}
+	if !IsTemp(name) {
+		s.dedup.Add(key)
+	}
 	s.maybeSnapshot()
 	return nil
 }
 
 // commitDelete removes a relation, write-ahead logging the delete first.
 // It reports whether the relation existed; a delete of a missing relation
-// is not logged, and temp relations are never logged.
-func (s *Server) commitDelete(name string) (bool, error) {
+// is not logged, and temp relations are never logged. A replayed key is a
+// successful no-op reporting existed=true: the first application already
+// removed the relation, and "already deleted by this very write" must not
+// surface as 404 to a retrying client.
+func (s *Server) commitDelete(name, key string) (bool, error) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	if s.dedup.Seen(key) {
+		s.reg.Counter("server_idempotent_dedup_total", obs.Labels{"op": "delete"}).Inc()
+		return true, nil
+	}
 	if _, ok := s.cat.Get(name); !ok {
 		return false, nil
 	}
 	if s.wal != nil && !IsTemp(name) {
-		if err := s.wal.AppendDelete(name); err != nil {
+		if err := s.wal.AppendDeleteKeyed(name, key); err != nil {
 			s.reg.Counter("server_wal_errors_total", nil).Inc()
 			return true, fmt.Errorf("%w: %v", errWAL, err)
 		}
 	}
 	ok := s.cat.Delete(name)
+	if !IsTemp(name) {
+		s.dedup.Add(key)
+	}
 	s.maybeSnapshot()
 	return ok, nil
 }
@@ -446,28 +480,30 @@ func (s *Server) commitDelete(name string) (bool, error) {
 // replication follower applies shipped records through it so a replica's
 // own log stays exactly as durable as the primary's.
 func (s *Server) CommitPut(name string, rel *relation.Relation) error {
-	return s.commitPut(name, rel)
+	return s.commitPut(name, "", rel)
 }
 
 // CommitDelete is the exported durable delete path (see CommitPut).
 func (s *Server) CommitDelete(name string) (bool, error) {
-	return s.commitDelete(name)
+	return s.commitDelete(name, "")
 }
 
 // Replicator adapts this server's durable commit path to the cluster
 // follower's Applier interface: a replica daemon replays the primary's
 // shipped WAL records through the same append-then-publish ordering as
 // its own PUT traffic, so promotion hands over an equally durable copy.
+// Shipped idempotency keys flow into the same dedup window the direct
+// dual-write path uses, so a record that arrived both ways applies once.
 func (s *Server) Replicator() cluster.Applier { return serverApplier{s} }
 
 type serverApplier struct{ s *Server }
 
-func (a serverApplier) ApplyPut(name string, rel *relation.Relation) error {
-	return a.s.commitPut(name, rel)
+func (a serverApplier) ApplyPut(name, key string, rel *relation.Relation) error {
+	return a.s.commitPut(name, key, rel)
 }
 
-func (a serverApplier) ApplyDelete(name string) error {
-	_, err := a.s.commitDelete(name)
+func (a serverApplier) ApplyDelete(name, key string) error {
+	_, err := a.s.commitDelete(name, key)
 	return err
 }
 
@@ -555,7 +591,7 @@ func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("name")
 	if s.cfg.Cluster != nil && !strings.HasPrefix(name, hiddenPrefix) {
-		existed, err := s.cfg.Cluster.Delete(r.Context(), name)
+		existed, err := s.cfg.Cluster.DeleteKeyed(r.Context(), name, r.Header.Get("Idempotency-Key"))
 		if err != nil {
 			writeError(w, http.StatusBadGateway, "%v", err)
 			return
@@ -567,7 +603,7 @@ func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	ok, err := s.commitDelete(name)
+	ok, err := s.commitDelete(name, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -734,17 +770,22 @@ type machineReport struct {
 
 // queryResponse is the POST /query reply.
 type queryResponse struct {
-	Plan      string         `json:"plan"`
-	Optimized string         `json:"optimized"`
-	Rows      int            `json:"rows"`
-	Columns   []string       `json:"columns,omitempty"`
-	Table     string         `json:"table,omitempty"`
-	Pulses    int            `json:"pulses"`
-	WordOps   int            `json:"word_ops,omitempty"` // bitset backend's cost unit
-	Backend   string         `json:"backend"`
-	SimTime   float64        `json:"sim_seconds"` // pulses under the 1980 technology model
-	ElapsedMS float64        `json:"elapsed_ms"`
-	Machine   *machineReport `json:"machine,omitempty"`
+	Plan      string   `json:"plan"`
+	Optimized string   `json:"optimized"`
+	Rows      int      `json:"rows"`
+	Columns   []string `json:"columns,omitempty"`
+	Table     string   `json:"table,omitempty"`
+	// TableCRC32 is the IEEE CRC32 of Table, present whenever a table is.
+	// The cluster client recomputes it before parsing, so a response whose
+	// body was corrupted in flight — but still parses as a smaller or
+	// different relation — is caught and retried instead of merged.
+	TableCRC32 *uint32        `json:"table_crc32,omitempty"`
+	Pulses     int            `json:"pulses"`
+	WordOps    int            `json:"word_ops,omitempty"` // bitset backend's cost unit
+	Backend    string         `json:"backend"`
+	SimTime    float64        `json:"sim_seconds"` // pulses under the 1980 technology model
+	ElapsedMS  float64        `json:"elapsed_ms"`
+	Machine    *machineReport `json:"machine,omitempty"`
 
 	// Degraded reports that the machine gave up and the result was
 	// produced by the host-executor fallback instead.
@@ -982,6 +1023,7 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryRespons
 				return nil, err
 			}
 			resp.Table = sb.String()
+			resp.stampCRC()
 		}
 		return resp, nil
 	}
@@ -1026,8 +1068,15 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryRespons
 			return nil, err
 		}
 		resp.Table = sb.String()
+		resp.stampCRC()
 	}
 	return resp, nil
+}
+
+// stampCRC sets the result table's integrity checksum.
+func (r *queryResponse) stampCRC() {
+	crc := crc32.ChecksumIEEE([]byte(r.Table))
+	r.TableCRC32 = &crc
 }
 
 // machineFault derives the fault configuration for one request's machine:

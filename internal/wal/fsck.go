@@ -33,7 +33,11 @@ type FsckReport struct {
 	Relations int          `json:"relations"` // recovered catalog size
 	Records   int          `json:"records"`   // replayed from live segments
 	Verified  int          `json:"relations_verified"`
-	Errors    []string     `json:"errors,omitempty"`
+	// KeyedRecords counts live mutations carrying an idempotency key. A
+	// key appearing on two live records means a retried write was applied
+	// twice — the dedup window failed — and is reported as an error.
+	KeyedRecords int      `json:"keyed_records,omitempty"`
+	Errors       []string `json:"errors,omitempty"`
 }
 
 // OK reports whether the directory would recover cleanly (a torn tail on
@@ -132,6 +136,7 @@ func Fsck(dir string, decode DecodeFunc) (*FsckReport, error) {
 		rep.Snapshots = append(rep.Snapshots, fr)
 	}
 
+	seenKeys := make(map[string]string) // key -> first location
 	for i, gen := range segs {
 		name := segName(gen)
 		fr := FileReport{Name: name, Stale: gen < base}
@@ -150,12 +155,26 @@ func Fsck(dir string, decode DecodeFunc) (*FsckReport, error) {
 			}
 			fr.Records++
 			where := fmt.Sprintf("%s offset %d", name, off)
+			checkKey := func() error {
+				if rec.key == "" || !live {
+					return nil
+				}
+				rep.KeyedRecords++
+				if first, dup := seenKeys[rec.key]; dup {
+					return fmt.Errorf("%s: idempotency key %q already applied at %s (retried write committed twice)", where, rec.key, first)
+				}
+				seenKeys[rec.key] = where
+				return nil
+			}
 			switch rec.op {
 			case opPut:
 				if rec.seq <= lastSeq {
 					return fmt.Errorf("%s: record sequence %d not after %d", where, rec.seq, lastSeq)
 				}
 				lastSeq = rec.seq
+				if err := checkKey(); err != nil {
+					return err
+				}
 				if live {
 					rep.Records++
 					return verify(rec, where)
@@ -165,6 +184,9 @@ func Fsck(dir string, decode DecodeFunc) (*FsckReport, error) {
 					return fmt.Errorf("%s: record sequence %d not after %d", where, rec.seq, lastSeq)
 				}
 				lastSeq = rec.seq
+				if err := checkKey(); err != nil {
+					return err
+				}
 				if live {
 					rep.Records++
 					delete(state, rec.name)

@@ -1,0 +1,146 @@
+package wal
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"systolicdb/internal/relation"
+)
+
+// TestKeyedRoundTrip pins the keyed record format end to end: keys
+// survive append → recovery (AppliedKeys, in log order) and append →
+// ReadSince (ShipRecord.Key), and unkeyed records coexist with keyed
+// ones in the same segment.
+func TestKeyedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+
+	if err := l.AppendPutKeyed("a", "k-put-1", testRel(t, 1, "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("b", testRel(t, 2, "bob")); err != nil { // unkeyed
+		t.Fatal(err)
+	}
+	if err := l.AppendDeleteKeyed("b", `k "quoted" del`); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete("a"); err != nil { // unkeyed
+		t.Fatal(err)
+	}
+
+	recs, needFull, err := l.ReadSince(0)
+	if err != nil || needFull {
+		t.Fatalf("ReadSince: recs=%v needFull=%v err=%v", recs, needFull, err)
+	}
+	wantKeys := []string{"k-put-1", "", `k "quoted" del`, ""}
+	for i, rec := range recs {
+		if rec.Key != wantKeys[i] {
+			t.Errorf("ship record %d key = %q, want %q", i, rec.Key, wantKeys[i])
+		}
+	}
+
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, false)
+	defer r.Close()
+	got := r.Recovered().AppliedKeys
+	want := []string{"k-put-1", `k "quoted" del`}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered AppliedKeys = %q, want %q", got, want)
+	}
+}
+
+// TestFsckDuplicateKey pins the fsck-level idempotency check: the same
+// key on two live records is the double-apply signature and must fail
+// the directory.
+func TestFsckDuplicateKey(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	if err := l.AppendPutKeyed("a", "dup-key", testRel(t, 1, "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPutKeyed("a", "dup-key", testRel(t, 1, "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Fsck(dir, testDecoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("fsck passed a directory with a double-applied key")
+	}
+	found := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e, "dup-key") && strings.Contains(e, "twice") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fsck errors do not name the duplicate key: %v", rep.Errors)
+	}
+}
+
+// TestFsckKeyedClean: distinct keys are counted, not flagged.
+func TestFsckKeyedClean(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	if err := l.AppendPutKeyed("a", "k1", testRel(t, 1, "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDeleteKeyed("a", "k2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(dir, testDecoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fsck failed a clean keyed directory: %v", rep.Errors)
+	}
+	if rep.KeyedRecords != 2 {
+		t.Fatalf("KeyedRecords = %d, want 2", rep.KeyedRecords)
+	}
+}
+
+// TestKeyedSnapshotCompaction: snapshots are state, not mutations — a
+// compacted catalog carries no keys, and recovery after compaction
+// yields no AppliedKeys from the snapshotted history.
+func TestKeyedSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	a := testRel(t, 1, "alice")
+	if err := l.AppendPutKeyed("a", "pre-snap", a); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(gen, map[string]*relation.Relation{"a": a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPutKeyed("b", "post-snap", testRel(t, 2, "bob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, false)
+	defer r.Close()
+	if got := r.Recovered().AppliedKeys; !reflect.DeepEqual(got, []string{"post-snap"}) {
+		t.Fatalf("AppliedKeys after compaction = %q, want [post-snap]", got)
+	}
+	if len(r.Recovered().Relations) != 2 {
+		t.Fatalf("recovered %d relations, want 2", len(r.Recovered().Relations))
+	}
+}

@@ -34,8 +34,8 @@ const (
 
 // Record payloads are line-oriented text. The first line is the header:
 //
-//	put <seq> <quoted-name> <cardinality> <parity-hex>
-//	del <seq> <quoted-name>
+//	put <seq> <quoted-name> <cardinality> <parity-hex> [<quoted-key>]
+//	del <seq> <quoted-name> [<quoted-key>]
 //	snap <gen> <relations>
 //	commit <gen> <relations>
 //
@@ -45,6 +45,13 @@ const (
 // cardinality and parity fields are the relation's fault.RelationChecksum
 // at append time; recovery recomputes and compares them, so a relation
 // that decodes cleanly but differs from what was logged is still caught.
+//
+// The trailing quoted key, when present, is the mutation's idempotency
+// key: the coordinator stamps one key per logical write and reuses it
+// across retries and across the primary/replica dual write, so a retried
+// ack replayed through the log can be recognised and dropped instead of
+// applied twice. Records written before keys existed simply omit the
+// field; the decoder accepts both forms.
 const (
 	opPut    = "put"
 	opDel    = "del"
@@ -57,6 +64,7 @@ type record struct {
 	op    string
 	seq   uint64 // mutation sequence (put/del); generation (snap/commit)
 	name  string
+	key   string // put/del only: idempotency key, "" when absent
 	sum   fault.Checksum
 	table string // put only: serialised relation
 	rels  int    // snap/commit only: relation count
@@ -71,14 +79,19 @@ func frame(payload []byte) []byte {
 	return buf
 }
 
-// encodePut serialises one catalog put.
-func encodePut(seq uint64, name string, rel *relation.Relation) ([]byte, error) {
+// encodePut serialises one catalog put. key, when non-empty, is the
+// mutation's idempotency key.
+func encodePut(seq uint64, name, key string, rel *relation.Relation) ([]byte, error) {
 	sum, err := fault.RelationChecksum(rel)
 	if err != nil {
 		return nil, fmt.Errorf("wal: relation %q: %w", name, err)
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s %d %s %d %016x\n", opPut, seq, strconv.Quote(name), sum.Count, sum.Parity)
+	fmt.Fprintf(&sb, "%s %d %s %d %016x", opPut, seq, strconv.Quote(name), sum.Count, sum.Parity)
+	if key != "" {
+		fmt.Fprintf(&sb, " %s", strconv.Quote(key))
+	}
+	sb.WriteByte('\n')
 	if err := relation.FormatTableTypes(&sb, rel); err != nil {
 		return nil, fmt.Errorf("wal: serialising relation %q: %w", name, err)
 	}
@@ -86,7 +99,10 @@ func encodePut(seq uint64, name string, rel *relation.Relation) ([]byte, error) 
 }
 
 // encodeDelete serialises one catalog delete.
-func encodeDelete(seq uint64, name string) []byte {
+func encodeDelete(seq uint64, name, key string) []byte {
+	if key != "" {
+		return []byte(fmt.Sprintf("%s %d %s %s\n", opDel, seq, strconv.Quote(name), strconv.Quote(key)))
+	}
 	return []byte(fmt.Sprintf("%s %d %s\n", opDel, seq, strconv.Quote(name)))
 }
 
@@ -108,7 +124,13 @@ func decodeRecord(payload []byte) (*record, error) {
 			r.name, args, err = nextQuoted(args)
 		}
 		if err == nil {
-			counts, paritys, err = nextField(args)
+			counts, args, err = nextField(args)
+		}
+		if err == nil {
+			paritys, args, err = nextField(args)
+		}
+		if err == nil {
+			r.key, err = optionalKey(args)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("wal: bad put header %q: %w", head, err)
@@ -126,7 +148,10 @@ func decodeRecord(payload []byte) (*record, error) {
 	case opDel:
 		var seqs string
 		if seqs, args, err = nextField(args); err == nil {
-			r.name, _, err = nextQuoted(args)
+			r.name, args, err = nextQuoted(args)
+		}
+		if err == nil {
+			r.key, err = optionalKey(args)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("wal: bad del header %q: %w", head, err)
@@ -155,6 +180,23 @@ func nextField(args string) (field, rest string, err error) {
 		return "", "", fmt.Errorf("missing field")
 	}
 	return field, rest, nil
+}
+
+// optionalKey parses the trailing idempotency key field, absent in
+// records written before keys existed.
+func optionalKey(args string) (string, error) {
+	args = strings.TrimSpace(args)
+	if args == "" {
+		return "", nil
+	}
+	key, rest, err := nextQuoted(args)
+	if err != nil {
+		return "", err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return "", fmt.Errorf("trailing data %q after idempotency key", rest)
+	}
+	return key, nil
 }
 
 // nextQuoted splits a Go-quoted string off the front of args.

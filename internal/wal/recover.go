@@ -159,6 +159,9 @@ func (l *Log) apply(rec *record, where string) error {
 	default:
 		return fmt.Errorf("%s: unexpected %q record in log segment", where, rec.op)
 	}
+	if rec.key != "" {
+		l.rec.AppliedKeys = append(l.rec.AppliedKeys, rec.key)
+	}
 	if rec.seq > l.seq {
 		l.seq = rec.seq
 	}

@@ -23,11 +23,14 @@ import (
 
 // ShipRecord is one replicated catalog mutation: Op is "put" (Table holds
 // the relation serialised with a `#% types:` directive, exactly as logged)
-// or "del".
+// or "del". Key carries the mutation's idempotency key, so a follower
+// that already applied the same logical write through the coordinator's
+// dual-write path can skip it instead of committing it twice.
 type ShipRecord struct {
 	Seq   uint64 `json:"seq"`
 	Op    string `json:"op"`
 	Name  string `json:"name"`
+	Key   string `json:"key,omitempty"`
 	Table string `json:"table,omitempty"`
 }
 
@@ -79,9 +82,9 @@ func (l *Log) ReadSince(afterSeq uint64) (recs []ShipRecord, needFull bool, err 
 			}
 			switch rec.op {
 			case opPut:
-				recs = append(recs, ShipRecord{Seq: rec.seq, Op: opPut, Name: rec.name, Table: rec.table})
+				recs = append(recs, ShipRecord{Seq: rec.seq, Op: opPut, Name: rec.name, Key: rec.key, Table: rec.table})
 			case opDel:
-				recs = append(recs, ShipRecord{Seq: rec.seq, Op: "del", Name: rec.name})
+				recs = append(recs, ShipRecord{Seq: rec.seq, Op: "del", Name: rec.name, Key: rec.key})
 			}
 			return nil
 		})

@@ -84,6 +84,12 @@ type Recovery struct {
 	// not serialised into status reports.
 	Relations map[string]*relation.Relation `json:"-"`
 
+	// AppliedKeys lists the idempotency keys of replayed mutations in log
+	// order (unkeyed records contribute nothing). The server seeds its
+	// dedup window from this so a retry that lands after a restart is
+	// still recognised.
+	AppliedKeys []string `json:"-"`
+
 	SnapshotGen  uint64  `json:"snapshot_gen"`       // 0 = no snapshot found
 	SnapshotRels int     `json:"snapshot_relations"` // relations loaded from it
 	Segments     int     `json:"segments_replayed"`
@@ -248,12 +254,19 @@ func (l *Log) Lag() int64 {
 // AppendPut logs one catalog put. It returns only after the record is
 // written (and fsynced, per Options.Fsync) — the caller acks afterwards.
 func (l *Log) AppendPut(name string, rel *relation.Relation) error {
+	return l.AppendPutKeyed(name, "", rel)
+}
+
+// AppendPutKeyed logs one catalog put stamped with an idempotency key
+// (empty key = unkeyed, identical to AppendPut). The key rides in the
+// record so recovery and log shipping can recognise a retried mutation.
+func (l *Log) AppendPutKeyed(name, key string, rel *relation.Relation) error {
 	if rel == nil {
 		return fmt.Errorf("wal: nil relation")
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	payload, err := encodePut(l.seq+1, name, rel)
+	payload, err := encodePut(l.seq+1, name, key, rel)
 	if err != nil {
 		return err
 	}
@@ -262,9 +275,15 @@ func (l *Log) AppendPut(name string, rel *relation.Relation) error {
 
 // AppendDelete logs one catalog delete.
 func (l *Log) AppendDelete(name string) error {
+	return l.AppendDeleteKeyed(name, "")
+}
+
+// AppendDeleteKeyed logs one catalog delete stamped with an idempotency
+// key (empty key = unkeyed).
+func (l *Log) AppendDeleteKeyed(name, key string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.append("delete", encodeDelete(l.seq+1, name))
+	return l.append("delete", encodeDelete(l.seq+1, name, key))
 }
 
 // append writes one framed payload to the current segment. Caller holds mu.
@@ -371,7 +390,7 @@ func (l *Log) writeSnapshot(gen uint64, state map[string]*relation.Relation) err
 			break
 		}
 		var payload []byte
-		if payload, err = encodePut(0, name, state[name]); err == nil {
+		if payload, err = encodePut(0, name, "", state[name]); err == nil {
 			err = write(payload)
 		}
 	}

@@ -274,7 +274,7 @@ func TestTornTailTruncatedAndRecovered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := encodePut(2, "torn", testRel(t, 2, "lost"))
+	full, err := encodePut(2, "torn", "", testRel(t, 2, "lost"))
 	if err != nil {
 		t.Fatal(err)
 	}
