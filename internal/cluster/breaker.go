@@ -98,6 +98,18 @@ func (b *breaker) Success() {
 	b.probing = false
 }
 
+// Abort releases a call admitted by Allow whose outcome carries no
+// network evidence about the shard (the caller's context was canceled, or
+// the shard answered with a non-retryable semantic error). It must be
+// called whenever an admitted call ends without Success or Failure:
+// leaving a half-open probe marked in-flight would deny every future call
+// to the shard until process restart.
+func (b *breaker) Abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
 // Failure records a failed call, opening the circuit at the threshold. A
 // failed half-open probe re-opens immediately.
 func (b *breaker) Failure() {

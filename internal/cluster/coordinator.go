@@ -378,18 +378,27 @@ func withFailover[T any](ctx context.Context, c *Coordinator, slot *shardSlot, o
 		cl := slot.current()
 		var v T
 		var err error
-		if slot.br.Allow() {
+		allowed := slot.br.Allow()
+		if allowed {
 			v, err = op(cl)
 		} else {
 			err = errBreakerOpen
 			c.reg.Counter("cluster_breaker_denials_total", obs.Labels{"shard": slot.name()}).Inc()
 		}
 		if err == nil {
-			slot.br.Success()
-			c.health.RecordSuccess(slot.name())
+			c.recordSuccess(slot, cl)
 			return v, nil
 		}
 		if ctx.Err() != nil || !RetryableShardError(err) {
+			// The ladder is exiting without retrying, but an admitted call
+			// still owes the breaker its outcome: if it was the half-open
+			// probe, skipping this would leave the probe marked in flight
+			// forever and the breaker would deny every future call to the
+			// shard. A probe timing out against a partitioned shard is the
+			// common case here.
+			if allowed {
+				c.recordAbort(slot, cl, err)
+			}
 			return zero, err
 		}
 		if err == errBreakerOpen {
@@ -424,6 +433,44 @@ func withFailover[T any](ctx context.Context, c *Coordinator, slot *shardSlot, o
 		case <-ctx.Done():
 			return zero, ctx.Err()
 		}
+	}
+}
+
+// recordSuccess credits a successful call to the slot, guarded the same
+// way recordFailure is: under concurrent load a call can succeed against
+// a daemon that has since been demoted, and that stale success must not
+// re-close the new primary's breaker or reset its health run.
+func (c *Coordinator) recordSuccess(slot *shardSlot, cl *ShardClient) {
+	slot.mu.RLock()
+	same := slot.primary == cl
+	slot.mu.RUnlock()
+	if !same {
+		return
+	}
+	slot.br.Success()
+	c.health.RecordSuccess(slot.name())
+}
+
+// recordAbort settles the breaker for an admitted call that ran but is
+// leaving the ladder without retrying. A retryable failure (typically a
+// context deadline spent against a dead or partitioned shard) is network
+// evidence and charges the breaker — a failed half-open probe re-opens
+// for another cooldown. A non-retryable error means the shard answered
+// and the query itself was bad: no evidence either way, so only the
+// in-flight probe mark is released. Health accounting is untouched on
+// both paths — quarantine advances on the retry ladder's evidence, not
+// on exits from it.
+func (c *Coordinator) recordAbort(slot *shardSlot, cl *ShardClient, err error) {
+	slot.mu.RLock()
+	same := slot.primary == cl
+	slot.mu.RUnlock()
+	if !same {
+		return
+	}
+	if RetryableShardError(err) {
+		slot.br.Failure()
+	} else {
+		slot.br.Abort()
 	}
 }
 
@@ -507,7 +554,10 @@ func (c *Coordinator) PutKeyed(ctx context.Context, name, key string, rel *relat
 		return err
 	}
 	err = c.engine.fanout(ctx, len(c.slots), func(i int) error {
-		return c.putBoth(ctx, c.slots[i], name, shardKey(key, i), parts[i])
+		k := shardKey(key, i)
+		return c.writeBoth(ctx, c.slots[i], func(cl *ShardClient) error {
+			return cl.PutKeyed(ctx, name, k, parts[i])
+		})
 	})
 	if err != nil {
 		return err
@@ -520,25 +570,41 @@ func (c *Coordinator) PutKeyed(ctx context.Context, name, key string, rel *relat
 	return nil
 }
 
-// putBoth writes one partition to a slot's primary (with the failover
-// ladder) and, when a replica is attached, to the replica as well. Both
-// writes must succeed for the Put to ack.
-func (c *Coordinator) putBoth(ctx context.Context, slot *shardSlot, name, key string, part *relation.Relation) error {
-	if _, err := withFailover(ctx, c, slot, func(cl *ShardClient) (struct{}, error) {
-		return struct{}{}, cl.PutKeyed(ctx, name, key, part)
-	}); err != nil {
-		return err
-	}
-	slot.mu.RLock()
-	replica := slot.replica
-	slot.mu.RUnlock()
-	if replica == nil {
+// writeBoth applies one idempotent mutation to a slot's primary (with
+// the failover ladder) and, when a replica is attached, to the replica
+// as well. Both copies must succeed for the write to ack.
+//
+// After the primary acks, the slot is re-read under its lock and the
+// answering client must still be the primary. If a concurrent promotion
+// demoted it in between, the write landed only on the now-demoted
+// ex-primary — acking there would violate zero acked-write loss, because
+// the node serving reads from now on never saw it. The mutation is
+// re-run against the new primary instead; the caller's idempotency key
+// makes the duplicate landing on any node that did see it a no-op.
+func (c *Coordinator) writeBoth(ctx context.Context, slot *shardSlot, op func(*ShardClient) error) error {
+	for {
+		var winner *ShardClient
+		if _, err := withFailover(ctx, c, slot, func(cl *ShardClient) (struct{}, error) {
+			winner = cl
+			return struct{}{}, op(cl)
+		}); err != nil {
+			return err
+		}
+		slot.mu.RLock()
+		stillPrimary := slot.primary == winner
+		replica := slot.replica
+		slot.mu.RUnlock()
+		if !stillPrimary {
+			continue
+		}
+		if replica == nil {
+			return nil
+		}
+		if err := op(replica); err != nil {
+			return fmt.Errorf("cluster: replica write for %s failed (write not acked): %w", slot.name(), err)
+		}
 		return nil
 	}
-	if err := replica.PutKeyed(ctx, name, key, part); err != nil {
-		return fmt.Errorf("cluster: replica write for %s failed (write not acked): %w", slot.name(), err)
-	}
-	return nil
 }
 
 // Delete drops a relation from every shard (primaries and replicas).
@@ -551,30 +617,26 @@ func (c *Coordinator) DeleteKeyed(ctx context.Context, name, key string) (bool, 
 	if key == "" {
 		key = c.nextKey(name)
 	}
-	c.mu.Lock()
+	c.mu.RLock()
 	_, existed := c.widths[name]
-	delete(c.widths, name)
-	delete(c.rows, name)
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	err := c.engine.fanout(ctx, len(c.slots), func(i int) error {
-		slot := c.slots[i]
 		k := shardKey(key, i)
-		if _, err := withFailover(ctx, c, slot, func(cl *ShardClient) (struct{}, error) {
-			return struct{}{}, cl.DeleteKeyed(ctx, name, k)
-		}); err != nil {
-			return err
-		}
-		slot.mu.RLock()
-		replica := slot.replica
-		slot.mu.RUnlock()
-		if replica != nil {
-			return replica.DeleteKeyed(ctx, name, k)
-		}
-		return nil
+		return c.writeBoth(ctx, c.slots[i], func(cl *ShardClient) error {
+			return cl.DeleteKeyed(ctx, name, k)
+		})
 	})
 	if err != nil {
 		return existed, err
 	}
+	// The directory entry drops only once every shard confirmed the
+	// delete: dropping it up front and failing the fanout would persist a
+	// state where the relation still exists on shards but the width oracle
+	// and Names() no longer know it.
+	c.mu.Lock()
+	delete(c.widths, name)
+	delete(c.rows, name)
+	c.mu.Unlock()
 	c.persistState()
 	return existed, nil
 }

@@ -2,6 +2,7 @@ package netchaos
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -154,7 +155,7 @@ func newRig(t *testing.T, spec string) *chaosRig {
 	}))
 	t.Cleanup(r.ts.Close)
 	r.tr = NewTransport(s, nil, r.reg)
-	r.tr.sleep = func(time.Duration) {}
+	r.tr.sleep = func(context.Context, time.Duration) error { return nil }
 	r.tr.now = func() time.Time { return r.tr.start.Add(time.Duration(r.fakeT.Load())) }
 	r.cl = &http.Client{Transport: r.tr}
 	return r
@@ -244,7 +245,10 @@ func TestTransportDup(t *testing.T) {
 func TestTransportLatency(t *testing.T) {
 	r := newRig(t, "latency=20ms±10ms")
 	var slept []time.Duration
-	r.tr.sleep = func(d time.Duration) { slept = append(slept, d) }
+	r.tr.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
 	for i := 0; i < 10; i++ {
 		if _, err := r.get(t); err != nil {
 			t.Fatal(err)
@@ -257,6 +261,54 @@ func TestTransportLatency(t *testing.T) {
 		if d < 10*time.Millisecond || d > 30*time.Millisecond {
 			t.Fatalf("sleep %v outside 20ms±10ms", d)
 		}
+	}
+}
+
+// TestTransportLatencyHonorsContext: an injected delay must not hold a
+// canceled request hostage for the full duration.
+func TestTransportLatencyHonorsContext(t *testing.T) {
+	r := newRig(t, "latency=30s")
+	r.tr.sleep = sleepCtx // the real, context-aware sleep
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", r.ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := r.cl.Do(req); err == nil {
+		t.Fatal("canceled request delivered through a 30s injected delay")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled request blocked %v on the injected delay", elapsed)
+	}
+}
+
+// TestTransportPartitionClockStartsAtFirstRequest: PartitionSpec.After is
+// measured from first activation, so wall time passing between transport
+// construction and the first request must not consume the window.
+func TestTransportPartitionClockStartsAtFirstRequest(t *testing.T) {
+	r := newRig(t, "partition=127.0.0.1:1s+2s")
+	// An absolute fake clock (the rig's default is relative to tr.start,
+	// which would hide where the epoch is anchored).
+	var fake atomic.Int64
+	base := time.Unix(1000, 0)
+	r.tr.now = func() time.Time { return base.Add(time.Duration(fake.Load())) }
+	// Fake wall time passes before any traffic; the window [1s, 3s) would
+	// already be over if the clock started at construction.
+	fake.Store(int64(10 * time.Second))
+	if _, err := r.get(t); err != nil {
+		t.Fatalf("first request consumed a window that had not activated: %v", err)
+	}
+	// 1.5s after first activation: inside the window.
+	fake.Store(int64(11500 * time.Millisecond))
+	if _, err := r.get(t); err == nil || !strings.Contains(err.Error(), "injected partition") {
+		t.Fatalf("in-window request after activation: want partition error, got %v", err)
+	}
+	// 4s after first activation: healed.
+	fake.Store(int64(14 * time.Second))
+	if _, err := r.get(t); err != nil {
+		t.Fatalf("post-window request failed: %v", err)
 	}
 }
 
@@ -345,7 +397,7 @@ func TestProxyTearAfter(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p.Close()
-	p.TearAfter = 1024
+	p.SetTearAfter(1024)
 
 	resp, err := http.Get("http://" + p.Addr())
 	if err == nil {
@@ -370,7 +422,7 @@ func TestProxyDrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p.Close()
-	p.DripEvery = 2 * time.Millisecond
+	p.SetDripEvery(2 * time.Millisecond)
 
 	start := time.Now()
 	resp, err := http.Get("http://" + p.Addr())

@@ -15,15 +15,8 @@ import (
 // failing fast). Point a shard client at Addr() instead of the real
 // shard to interpose it.
 type Proxy struct {
-	// TearAfter, when > 0, kills each connection after relaying that many
-	// response bytes — the wire dies mid-frame, exercising torn-body
-	// detection (CRC mismatch, truncated JSON) rather than clean errors.
-	TearAfter int64
-
-	// DripEvery, when > 0, relays response bytes in single-byte writes
-	// separated by this delay — a pathologically slow peer that only a
-	// deadline budget can defend against.
-	DripEvery time.Duration
+	tearAfter atomic.Int64 // see SetTearAfter
+	dripEvery atomic.Int64 // see SetDripEvery; nanoseconds
 
 	ln      net.Listener
 	target  string
@@ -54,6 +47,18 @@ func NewProxy(target string) (*Proxy, error) {
 
 // Addr returns the proxy's listen address.
 func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetTearAfter arms (or, with 0, disarms) the torn-stream fault: each
+// subsequent connection is killed after relaying n response bytes — the
+// wire dies mid-frame, exercising torn-body detection (CRC mismatch,
+// truncated JSON) rather than clean errors. Safe to call while serving.
+func (p *Proxy) SetTearAfter(n int64) { p.tearAfter.Store(n) }
+
+// SetDripEvery arms (or, with 0, disarms) the slow-drip fault: response
+// bytes relay in single-byte writes separated by d — a pathologically
+// slow peer that only a deadline budget can defend against. Safe to call
+// while serving.
+func (p *Proxy) SetDripEvery(d time.Duration) { p.dripEvery.Store(int64(d)) }
 
 // Torn returns how many connections the proxy killed mid-stream.
 func (p *Proxy) Torn() int64 { return p.torn.Load() }
@@ -108,10 +113,10 @@ func (p *Proxy) relay(client net.Conn) {
 
 	// Response direction: through the fault pipeline.
 	var w io.Writer = client
-	if p.DripEvery > 0 {
-		w = &dripWriter{w: client, every: p.DripEvery, done: p.done}
+	if drip := time.Duration(p.dripEvery.Load()); drip > 0 {
+		w = &dripWriter{w: client, every: drip, done: p.done}
 	}
-	budget := p.TearAfter
+	budget := p.tearAfter.Load()
 	buf := make([]byte, 4<<10)
 	for {
 		n, rerr := upstream.Read(buf)

@@ -2,9 +2,11 @@ package netchaos
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,12 +47,19 @@ type Transport struct {
 	base http.RoundTripper
 
 	n      atomic.Uint64 // request ordinal
-	start  time.Time     // partition clock epoch
 	counts [6]atomic.Int64
 
-	// Injectable clocks for tests; production uses time.Now/time.Sleep.
+	// The partition clock epoch, set lazily at the first RoundTrip so
+	// PartitionSpec.After is measured from first activation, not from
+	// transport construction (a coordinator may be built long before
+	// traffic starts).
+	startOnce sync.Once
+	start     time.Time
+
+	// Injectable clocks for tests; production uses time.Now and a
+	// context-aware sleep.
 	now   func() time.Time
-	sleep func(time.Duration)
+	sleep func(ctx context.Context, d time.Duration) error
 
 	metrics [6]*obs.Counter
 }
@@ -63,8 +72,9 @@ var kindIndex = map[string]int{
 
 // NewTransport wraps base (nil selects http.DefaultTransport) with the
 // spec's faults, recording injection counts into reg (nil selects
-// obs.Default). The partition clock starts now: a window with
-// delay 5s opens five seconds after NewTransport returns.
+// obs.Default). The partition clock starts at the first request through
+// the transport: a window with delay 5s opens five seconds after first
+// activation.
 func NewTransport(spec *Spec, base http.RoundTripper, reg *obs.Registry) *Transport {
 	if base == nil {
 		base = http.DefaultTransport
@@ -75,9 +85,8 @@ func NewTransport(spec *Spec, base http.RoundTripper, reg *obs.Registry) *Transp
 	t := &Transport{
 		spec:  spec,
 		base:  base,
-		start: time.Now(),
 		now:   time.Now,
-		sleep: time.Sleep,
+		sleep: sleepCtx,
 	}
 	for kind, i := range kindIndex {
 		t.metrics[i] = reg.Counter("netchaos_injections_total", obs.Labels{"kind": kind})
@@ -157,8 +166,23 @@ func hostMatches(host, target string) bool {
 	return target != "" && bytes.Contains([]byte(host), []byte(target))
 }
 
+// sleepCtx blocks for d or until ctx is done, whichever comes first: an
+// injected delay must not hold a canceled request's goroutine hostage
+// for the full duration.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // RoundTrip applies the spec's faults around one request.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.startOnce.Do(func() { t.start = t.now() })
 	i := t.n.Add(1) - 1
 	host := req.URL.Host
 
@@ -171,7 +195,10 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}
 		if d > 0 {
 			t.record(KindLatency)
-			t.sleep(d)
+			if err := t.sleep(req.Context(), d); err != nil {
+				closeBody(req)
+				return nil, err
+			}
 		}
 	}
 

@@ -155,16 +155,20 @@ func Fsck(dir string, decode DecodeFunc) (*FsckReport, error) {
 			}
 			fr.Records++
 			where := fmt.Sprintf("%s offset %d", name, off)
-			checkKey := func() error {
+			// A duplicate key is a logical anomaly (the dedup window
+			// failed), not physical log corruption: it goes to rep.Errors
+			// and the scan continues, so further duplicates and checksum
+			// problems later in the segment still get reported.
+			checkKey := func() {
 				if rec.key == "" || !live {
-					return nil
+					return
 				}
 				rep.KeyedRecords++
 				if first, dup := seenKeys[rec.key]; dup {
-					return fmt.Errorf("%s: idempotency key %q already applied at %s (retried write committed twice)", where, rec.key, first)
+					fail("%s: idempotency key %q already applied at %s (retried write committed twice)", where, rec.key, first)
+					return
 				}
 				seenKeys[rec.key] = where
-				return nil
 			}
 			switch rec.op {
 			case opPut:
@@ -172,9 +176,7 @@ func Fsck(dir string, decode DecodeFunc) (*FsckReport, error) {
 					return fmt.Errorf("%s: record sequence %d not after %d", where, rec.seq, lastSeq)
 				}
 				lastSeq = rec.seq
-				if err := checkKey(); err != nil {
-					return err
-				}
+				checkKey()
 				if live {
 					rep.Records++
 					return verify(rec, where)
@@ -184,9 +186,7 @@ func Fsck(dir string, decode DecodeFunc) (*FsckReport, error) {
 					return fmt.Errorf("%s: record sequence %d not after %d", where, rec.seq, lastSeq)
 				}
 				lastSeq = rec.seq
-				if err := checkKey(); err != nil {
-					return err
-				}
+				checkKey()
 				if live {
 					rep.Records++
 					delete(state, rec.name)

@@ -86,6 +86,47 @@ func TestFsckDuplicateKey(t *testing.T) {
 	}
 }
 
+// TestFsckDuplicateKeyContinuesScan: a duplicate key is a logical
+// anomaly, not physical corruption — the segment scan must keep going, so
+// later duplicates in the same segment are reported too and the file is
+// not marked corrupt.
+func TestFsckDuplicateKeyContinuesScan(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, false)
+	for _, key := range []string{"dup-1", "dup-1", "dup-2", "dup-2"} {
+		if err := l.AppendPutKeyed("a", key, testRel(t, 1, "alice")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Fsck(dir, testDecoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"dup-1", "dup-2"} {
+		found := false
+		for _, e := range rep.Errors {
+			if strings.Contains(e, key) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("duplicate %q not reported: %v", key, rep.Errors)
+		}
+	}
+	if rep.KeyedRecords != 4 {
+		t.Errorf("KeyedRecords = %d, want 4 (scan aborted early?)", rep.KeyedRecords)
+	}
+	for _, seg := range rep.Segments {
+		if seg.Err != "" {
+			t.Errorf("duplicate keys marked segment %s corrupt: %s", seg.Name, seg.Err)
+		}
+	}
+}
+
 // TestFsckKeyedClean: distinct keys are counted, not flagged.
 func TestFsckKeyedClean(t *testing.T) {
 	dir := t.TempDir()
