@@ -82,6 +82,7 @@ func main() {
 		iters   = flag.Int("iters", 3, "runs per measurement (best is kept)")
 		divideN = flag.Int("divide-n", 256, "dividend size for the divide benchmark (the pulse division array is O(n^3)-ish in simulation; 0 = use -n)")
 		out     = flag.String("out", "BENCH_6.json", "output JSON path (empty = stdout only)")
+		out9    = flag.String("out9", "BENCH_9.json", "executor/plan-cache benchmark output path (empty = skip)")
 	)
 	flag.Parse()
 	if *divideN <= 0 {
@@ -90,6 +91,12 @@ func main() {
 	if err := run(*n, *m, *seed, *iters, *divideN, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+	if *out9 != "" {
+		if err := runExecutor(*n, *seed, *iters, *out9); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -79,6 +79,10 @@ type daemonConfig struct {
 	// their own with a "backend" request field.
 	Backend machine.Backend
 
+	// PlanCache bounds the prepared-plan LRU (0 = server default 256,
+	// negative = caching disabled).
+	PlanCache int
+
 	Fault *machine.FaultConfig
 	Rels  server.RelSpecs
 
@@ -112,6 +116,7 @@ func main() {
 	flag.DurationVar(&cfg.Timeout, "timeout", 30*time.Second, "default per-query deadline")
 	flag.DurationVar(&cfg.MaxWait, "max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 	flag.IntVar(&cfg.Array, "array", 64, "device capacity of the §9 machine used by machine queries")
+	flag.IntVar(&cfg.PlanCache, "plan-cache", 0, "prepared-plan LRU capacity (0 = default 256, negative = disabled)")
 	flag.DurationVar(&cfg.Drain, "drain", 30*time.Second, "how long shutdown waits for in-flight queries")
 
 	flag.StringVar(&cfg.DataDir, "data-dir", "", "durable catalog directory (empty = in-memory only)")
@@ -263,6 +268,7 @@ func run(cfg daemonConfig) error {
 		DefaultTimeout: cfg.Timeout,
 		MaxTimeout:     cfg.MaxWait,
 		ArraySize:      cfg.Array,
+		PlanCacheSize:  cfg.PlanCache,
 		Metrics:        reg,
 		Backend:        cfg.Backend,
 		Fault:          cfg.Fault,

@@ -102,10 +102,21 @@ type Coordinator struct {
 	bootID string
 	keySeq atomic.Uint64
 
+	// version counts acked cluster mutations (PutKeyed/DeleteKeyed), the
+	// coordinator-side mirror of server.Catalog's version counter: a
+	// coordinator-mode plan cache stamps entries with it, so a PUT or
+	// DELETE invalidates every cached plan on the next lookup. Shard
+	// daemons need no extra signal — the same write bumps each shard's
+	// own catalog version, invalidating cached per-shard sub-plans there.
+	version atomic.Uint64
+
 	mu     sync.RWMutex // guards widths/rows
 	widths map[string]int
 	rows   map[string]int
 }
+
+// Version returns the cluster mutation counter (see the field docs).
+func (c *Coordinator) Version() uint64 { return c.version.Load() }
 
 // shardSlot is one ring position: a primary client and the replica that
 // takes over if the primary is quarantined.
@@ -566,6 +577,7 @@ func (c *Coordinator) PutKeyed(ctx context.Context, name, key string, rel *relat
 	c.widths[name] = rel.Width()
 	c.rows[name] = rel.Cardinality()
 	c.mu.Unlock()
+	c.version.Add(1)
 	c.persistState()
 	return nil
 }
@@ -637,6 +649,7 @@ func (c *Coordinator) DeleteKeyed(ctx context.Context, name, key string) (bool, 
 	delete(c.widths, name)
 	delete(c.rows, name)
 	c.mu.Unlock()
+	c.version.Add(1)
 	c.persistState()
 	return existed, nil
 }

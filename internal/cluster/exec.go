@@ -132,12 +132,14 @@ func (e *Engine) exec(ctx context.Context, n query.Node) (*relation.Relation, er
 }
 
 // wrapper is a chain of single-child operators peeled off the top of a
-// plan, to be rebuilt around a rewritten inner node. overlap reports that
-// the chain contains a duplicate-removing operator whose images may
-// collide across shards, demoting the gather to dedup-merge.
+// plan, to be rebuilt around a rewritten inner node. projected reports
+// that the chain contains a Project, whose images may collide across
+// shards, demoting the gather to dedup-merge; dedupped reports a Dedup,
+// which alone cannot collide (see Engine.gatherPart).
 type wrapper struct {
-	rebuild func(query.Node) query.Node
-	overlap bool
+	rebuild   func(query.Node) query.Node
+	projected bool
+	dedupped  bool
 }
 
 func identityWrapper() wrapper {
@@ -160,12 +162,12 @@ func peel(n query.Node) (query.Node, wrapper) {
 			prev := w.rebuild
 			cols := op.Cols
 			w.rebuild = func(c query.Node) query.Node { return prev(query.Project{Child: c, Cols: cols}) }
-			w.overlap = true
+			w.projected = true
 			n = op.Child
 		case query.Dedup:
 			prev := w.rebuild
 			w.rebuild = func(c query.Node) query.Node { return prev(query.Dedup{Child: c}) }
-			w.overlap = true
+			w.dedupped = true
 			n = op.Child
 		default:
 			return n, w
@@ -358,7 +360,7 @@ func (e *Engine) execJoin(ctx context.Context, op query.Join, w wrapper) (*relat
 		e.reg.Counter("cluster_join_strategy_total", obs.Labels{"strategy": "copartitioned"}).Inc()
 		return e.scatter(ctx, func(int) query.Node {
 			return w.rebuild(query.Join{L: op.L, R: op.R, Spec: op.Spec})
-		}, joinPart(w), "join")
+		}, e.gatherPart(w), "join")
 	}
 
 	rrel, err := e.exec(ctx, op.R)
@@ -393,7 +395,7 @@ func (e *Engine) broadcastJoin(ctx context.Context, op query.Join, rrel *relatio
 	defer e.dropTemp(rName)
 	return e.scatter(ctx, func(int) query.Node {
 		return w.rebuild(query.Join{L: lNode, R: query.Scan{Name: rName}, Spec: op.Spec})
-	}, joinPart(w), "join")
+	}, e.gatherPart(w), "join")
 }
 
 // shuffleJoin co-partitions both sides on the join key through the
@@ -420,12 +422,29 @@ func (e *Engine) shuffleJoin(ctx context.Context, op query.Join, rrel *relation.
 	defer e.dropTemp(rName)
 	return e.scatter(ctx, func(int) query.Node {
 		return w.rebuild(query.Join{L: lNode, R: query.Scan{Name: rName}, Spec: op.Spec})
-	}, joinPart(w), "join")
+	}, e.gatherPart(w), "join")
 }
 
-func joinPart(w wrapper) Part {
-	if w.overlap {
+// gatherPart decides the gather policy for a peeled wrapper over a
+// distributed join/division. A Project in the chain can map distinct
+// per-shard tuples onto one image, so the gather must dedup-merge
+// (PartOverlap). A Dedup alone cannot create cross-shard duplicates:
+// Select and Dedup pass full output tuples through unchanged, and every
+// strategy partitions so that equal output tuples are produced on one
+// shard — join outputs embed the whole probe tuple, whose value picks
+// the shard (co-partitioned: full-tuple keyed scan; broadcast: aligned
+// or full-tuple re-partition; shuffle: join-key hash, on which equal
+// tuples agree); divisions shuffle the dividend on exactly the quotient
+// columns the output consists of. Local per-shard Dedups (riding in the
+// wrapper) remove within-shard duplicates, so the gather may concatenate
+// verbatim — the skip is counted so the equivalence suite and /metrics
+// can see it happening.
+func (e *Engine) gatherPart(w wrapper) Part {
+	if w.projected {
 		return PartOverlap
+	}
+	if w.dedupped {
+		e.reg.Counter("cluster_gather_dedup_skipped_total", nil).Inc()
 	}
 	return PartDisjoint
 }
@@ -457,7 +476,7 @@ func (e *Engine) execDivide(ctx context.Context, op query.Divide, w wrapper) (*r
 			L: lNode, R: query.Scan{Name: rName},
 			AQuot: op.AQuot, ADiv: op.ADiv, BCols: op.BCols,
 		})
-	}, joinPart(w), "divide")
+	}, e.gatherPart(w), "divide")
 }
 
 // execLocal is the fallback for plans that do not decompose: children are

@@ -283,3 +283,59 @@ func TestNewEngineValidation(t *testing.T) {
 		t.Fatal("ring/shard mismatch should fail")
 	}
 }
+
+// TestGatherDedupSkip pins the gather-merge optimization: a Dedup wrapper
+// over a distributed join or division yields per-shard partials that are
+// already globally disjoint (every strategy colocates equal output
+// tuples), so the coordinator concatenates without a second dedup — and
+// counts the skip. A Project wrapper can collapse distinct tuples into
+// colliding images across shards, so it must NOT skip. Equivalence against
+// single-node execution is asserted for every strategy.
+func TestGatherDedupSkip(t *testing.T) {
+	skips := func(reg *obs.Registry) int64 {
+		return reg.Counter("cluster_gather_dedup_skipped_total", nil).Value()
+	}
+	base := joinBase(t, 31, 120, 2)
+	// The theta case runs on a smaller pair: its output is quadratic and
+	// the single-node reference dedups it on a simulated O(n^2) array.
+	small := joinBase(t, 33, 30, 2)
+	cases := []struct {
+		name     string
+		base     query.Catalog
+		plan     string
+		opt      ExecOptions
+		wantSkip bool
+	}{
+		{"broadcast", base, "dedup(join(scan(j1),scan(j2),0=0))", ExecOptions{BroadcastLimit: 10_000}, true},
+		{"shuffle", base, "dedup(join(scan(j1),scan(j2),0=0))", ExecOptions{BroadcastLimit: 1}, true},
+		{"theta", small, "dedup(theta(scan(j1),scan(j2),0<0))", ExecOptions{BroadcastLimit: 1}, true},
+		{"select-dedup", base, "select(dedup(join(scan(j1),scan(j2),0=0)),0<40)", ExecOptions{}, true},
+		// Project maps distinct join outputs to possibly-equal images on
+		// different shards: the gather must still dedup.
+		{"project", base, "project(join(scan(j1),scan(j2),0=0),1)", ExecOptions{}, false},
+		{"project-over-dedup", base, "project(dedup(join(scan(j1),scan(j2),0=0)),1)", ExecOptions{}, false},
+	}
+	for _, c := range cases {
+		got, want, ms, reg := execBoth(t, 4, c.base, c.plan, c.opt)
+		requireEqual(t, c.plan, got, want)
+		requireNoTemps(t, ms)
+		if skipped := skips(reg) > 0; skipped != c.wantSkip {
+			t.Errorf("%s: dedup skip counter %d, want skipped=%v", c.name, skips(reg), c.wantSkip)
+		}
+	}
+
+	// Division with a dedup wrapper: quotient groups are shuffled whole
+	// onto one shard, so per-shard quotients are disjoint too.
+	a, b, err := workload.DivisionCase(32, 40, 6, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbase := query.Catalog{"da": a, "db": b}
+	plan := "dedup(divide(scan(da),scan(db),quot=0,div=1,by=0))"
+	got, want, ms, reg := execBoth(t, 3, dbase, plan, ExecOptions{})
+	requireEqual(t, plan, got, want)
+	requireNoTemps(t, ms)
+	if skips(reg) == 0 {
+		t.Error("division gather did not skip the redundant dedup")
+	}
+}

@@ -36,7 +36,44 @@ import (
 var (
 	mTiles      = obs.Default.Counter("decompose_tiles_total", nil)
 	mTilePulses = obs.Default.Histogram("decompose_tile_pulses", nil, nil)
+
+	// Prefilter accounting: a selection evaluated before tiling (the
+	// logic-per-track disk load of §9, fed by the optimizer's predicate
+	// pushdown) shrinks the relation the downstream tiled operator sees,
+	// so the problem decomposes into fewer tiles. These record how often
+	// that happens and how many tuples the tilers never had to strip.
+	mPrefilterSelects = obs.Default.Counter("decompose_prefilter_selects_total", nil)
+	mPrefilterRows    = obs.Default.Counter("decompose_prefilter_rows_total", nil)
 )
+
+// RecordPrefilter charges one pre-tiling selection into obs.Default: a
+// relation of `before` tuples was reduced to `after` before any tiled
+// operator touched it. The machine's selecting-load path calls this; the
+// tile arithmetic itself is StripsSaved/TilesSaved.
+func RecordPrefilter(before, after int) {
+	if after > before {
+		after = before
+	}
+	mPrefilterSelects.Inc()
+	mPrefilterRows.Add(int64(before - after))
+}
+
+// StripsSaved reports how many capacity-`max` strips a prefilter saves on
+// one side of a tiled problem: ceil(before/max) - ceil(after/max). Zero
+// when the reduction does not cross a strip boundary.
+func StripsSaved(before, after, max int) int {
+	if max <= 0 || after >= before {
+		return 0
+	}
+	return ceilDiv(before, max) - ceilDiv(after, max)
+}
+
+// TilesSaved reports the tile-count reduction of a tiled nA x nB problem
+// when prefilters reduced side A from beforeA to afterA tuples and side B
+// from beforeB to afterB: Tiles(beforeA, beforeB) - Tiles(afterA, afterB).
+func (s ArraySize) TilesSaved(beforeA, afterA, beforeB, afterB int) int {
+	return s.Tiles(beforeA, beforeB) - s.Tiles(afterA, afterB)
+}
 
 // ArraySize is the capacity of the fixed physical array: the maximum
 // number of tuples of A and of B a single pass can process.

@@ -708,6 +708,7 @@ func (m *Machine) Run(tasks []Task) (*Result, error) {
 					}
 					loaded = sel
 					dur = st.Time
+					decompose.RecordPrefilter(t.Base.Cardinality(), sel.Cardinality())
 				}
 				end := start + dur
 				diskFree = end

@@ -1,0 +1,857 @@
+// Streaming (pull-based) executor: composable tuple iterators that move
+// one tuple at a time between plan operators, the way §4's pipelined
+// operator chaining moves tuples between arrays every pulse. Host-only
+// chains — select, project, dedup, union, and the probe side of join /
+// intersect / difference — never hold a full intermediate relation;
+// pipeline-breaking operators (a join's build side, membership sets,
+// Divide) are the only explicit materialization points, and ExecStats
+// reports their footprint via PeakTuples / MaterializedNodes.
+package query
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"systolicdb/internal/bitset"
+	"systolicdb/internal/cells"
+	"systolicdb/internal/join"
+	"systolicdb/internal/lptdisk"
+	"systolicdb/internal/relation"
+)
+
+// TupleIterator is the streaming executor's operator interface. Next
+// returns the next result tuple, or false when the stream is exhausted or
+// failed — the two are distinguished by Err, which callers must check
+// after the final Next. Schema describes the width and domains of every
+// tuple the iterator yields. Close releases operator-owned state (build
+// tables, dedup sets) and propagates to children; it is idempotent, and
+// iterators must not be used after Close.
+type TupleIterator interface {
+	Next() (relation.Tuple, bool)
+	Close()
+	Err() error
+	Schema() *relation.Schema
+}
+
+// iterBatch is how many pulls an iterator lets pass between context
+// checks: frequent enough that a deadline interrupts a long scan
+// mid-node, rare enough to stay off the per-tuple hot path.
+const iterBatch = 256
+
+// peakTracker counts tuples held in executor-owned storage (materialized
+// intermediates, build tables, dedup sets, the accumulating result) so
+// that PeakTuples is comparable between the streaming and materializing
+// executors. The frame stack serves the materializing path, whose
+// sequential DFS holds every child result exactly until the parent
+// operator finishes. All methods are nil-safe.
+type peakTracker struct {
+	cur, peak    int
+	frames       []int
+	materialized int
+}
+
+func (t *peakTracker) acquire(n int) {
+	if t == nil {
+		return
+	}
+	t.cur += n
+	if t.cur > t.peak {
+		t.peak = t.cur
+	}
+}
+
+func (t *peakTracker) release(n int) {
+	if t == nil {
+		return
+	}
+	t.cur -= n
+}
+
+func (t *peakTracker) breaker() {
+	if t == nil {
+		return
+	}
+	t.materialized++
+}
+
+// enter pushes a frame for a materializing plan node before its children
+// run; exit pops it, releasing every child result accumulated in the
+// frame and crediting the node's own result to the parent (which releases
+// it in turn when the parent operator completes).
+func (t *peakTracker) enter() {
+	if t == nil {
+		return
+	}
+	t.frames = append(t.frames, 0)
+}
+
+func (t *peakTracker) exit(own int) {
+	if t == nil {
+		return
+	}
+	last := len(t.frames) - 1
+	t.release(t.frames[last])
+	t.frames = t.frames[:last]
+	if last > 0 {
+		t.frames[last-1] += own
+	}
+}
+
+// tupleKey encodes a tuple as a map key. relation.Tuple's own key() is
+// unexported; varint framing keeps multi-column values unambiguous.
+func tupleKey(t relation.Tuple) string {
+	b := make([]byte, 0, len(t)*binary.MaxVarintLen64)
+	for _, e := range t {
+		b = binary.AppendVarint(b, int64(e))
+	}
+	return string(b)
+}
+
+// iterCore is the shared half of every iterator: schema, terminal state,
+// and the per-batch cancellation check.
+type iterCore struct {
+	ctx    context.Context
+	node   Node
+	schema *relation.Schema
+	err    error
+	done   bool
+	closed bool
+	ticks  int
+}
+
+func (c *iterCore) Schema() *relation.Schema { return c.schema }
+func (c *iterCore) Err() error               { return c.err }
+
+// tick checks the context every iterBatch calls; iterators call it once
+// per input row pulled (not per output row), so a long non-matching
+// streak still observes cancellation.
+func (c *iterCore) tick() error {
+	c.ticks++
+	if c.ticks%iterBatch != 0 {
+		return nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("query: stream cancelled at %s node: %w", opName(c.node), err)
+	}
+	return nil
+}
+
+func (c *iterCore) fail(err error) (relation.Tuple, bool) {
+	c.err = err
+	c.done = true
+	return nil, false
+}
+
+// finish ends the stream, adopting the child's terminal error if any.
+func (c *iterCore) finish(children ...TupleIterator) (relation.Tuple, bool) {
+	c.done = true
+	for _, ch := range children {
+		if c.err == nil {
+			c.err = ch.Err()
+		}
+	}
+	return nil, false
+}
+
+// scanIter streams a base relation out of the catalog.
+type scanIter struct {
+	iterCore
+	rel *relation.Relation
+	pos int
+}
+
+func (s *scanIter) Next() (relation.Tuple, bool) {
+	if s.done {
+		return nil, false
+	}
+	if err := s.tick(); err != nil {
+		return s.fail(err)
+	}
+	if s.pos >= s.rel.Cardinality() {
+		s.done = true
+		return nil, false
+	}
+	t := s.rel.Tuple(s.pos)
+	s.pos++
+	return t, true
+}
+
+func (s *scanIter) Close() { s.done, s.closed = true, true }
+
+// selectIter filters its child through a disk query, tuple at a time.
+type selectIter struct {
+	iterCore
+	child TupleIterator
+	query lptdisk.Query
+}
+
+func (s *selectIter) Next() (relation.Tuple, bool) {
+	if s.done {
+		return nil, false
+	}
+	for {
+		if err := s.tick(); err != nil {
+			return s.fail(err)
+		}
+		t, ok := s.child.Next()
+		if !ok {
+			return s.finish(s.child)
+		}
+		if s.query.Matches(t) {
+			return t, true
+		}
+	}
+}
+
+func (s *selectIter) Close() {
+	if !s.closed {
+		s.closed = true
+		s.child.Close()
+	}
+	s.done = true
+}
+
+// dedupIter yields the first occurrence of each (optionally projected)
+// tuple, the remove-duplicates array's keep-first semantics. With cols
+// set it is the streaming Project (project-then-dedup, like
+// dedup.Project).
+type dedupIter struct {
+	iterCore
+	child TupleIterator
+	cols  []int
+	seen  map[string]struct{}
+	tr    *peakTracker
+}
+
+func (d *dedupIter) Next() (relation.Tuple, bool) {
+	if d.done {
+		return nil, false
+	}
+	for {
+		if err := d.tick(); err != nil {
+			return d.fail(err)
+		}
+		t, ok := d.child.Next()
+		if !ok {
+			return d.finish(d.child)
+		}
+		if d.cols != nil {
+			t = t.Project(d.cols)
+		}
+		k := tupleKey(t)
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		d.tr.acquire(1) // the seen set retains one tuple key
+		return t, true
+	}
+}
+
+func (d *dedupIter) Close() {
+	if !d.closed {
+		d.closed = true
+		d.tr.release(len(d.seen))
+		d.child.Close()
+	}
+	d.done = true
+}
+
+// unionIter streams dedup(concat(l, r)): all of l, then r, suppressing
+// anything already emitted (dedup.Union's keep-first order).
+type unionIter struct {
+	iterCore
+	l, r TupleIterator
+	onR  bool
+	seen map[string]struct{}
+	tr   *peakTracker
+}
+
+func (u *unionIter) Next() (relation.Tuple, bool) {
+	if u.done {
+		return nil, false
+	}
+	for {
+		if err := u.tick(); err != nil {
+			return u.fail(err)
+		}
+		src := u.l
+		if u.onR {
+			src = u.r
+		}
+		t, ok := src.Next()
+		if !ok {
+			if err := src.Err(); err != nil {
+				return u.fail(err)
+			}
+			if u.onR {
+				return u.finish()
+			}
+			u.onR = true
+			continue
+		}
+		k := tupleKey(t)
+		if _, dup := u.seen[k]; dup {
+			continue
+		}
+		u.seen[k] = struct{}{}
+		u.tr.acquire(1)
+		return t, true
+	}
+}
+
+func (u *unionIter) Close() {
+	if !u.closed {
+		u.closed = true
+		u.tr.release(len(u.seen))
+		u.l.Close()
+		u.r.Close()
+	}
+	u.done = true
+}
+
+// membershipIter is the probe side of Intersect (want=true) and
+// Difference (want=false): the build child is drained into a set — a
+// pipeline breaker — and probe tuples stream through the membership
+// test, preserving the probe side's duplicates exactly like
+// intersect.Intersection / intersect.Difference.
+type membershipIter struct {
+	iterCore
+	probe, build TupleIterator
+	want         bool
+	built        bool
+	set          map[string]struct{}
+	tr           *peakTracker
+}
+
+func (m *membershipIter) Next() (relation.Tuple, bool) {
+	if m.done {
+		return nil, false
+	}
+	if !m.built {
+		if err := m.buildSet(); err != nil {
+			return m.fail(err)
+		}
+	}
+	for {
+		if err := m.tick(); err != nil {
+			return m.fail(err)
+		}
+		t, ok := m.probe.Next()
+		if !ok {
+			return m.finish(m.probe)
+		}
+		if _, in := m.set[tupleKey(t)]; in == m.want {
+			return t, true
+		}
+	}
+}
+
+func (m *membershipIter) buildSet() error {
+	m.built = true
+	m.set = make(map[string]struct{})
+	for {
+		t, ok := m.build.Next()
+		if !ok {
+			break
+		}
+		k := tupleKey(t)
+		if _, dup := m.set[k]; !dup {
+			m.set[k] = struct{}{}
+			m.tr.acquire(1)
+		}
+	}
+	if err := m.build.Err(); err != nil {
+		return err
+	}
+	m.build.Close()
+	m.tr.breaker()
+	return nil
+}
+
+func (m *membershipIter) Close() {
+	if !m.closed {
+		m.closed = true
+		m.tr.release(len(m.set))
+		m.probe.Close()
+		m.build.Close()
+	}
+	m.done = true
+}
+
+// joinIter streams the probe (A) side of a join against a materialized
+// build (B) side — the breaker. Equi-joins probe a hash table on B's
+// join key; θ-joins fall back to a per-probe scan of B applying the
+// comparison operators cell-for-cell like join.ReferenceT. Output rows
+// are the probe tuple followed by B's kept columns (bKeep), matching
+// join.Materialize's layout and row-major emission order.
+type joinIter struct {
+	iterCore
+	probe, build TupleIterator
+	spec         join.Spec // Ops normalized non-nil
+	equi         bool
+	bKeep        []int
+	built        bool
+	bTuples      []relation.Tuple
+	byKey        map[string][]int
+	cur          relation.Tuple
+	haveCur      bool
+	matches      []int // pending B indexes for cur (equi)
+	mi           int
+	scanJ        int // next B index to test for cur (θ)
+	tr           *peakTracker
+}
+
+func (j *joinIter) Next() (relation.Tuple, bool) {
+	if j.done {
+		return nil, false
+	}
+	if !j.built {
+		if err := j.buildTable(); err != nil {
+			return j.fail(err)
+		}
+	}
+	for {
+		if j.haveCur {
+			if j.equi {
+				if j.mi < len(j.matches) {
+					t := j.emit(j.bTuples[j.matches[j.mi]])
+					j.mi++
+					return t, true
+				}
+			} else {
+				for j.scanJ < len(j.bTuples) {
+					if err := j.tick(); err != nil {
+						return j.fail(err)
+					}
+					bt := j.bTuples[j.scanJ]
+					j.scanJ++
+					if j.thetaMatch(bt) {
+						return j.emit(bt), true
+					}
+				}
+			}
+			j.haveCur = false
+		}
+		if err := j.tick(); err != nil {
+			return j.fail(err)
+		}
+		t, ok := j.probe.Next()
+		if !ok {
+			return j.finish(j.probe)
+		}
+		j.cur, j.haveCur = t, true
+		if j.equi {
+			j.matches = j.byKey[tupleKey(t.Project(j.spec.ACols))]
+			j.mi = 0
+		} else {
+			j.scanJ = 0
+		}
+	}
+}
+
+func (j *joinIter) thetaMatch(bt relation.Tuple) bool {
+	for k := range j.spec.ACols {
+		if !j.spec.Ops[k].Apply(j.cur[j.spec.ACols[k]], bt[j.spec.BCols[k]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *joinIter) emit(bt relation.Tuple) relation.Tuple {
+	out := make(relation.Tuple, 0, len(j.cur)+len(j.bKeep))
+	out = append(out, j.cur...)
+	for _, c := range j.bKeep {
+		out = append(out, bt[c])
+	}
+	return out
+}
+
+func (j *joinIter) buildTable() error {
+	j.built = true
+	for {
+		t, ok := j.build.Next()
+		if !ok {
+			break
+		}
+		j.bTuples = append(j.bTuples, t)
+		j.tr.acquire(1)
+	}
+	if err := j.build.Err(); err != nil {
+		return err
+	}
+	j.build.Close()
+	if j.equi {
+		j.byKey = make(map[string][]int, len(j.bTuples))
+		for i, t := range j.bTuples {
+			k := tupleKey(t.Project(j.spec.BCols))
+			j.byKey[k] = append(j.byKey[k], i)
+		}
+	}
+	j.tr.breaker()
+	return nil
+}
+
+func (j *joinIter) Close() {
+	if !j.closed {
+		j.closed = true
+		j.tr.release(len(j.bTuples))
+		j.bTuples, j.byKey = nil, nil
+		j.probe.Close()
+		j.build.Close()
+	}
+	j.done = true
+}
+
+// divideIter is a full pipeline breaker: division's x-vector semantics
+// need the complete dividend and divisor, so both children are drained
+// and the word-parallel divide runs once; the quotient then streams out.
+type divideIter struct {
+	iterCore
+	l, r               TupleIterator
+	aQuot, aDiv, bCols []int
+	built              bool
+	out                *relation.Relation
+	pos                int
+	tr                 *peakTracker
+	cost               *nodeCost
+}
+
+func (d *divideIter) Next() (relation.Tuple, bool) {
+	if d.done {
+		return nil, false
+	}
+	if !d.built {
+		if err := d.run(); err != nil {
+			return d.fail(err)
+		}
+	}
+	if err := d.tick(); err != nil {
+		return d.fail(err)
+	}
+	if d.pos >= d.out.Cardinality() {
+		d.done = true
+		return nil, false
+	}
+	t := d.out.Tuple(d.pos)
+	d.pos++
+	return t, true
+}
+
+func (d *divideIter) run() error {
+	d.built = true
+	a, err := drainIter(d.l, d.tr)
+	if err != nil {
+		return err
+	}
+	b, err := drainIter(d.r, d.tr)
+	if err != nil {
+		return err
+	}
+	res, err := bitset.Divide(a, b, d.aQuot, d.aDiv, d.bCols)
+	if err != nil {
+		return err
+	}
+	d.cost.wordOps += res.Stats.WordOps
+	d.out = res.Rel
+	// The operands are dropped once the quotient exists.
+	d.tr.release(a.Cardinality() + b.Cardinality())
+	d.tr.acquire(d.out.Cardinality())
+	d.tr.breaker()
+	d.schema = d.out.Schema()
+	return nil
+}
+
+func (d *divideIter) Close() {
+	if !d.closed {
+		d.closed = true
+		if d.out != nil {
+			d.tr.release(d.out.Cardinality())
+		}
+		d.l.Close()
+		d.r.Close()
+	}
+	d.done = true
+}
+
+// drainIter materializes the remainder of an iterator into a relation and
+// closes it, charging the tuples to the tracker.
+func drainIter(it TupleIterator, tr *peakTracker) (*relation.Relation, error) {
+	out, err := relation.NewRelation(it.Schema(), nil)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := out.Append(t); err != nil {
+			return nil, err
+		}
+		tr.acquire(1)
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	it.Close()
+	return out, nil
+}
+
+// streamBuild constructs an iterator tree for a plan.
+type streamBuild struct {
+	ctx  context.Context
+	cat  Catalog
+	tr   *peakTracker
+	cost *nodeCost
+}
+
+func (b *streamBuild) core(n Node, s *relation.Schema) iterCore {
+	return iterCore{ctx: b.ctx, node: n, schema: s}
+}
+
+func (b *streamBuild) open(n Node) (TupleIterator, error) {
+	switch op := n.(type) {
+	case Scan:
+		r, ok := b.cat[op.Name]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q", op.Name)
+		}
+		return &scanIter{iterCore: b.core(n, r.Schema()), rel: r}, nil
+
+	case Select:
+		child, err := b.open(op.Child)
+		if err != nil {
+			return nil, err
+		}
+		if err := op.Query.Validate(child.Schema()); err != nil {
+			child.Close()
+			return nil, err
+		}
+		return &selectIter{iterCore: b.core(n, child.Schema()), child: child, query: op.Query}, nil
+
+	case Dedup:
+		child, err := b.open(op.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &dedupIter{iterCore: b.core(n, child.Schema()), child: child,
+			seen: make(map[string]struct{}), tr: b.tr}, nil
+
+	case Project:
+		child, err := b.open(op.Child)
+		if err != nil {
+			return nil, err
+		}
+		s, err := child.Schema().ProjectSchema(op.Cols)
+		if err != nil {
+			child.Close()
+			return nil, err
+		}
+		return &dedupIter{iterCore: b.core(n, s), child: child, cols: op.Cols,
+			seen: make(map[string]struct{}), tr: b.tr}, nil
+
+	case Union:
+		l, r, err := b.openPair(op.L, op.R, true)
+		if err != nil {
+			return nil, err
+		}
+		return &unionIter{iterCore: b.core(n, l.Schema()), l: l, r: r,
+			seen: make(map[string]struct{}), tr: b.tr}, nil
+
+	case Intersect:
+		l, r, err := b.openPair(op.L, op.R, true)
+		if err != nil {
+			return nil, err
+		}
+		return &membershipIter{iterCore: b.core(n, l.Schema()), probe: l, build: r,
+			want: true, tr: b.tr}, nil
+
+	case Difference:
+		l, r, err := b.openPair(op.L, op.R, true)
+		if err != nil {
+			return nil, err
+		}
+		return &membershipIter{iterCore: b.core(n, l.Schema()), probe: l, build: r,
+			want: false, tr: b.tr}, nil
+
+	case Join:
+		l, r, err := b.openPair(op.L, op.R, false)
+		if err != nil {
+			return nil, err
+		}
+		spec, equi, schema, bKeep, err := joinSchema(l.Schema(), r.Schema(), op.Spec)
+		if err != nil {
+			l.Close()
+			r.Close()
+			return nil, err
+		}
+		return &joinIter{iterCore: b.core(n, schema), probe: l, build: r,
+			spec: spec, equi: equi, bKeep: bKeep, tr: b.tr}, nil
+
+	case Divide:
+		l, r, err := b.openPair(op.L, op.R, false)
+		if err != nil {
+			return nil, err
+		}
+		// The quotient schema is A projected onto AQuot; computed up front
+		// so Schema() is valid before the division runs.
+		s, err := l.Schema().ProjectSchema(op.AQuot)
+		if err != nil {
+			l.Close()
+			r.Close()
+			return nil, err
+		}
+		return &divideIter{iterCore: b.core(n, s), l: l, r: r,
+			aQuot: op.AQuot, aDiv: op.ADiv, bCols: op.BCols, tr: b.tr, cost: b.cost}, nil
+	}
+	return nil, fmt.Errorf("query: unsupported plan node %T", n)
+}
+
+// openPair opens both children, optionally enforcing union compatibility
+// (§2.4), and closes whatever was opened on failure.
+func (b *streamBuild) openPair(ln, rn Node, compatible bool) (TupleIterator, TupleIterator, error) {
+	l, err := b.open(ln)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := b.open(rn)
+	if err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	if compatible && !l.Schema().UnionCompatible(r.Schema()) {
+		l.Close()
+		r.Close()
+		return nil, nil, fmt.Errorf("query: operands are not union-compatible")
+	}
+	return l, r, nil
+}
+
+// joinSchema validates a join spec against the operand schemas and builds
+// the result layout: A's columns, then B's minus the dropped join columns
+// (equi-joins only), name collisions prefixed "b_" — the schema-level
+// mirror of join.Materialize's resultSchema.
+func joinSchema(ls, rs *relation.Schema, spec join.Spec) (join.Spec, bool, *relation.Schema, []int, error) {
+	fail := func(err error) (join.Spec, bool, *relation.Schema, []int, error) {
+		return join.Spec{}, false, nil, nil, err
+	}
+	if len(spec.ACols) == 0 {
+		return fail(fmt.Errorf("join: no join columns specified"))
+	}
+	if len(spec.ACols) != len(spec.BCols) {
+		return fail(fmt.Errorf("join: %d columns of A against %d of B", len(spec.ACols), len(spec.BCols)))
+	}
+	if spec.Ops == nil {
+		spec.Ops = make([]cells.Op, len(spec.ACols))
+	}
+	if len(spec.Ops) != len(spec.ACols) {
+		return fail(fmt.Errorf("join: %d operators for %d column pairs", len(spec.Ops), len(spec.ACols)))
+	}
+	equi := true
+	for k := range spec.ACols {
+		ca, cb := spec.ACols[k], spec.BCols[k]
+		if ca < 0 || ca >= ls.Width() {
+			return fail(fmt.Errorf("join: column %d of A out of range [0,%d)", ca, ls.Width()))
+		}
+		if cb < 0 || cb >= rs.Width() {
+			return fail(fmt.Errorf("join: column %d of B out of range [0,%d)", cb, rs.Width()))
+		}
+		if !ls.Col(ca).Domain.Same(rs.Col(cb).Domain) {
+			return fail(fmt.Errorf("join: columns %q and %q are not drawn from the same underlying domain",
+				ls.Col(ca).Name, rs.Col(cb).Name))
+		}
+		if spec.Ops[k] != cells.EQ {
+			equi = false
+		}
+	}
+	drop := make(map[int]bool)
+	if equi {
+		for _, c := range spec.BCols {
+			drop[c] = true
+		}
+	}
+	names := make(map[string]bool)
+	cols := make([]relation.Column, 0, ls.Width()+rs.Width())
+	for i := 0; i < ls.Width(); i++ {
+		c := ls.Col(i)
+		names[c.Name] = true
+		cols = append(cols, c)
+	}
+	var bKeep []int
+	for i := 0; i < rs.Width(); i++ {
+		if drop[i] {
+			continue
+		}
+		c := rs.Col(i)
+		for names[c.Name] {
+			c.Name = "b_" + c.Name
+		}
+		names[c.Name] = true
+		cols = append(cols, c)
+		bKeep = append(bKeep, i)
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return fail(err)
+	}
+	return spec, equi, schema, bKeep, nil
+}
+
+// Open builds the streaming iterator tree for a plan without running it.
+// The context is observed by every iterator at batch granularity. Callers
+// must Close the iterator and check Err after the final Next.
+func Open(ctx context.Context, n Node, cat Catalog, o *Options) (TupleIterator, error) {
+	if n == nil {
+		return nil, fmt.Errorf("query: nil plan node")
+	}
+	_ = o // reserved: Open currently needs no per-caller options
+	b := &streamBuild{ctx: ctx, cat: cat, tr: &peakTracker{}, cost: &nodeCost{}}
+	return b.open(n)
+}
+
+// execStream runs a plan through the streaming executor, draining the
+// iterator tree into a result relation. Stats (PeakTuples,
+// MaterializedNodes, WordOps for the divide breaker) land in o.Stats.
+func execStream(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relation, error) {
+	reg := o.registry()
+	stop := reg.Timer("query_stream_host_seconds", nil).Start()
+	defer stop()
+	tr := &peakTracker{}
+	var cost nodeCost
+	b := &streamBuild{ctx: ctx, cat: cat, tr: tr, cost: &cost}
+	it, err := b.open(n)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out, err := relation.NewRelation(it.Schema(), nil)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		tr.acquire(1) // the accumulating result is executor-owned too
+		if err := out.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	reg.Counter("query_stream_execs_total", nil).Inc()
+	if o != nil && o.Stats != nil {
+		o.Stats.Pulses += cost.pulses
+		o.Stats.WordOps += cost.wordOps
+		if tr.peak > o.Stats.PeakTuples {
+			o.Stats.PeakTuples = tr.peak
+		}
+		o.Stats.MaterializedNodes += tr.materialized
+	}
+	return out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"systolicdb/internal/cells"
+	"systolicdb/internal/join"
 	"systolicdb/internal/lptdisk"
 )
 
@@ -17,15 +18,19 @@ import (
 //     -> op(select(l, P), select(r, P))   [same-schema set operations]
 //  3. select(project(e, cols), P)      -> project(select(e, P'), cols)
 //     with P' rewritten through the column map
-//  4. select(join(l, r), P)            -> join(select(l, P), r) when every
-//     predicate references columns of l (the join result starts with l's
-//     columns unchanged)
+//  4. select(join(l, r), P)            -> join(select(l, Pl), select(r, Pr))
+//     with P split column-by-column between the inputs: the join result
+//     is l's columns unchanged followed by r's kept columns (equi-joins
+//     drop r's join columns), so every single-column predicate maps to
+//     exactly one input
 //  5. dedup(dedup(e))                  -> dedup(e)
 //  6. dedup(project(e, cols))          -> project(e, cols)   [project dedups]
 //  7. dedup(union(l, r))               -> union(l, r)        [union dedups]
 //  8. dedup(intersect(l, r))           -> intersect(dedup(l), r)
 //     [membership testing preserves A's duplicates; dedup A first instead]
 //  9. project(project(e, c1), c2)      -> project(e, c1∘c2)
+//  10. select(dedup(e), P)              -> dedup(select(e, P))
+//     [filtering commutes with duplicate removal]
 //
 // The goal of the selection rules is to sink every Select onto a Scan, at
 // which point Compile turns it into logic-per-track disk filtering ("some
@@ -76,31 +81,36 @@ func width(n Node, cat Catalog) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		// Equi-joins drop R's join columns; θ-joins keep everything.
-		drop := 0
-		equi := true
-		for _, o := range op.Spec.Ops {
-			if o != cells.EQ {
-				equi = false
-			}
-		}
-		if op.Spec.Ops == nil {
-			equi = true
-		}
-		if equi {
-			seen := map[int]bool{}
-			for _, c := range op.Spec.BCols {
-				if !seen[c] {
-					seen[c] = true
-					drop++
-				}
-			}
-		}
-		return lw + rw - drop, nil
+		return lw + len(joinBKeep(op.Spec, rw)), nil
 	case Divide:
 		return len(op.AQuot), nil
 	}
 	return 0, fmt.Errorf("query: unknown node %T", n)
+}
+
+// joinBKeep mirrors join.Materialize's output layout: the join result is
+// L's columns followed by the R input columns listed here, in order
+// (equi-joins drop R's join columns; θ-joins keep everything).
+func joinBKeep(spec join.Spec, rw int) []int {
+	equi := true
+	for _, o := range spec.Ops {
+		if o != cells.EQ {
+			equi = false
+		}
+	}
+	drop := make(map[int]bool)
+	if equi {
+		for _, c := range spec.BCols {
+			drop[c] = true
+		}
+	}
+	keep := make([]int, 0, rw)
+	for i := 0; i < rw; i++ {
+		if !drop[i] {
+			keep = append(keep, i)
+		}
+	}
+	return keep
 }
 
 // rewrite applies one bottom-up pass of the rules.
@@ -242,24 +252,44 @@ func rewrite(n Node, cat Catalog) (Node, bool, error) {
 					Cols:  inner.Cols,
 				}, true, nil
 			}
-		case Join: // rule 4: push predicates that only touch L's columns
+		case Dedup: // rule 10
+			return Dedup{Child: Select{Child: inner.Child, Query: op.Query}}, true, nil
+		case Join: // rule 4: split predicates between the join's inputs
 			lw, err := width(inner.L, cat)
 			if err != nil {
 				return nil, false, err
 			}
-			allLeft := len(op.Query) > 0
+			rw, err := width(inner.R, cat)
+			if err != nil {
+				return nil, false, err
+			}
+			bKeep := joinBKeep(inner.Spec, rw)
+			var lq, rq lptdisk.Query
+			valid := len(op.Query) > 0
 			for _, p := range op.Query {
-				if p.Col < 0 || p.Col >= lw {
-					allLeft = false
+				switch {
+				case p.Col >= 0 && p.Col < lw:
+					lq = append(lq, p)
+				case p.Col >= lw && p.Col < lw+len(bKeep):
+					// Output column lw+i is R's input column bKeep[i],
+					// value-identical in every emitted row.
+					rq = append(rq, lptdisk.Predicate{Col: bKeep[p.Col-lw], Op: p.Op, Value: p.Value})
+				default:
+					valid = false // out-of-range predicate: keep the Select so it still errors at execution
+				}
+				if !valid {
 					break
 				}
 			}
-			if allLeft {
-				return Join{
-					L:    Select{Child: inner.L, Query: op.Query},
-					R:    inner.R,
-					Spec: inner.Spec,
-				}, true, nil
+			if valid {
+				l, r := inner.L, inner.R
+				if len(lq) > 0 {
+					l = Select{Child: l, Query: lq}
+				}
+				if len(rq) > 0 {
+					r = Select{Child: r, Query: rq}
+				}
+				return Join{L: l, R: r, Spec: inner.Spec}, true, nil
 			}
 		}
 		return Select{Child: child, Query: op.Query}, changed, nil

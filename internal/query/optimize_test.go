@@ -130,7 +130,9 @@ func TestOptimizeJoinPushdown(t *testing.T) {
 	if _, ok := j.L.(Select); !ok {
 		t.Fatal("predicate on A's columns not pushed into the join's left input")
 	}
-	// A predicate on B's part of the join output must NOT be pushed.
+	// A predicate on B's part of the join output is pushed into the
+	// right input, remapped through the kept-column layout: output
+	// column 2 is B's input column 1 (the equi-join drops B column 0).
 	plan2 := Select{
 		Child: Join{L: Scan{Name: "A"}, R: Scan{Name: "B"}, Spec: spec},
 		Query: ltQ(2, 3), // column 2 comes from B
@@ -139,8 +141,32 @@ func TestOptimizeJoinPushdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := opt2.(Select); !ok {
-		t.Fatalf("optimized root is %T; select on B-columns must stay above the join", opt2)
+	j2, ok := opt2.(Join)
+	if !ok {
+		t.Fatalf("optimized root is %T, want Join", opt2)
+	}
+	rs, ok := j2.R.(Select)
+	if !ok {
+		t.Fatal("predicate on B's columns not pushed into the join's right input")
+	}
+	if len(rs.Query) != 1 || rs.Query[0].Col != 1 {
+		t.Fatalf("pushed predicate targets column %v, want B input column 1", rs.Query)
+	}
+	if _, ok := j2.L.(Select); ok {
+		t.Fatal("left input gained a spurious select")
+	}
+	// An out-of-range predicate must stay above the join so execution
+	// still reports the error.
+	plan3 := Select{
+		Child: Join{L: Scan{Name: "A"}, R: Scan{Name: "B"}, Spec: spec},
+		Query: ltQ(99, 3),
+	}
+	opt3, err := Optimize(plan3, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := opt3.(Select); !ok {
+		t.Fatalf("optimized root is %T; out-of-range select must stay above the join", opt3)
 	}
 }
 

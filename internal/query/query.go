@@ -115,6 +115,20 @@ type Catalog map[string]*relation.Relation
 type ExecStats struct {
 	Pulses  int // simulated array pulses summed over all plan nodes (pulse backend)
 	WordOps int // uint64 word operations summed over all plan nodes (bitset backend)
+
+	// PeakTuples is the high-water mark of tuples held in executor-owned
+	// storage at any instant: intermediate relations on the materializing
+	// path; build tables, dedup sets and the accumulating result on the
+	// streaming path. It is the number the streaming executor exists to
+	// shrink. Folded with max, not added, so aggregating several plans
+	// reports the worst plan.
+	PeakTuples int
+
+	// MaterializedNodes counts plan nodes that held a complete
+	// intermediate result: every non-Scan node under the materializing
+	// executor, only the pipeline breakers (join build sides, membership
+	// sets, Divide) under the streaming one.
+	MaterializedNodes int
 }
 
 // Options configures ExecuteCtx and CompileOpts.
@@ -134,6 +148,18 @@ type Options struct {
 	// backend. Per-node spans carry the backend as a metric label, so
 	// /metrics distinguishes the two.
 	Backend machine.Backend
+
+	// Streaming routes ExecuteCtx through the pull-based iterator
+	// executor (see iterator.go) instead of the materializing one.
+	// Results are tuple-identical; only the memory profile and the
+	// per-node metrics differ (streaming records one plan-level span,
+	// not per-node spans). Ignored by Compile and the machine path.
+	Streaming bool
+
+	// peak carries the tuple high-water tracker through the materializing
+	// executor's recursion; set internally by ExecuteCtx when Stats is
+	// requested.
+	peak *peakTracker
 }
 
 // registry resolves the effective metrics registry; usable on a nil
@@ -213,7 +239,34 @@ func ExecuteCtx(ctx context.Context, n Node, cat Catalog, o *Options) (*relation
 	if n == nil {
 		return nil, fmt.Errorf("query: nil plan node")
 	}
+	if o != nil && o.Streaming {
+		return execStream(ctx, n, cat, o)
+	}
+	if o != nil && o.Stats != nil && o.peak == nil {
+		// Run with a private tracker and fold the high-water mark in at
+		// the end; the shallow copy keeps the caller's Options untouched.
+		oc := *o
+		oc.peak = &peakTracker{}
+		rel, err := exec(ctx, n, cat, &oc)
+		if err != nil {
+			return nil, err
+		}
+		if oc.peak.peak > o.Stats.PeakTuples {
+			o.Stats.PeakTuples = oc.peak.peak
+		}
+		o.Stats.MaterializedNodes += oc.peak.materialized
+		return rel, nil
+	}
 	return exec(ctx, n, cat, o)
+}
+
+// tracker resolves the peak-tuple tracker; usable on a nil receiver (a
+// nil *peakTracker is inert).
+func (o *Options) tracker() *peakTracker {
+	if o != nil {
+		return o.peak
+	}
+	return nil
 }
 
 // nodeCost is the per-node cost on whichever backend ran it: simulated
@@ -229,11 +282,24 @@ func exec(ctx context.Context, n Node, cat Catalog, o *Options) (*relation.Relat
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("query: plan cancelled at %s node: %w", opName(n), err)
 	}
+	tr := o.tracker()
+	tr.enter()
 	start := time.Now()
 	rel, c, err := eval(ctx, n, cat, o)
 	if err != nil {
 		return nil, err
 	}
+	// Charge this node's materialized result; child results (accumulated
+	// in the frame) die here, now that the operator has consumed them.
+	own := 0
+	if _, isScan := n.(Scan); !isScan {
+		if rel != nil {
+			own = rel.Cardinality()
+		}
+		tr.breaker()
+	}
+	tr.acquire(own)
+	tr.exit(own)
 	if o != nil && o.Stats != nil {
 		o.Stats.Pulses += c.pulses
 		o.Stats.WordOps += c.wordOps
@@ -437,6 +503,13 @@ func evalSelect(ctx context.Context, op Select, cat Catalog, o *Options) (*relat
 	}
 	keep := make([]bool, c.Cardinality())
 	for i := range keep {
+		// A deadline must interrupt a long filter mid-node, not just
+		// between nodes; check at batch granularity to stay cheap.
+		if i%iterBatch == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nodeCost{}, fmt.Errorf("query: plan cancelled at select node: %w", err)
+			}
+		}
 		keep[i] = op.Query.Matches(c.Tuple(i))
 	}
 	sel, err := c.Select(keep, true)
@@ -474,6 +547,15 @@ func ExecuteOnMachine(ctx context.Context, n Node, cat Catalog, o *Options,
 	if err != nil {
 		return nil, nil, false, err
 	}
+	return ExecuteTasks(ctx, n, cat, o, m, fallback, tasks, out)
+}
+
+// ExecuteTasks is ExecuteOnMachine for an already-compiled transaction —
+// the plan-cache hit path, which skips CompileOpts entirely. The plan n
+// is still needed for the host-fallback rung of the degradation ladder.
+func ExecuteTasks(ctx context.Context, n Node, cat Catalog, o *Options,
+	m *machine.Machine, fallback bool, tasks []machine.Task, out string) (rel *relation.Relation, res *machine.Result, fellBack bool, err error) {
+
 	if err := ctx.Err(); err != nil {
 		return nil, nil, false, err
 	}

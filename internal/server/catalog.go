@@ -24,6 +24,17 @@ type Catalog struct {
 	mu      sync.RWMutex
 	rels    query.Catalog // current published snapshot; never mutated in place
 	domains *DomainPool
+
+	// version counts visible-relation mutations: it is bumped by every
+	// Put/Delete of a non-hidden name. Plan caches stamp entries with the
+	// version they were prepared against and drop them on mismatch —
+	// equal versions guarantee the visible catalog maps the same names to
+	// the same (immutable) relation values, so a prepared plan (schemas,
+	// widths, even compiled task lists holding relation pointers) is
+	// still exact. Hidden (`__`-prefixed) names — cluster membership,
+	// shuffle temps — don't bump it, and plans reading them are never
+	// cached.
+	version uint64
 }
 
 // NewCatalog returns an empty catalog with a fresh domain pool.
@@ -44,6 +55,23 @@ func (c *Catalog) Snapshot() query.Catalog {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.rels
+}
+
+// Version returns the current mutation counter (see the field docs).
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// SnapshotVersion returns the relation map and the version it was
+// published at, atomically — the pair a plan cache needs: a plan
+// prepared against this snapshot is valid exactly as long as lookups
+// still observe this version.
+func (c *Catalog) SnapshotVersion() (query.Catalog, uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rels, c.version
 }
 
 // Get returns the named relation, or false.
@@ -93,6 +121,9 @@ func (c *Catalog) Put(name string, rel *relation.Relation) error {
 	}
 	next[name] = rel
 	c.rels = next
+	if !strings.HasPrefix(name, hiddenPrefix) {
+		c.version++
+	}
 	return nil
 }
 
@@ -110,6 +141,9 @@ func (c *Catalog) Delete(name string) bool {
 		}
 	}
 	c.rels = next
+	if !strings.HasPrefix(name, hiddenPrefix) {
+		c.version++
+	}
 	return true
 }
 

@@ -130,6 +130,12 @@ type Config struct {
 	// the local engine. The coordinator's own catalog+WAL still hold the
 	// reserved cluster-state relations (shard map, relation directory).
 	Cluster *cluster.Coordinator
+
+	// PlanCacheSize bounds the LRU of prepared plans keyed by canonical
+	// plan text + backend, invalidated by the catalog version counter
+	// (the coordinator's own counter in cluster mode). 0 selects the
+	// default (256); negative disables plan caching entirely.
+	PlanCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +169,9 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 256
 	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
@@ -179,6 +188,11 @@ type Server struct {
 	health *fault.Health // process-wide quarantine state (nil without cfg.Fault)
 	wal    *wal.Log      // durability log (nil = in-memory catalog)
 	dedup  *dedupWindow  // idempotency keys already committed
+
+	// planCache memoizes prepared plans across requests; nil when
+	// disabled. Entries are stamped with the catalog (or coordinator)
+	// version, so PUT/DELETE invalidate by bumping the counter.
+	planCache *query.PlanCache
 
 	// commitMu orders WAL appends against catalog publishes: each mutation
 	// holds it across append + publish, and the snapshot trigger holds it
@@ -219,6 +233,9 @@ func New(cfg Config) *Server {
 		wal:   cfg.WAL,
 		dedup: newDedupWindow(0),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	if cfg.PlanCacheSize > 0 {
+		s.planCache = query.NewPlanCache(cfg.PlanCacheSize, cfg.Metrics)
 	}
 	if s.wal != nil {
 		// Re-seed the idempotency window from the log, so a retry that
@@ -700,6 +717,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			status = "degraded"
 		}
 	}
+	if s.planCache != nil {
+		body["plan_cache"] = s.planCache.Stats()
+	}
 	if s.draining.Load() {
 		status = "draining"
 	}
@@ -754,6 +774,11 @@ type queryRequest struct {
 	// silent fallback to the default.
 	Backend string `json:"backend"`
 
+	// Streaming runs the plan through the pull-based iterator executor:
+	// tuple-identical results, bounded intermediate memory (see the
+	// peak_tuples response field). Incompatible with "machine".
+	Streaming bool `json:"streaming"`
+
 	// backend is the resolved Backend (request override or server
 	// default), set by handleQuery before the query runs.
 	backend machine.Backend
@@ -786,6 +811,15 @@ type queryResponse struct {
 	SimTime    float64        `json:"sim_seconds"` // pulses under the 1980 technology model
 	ElapsedMS  float64        `json:"elapsed_ms"`
 	Machine    *machineReport `json:"machine,omitempty"`
+
+	// CacheHit reports that the prepared plan came from the plan cache
+	// (Parse and Optimize were skipped).
+	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// PeakTuples / MaterializedNodes report the executor's memory
+	// profile (see query.ExecStats); host-executor paths only.
+	PeakTuples        int `json:"peak_tuples,omitempty"`
+	MaterializedNodes int `json:"materialized_nodes,omitempty"`
 
 	// Degraded reports that the machine gave up and the result was
 	// produced by the host-executor fallback instead.
@@ -990,20 +1024,75 @@ func (s *Server) observeQueryDuration(d time.Duration) {
 	s.avgQueryNanos.Store(old - old/8 + int64(d)/8)
 }
 
-// runQuery parses, optimizes and executes one plan against a catalog
-// snapshot, on the host arrays or the §9 machine.
-func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryResponse, error) {
-	plan, err := query.Parse(req.Plan)
-	if err != nil {
-		return nil, err
+// preparePlan resolves a request's plan text to a prepared (parsed +
+// optionally optimized) plan, consulting the plan cache first. A hit
+// skips Parse and Optimize; a miss prepares the plan and — when it
+// touches no hidden relations — inserts it stamped with the given
+// version. resp.Plan/Optimized/CacheHit are filled either way.
+func (s *Server) preparePlan(req *queryRequest, resp *queryResponse, cat query.Catalog,
+	version uint64, optimize bool) (query.Node, *query.CachedPlan, error) {
+
+	if cp, ok := s.planCache.Lookup(req.Plan, req.backend, optimize, version); ok {
+		resp.Plan, resp.Optimized, resp.CacheHit = cp.Canonical, cp.Rendered, true
+		return cp.Plan, cp, nil
 	}
-	cat := s.cat.Snapshot()
-	resp := &queryResponse{Plan: query.Render(plan)}
+	parsed, err := query.Parse(req.Plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	canonical := query.Render(parsed)
+	resp.Plan = canonical
+	if cp, ok := s.planCache.LookupCanonical(req.Plan, canonical, req.backend, optimize, version); ok {
+		resp.Optimized, resp.CacheHit = cp.Rendered, true
+		return cp.Plan, cp, nil
+	}
+	plan := parsed
+	if optimize {
+		if plan, err = query.Optimize(plan, cat); err != nil {
+			return nil, nil, err
+		}
+	}
+	resp.Optimized = query.Render(plan)
+	var cached *query.CachedPlan
+	if s.planCache != nil && cacheablePlan(parsed) {
+		cached = s.planCache.Insert(req.Plan, canonical, req.backend, optimize, version, plan)
+	}
+	return plan, cached, nil
+}
+
+// cacheablePlan reports whether a plan may be cached: plans reading
+// hidden (`__`-prefixed) relations — cluster temps, membership state —
+// are not, because hidden names don't bump the catalog version counter.
+func cacheablePlan(n query.Node) bool {
+	for _, name := range query.ScanNames(n) {
+		if strings.HasPrefix(name, hiddenPrefix) {
+			return false
+		}
+	}
+	return true
+}
+
+// runQuery prepares (via the plan cache) and executes one plan against a
+// catalog snapshot, on the host arrays or the §9 machine.
+func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryResponse, error) {
+	if req.Streaming && req.Machine {
+		return nil, fmt.Errorf("streaming and machine execution are mutually exclusive")
+	}
+	resp := &queryResponse{}
 	if s.cfg.Cluster != nil {
 		// Coordinator mode: the optimizer needs catalog cardinalities the
 		// coordinator doesn't hold, so the plan scatters as written; the
 		// executor's own strategies (co-partition, broadcast, shuffle) do
-		// the distributed planning.
+		// the distributed planning. The cache still skips Parse, stamped
+		// with the coordinator's version counter (shard daemons invalidate
+		// their own sub-plan caches through their catalog counters).
+		if req.Streaming {
+			return nil, fmt.Errorf("streaming execution is not available in coordinator mode")
+		}
+		plan, _, err := s.preparePlan(req, resp, nil, s.cfg.Cluster.Version(), false)
+		if err != nil {
+			return nil, err
+		}
 		resp.Optimized = resp.Plan
 		resp.Backend = req.backend.String()
 		resp.Distributed = true
@@ -1027,21 +1116,20 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryRespons
 		}
 		return resp, nil
 	}
-	if !req.NoOptimize {
-		if plan, err = query.Optimize(plan, cat); err != nil {
-			return nil, err
-		}
+	cat, version := s.cat.SnapshotVersion()
+	plan, cached, err := s.preparePlan(req, resp, cat, version, !req.NoOptimize)
+	if err != nil {
+		return nil, err
 	}
-	resp.Optimized = query.Render(plan)
 
 	var (
 		rel *relation.Relation
 		st  query.ExecStats
 	)
-	opts := &query.Options{Metrics: s.reg, Stats: &st, Backend: req.backend}
+	opts := &query.Options{Metrics: s.reg, Stats: &st, Backend: req.backend, Streaming: req.Streaming}
 	resp.Backend = req.backend.String()
 	if req.Machine {
-		rel, resp.Machine, resp.Degraded, err = s.runOnMachine(ctx, plan, cat, opts, req)
+		rel, resp.Machine, resp.Degraded, err = s.runOnMachine(ctx, plan, cat, opts, req, cached)
 	} else {
 		rel, err = query.ExecuteCtx(ctx, plan, cat, opts)
 	}
@@ -1051,6 +1139,8 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryRespons
 	resp.Rows = rel.Cardinality()
 	resp.Pulses = st.Pulses
 	resp.WordOps = st.WordOps
+	resp.PeakTuples = st.PeakTuples
+	resp.MaterializedNodes = st.MaterializedNodes
 	if resp.Machine != nil {
 		// Host-executor spans don't run on the machine path; the event
 		// pulse counts are the authoritative total there.
@@ -1094,14 +1184,28 @@ func (s *Server) machineFault(req *queryRequest) *machine.FaultConfig {
 	return &fc
 }
 
-// runOnMachine compiles the plan to a transaction and runs it on a §9
-// machine recording into the server registry, degrading to the host
-// executor when the machine gives up (unless the request forbids it). The
-// machine simulation itself is not cancellable, but the context is checked
+// runOnMachine compiles the plan to a transaction — or reuses the cached
+// plan's memoized compilation — and runs it on a §9 machine recording
+// into the server registry, degrading to the host executor when the
+// machine gives up (unless the request forbids it). The machine
+// simulation itself is not cancellable, but the context is checked
 // before committing to the run.
 func (s *Server) runOnMachine(ctx context.Context, plan query.Node, cat query.Catalog,
-	opts *query.Options, req *queryRequest) (*relation.Relation, *machineReport, bool, error) {
+	opts *query.Options, req *queryRequest, cached *query.CachedPlan) (*relation.Relation, *machineReport, bool, error) {
 
+	var (
+		tasks []machine.Task
+		out   string
+		err   error
+	)
+	if cached != nil {
+		tasks, out, err = cached.Tasks(cat, opts)
+	} else {
+		tasks, out, err = query.CompileOpts(plan, cat, opts)
+	}
+	if err != nil {
+		return nil, nil, false, err
+	}
 	size := decompose.ArraySize{MaxA: s.cfg.ArraySize, MaxB: s.cfg.ArraySize}
 	mach, err := machine.New(machine.Config{
 		Memories: 3,
@@ -1119,7 +1223,7 @@ func (s *Server) runOnMachine(ctx context.Context, plan query.Node, cat query.Ca
 	if err != nil {
 		return nil, nil, false, err
 	}
-	rel, res, fellBack, err := query.ExecuteOnMachine(ctx, plan, cat, opts, mach, !req.NoFallback)
+	rel, res, fellBack, err := query.ExecuteTasks(ctx, plan, cat, opts, mach, !req.NoFallback, tasks, out)
 	if err != nil {
 		return nil, nil, fellBack, err
 	}
