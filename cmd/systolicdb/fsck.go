@@ -10,24 +10,20 @@ import (
 	"systolicdb/internal/wal"
 )
 
-// runFsck validates a systolicdbd data directory offline and prints the
-// per-file report. It never modifies the directory; the returned error
-// (→ exit status 1) means the daemon would refuse to recover from it.
-func runFsck(w io.Writer, dir string) error {
-	if dir == "" {
-		return fmt.Errorf("-op fsck needs -data-dir <dir>")
-	}
-	// Decode through a fresh catalog pool, exactly as a recovering daemon
-	// would, so fsck exercises the same schema/domain/checksum path.
+// fsckDecoder builds the decode hook fsck and repair share: a fresh
+// catalog pool per pass, exactly as a recovering daemon would use, so
+// the same schema/domain/checksum path is exercised.
+func fsckDecoder() wal.DecodeFunc {
 	cat := server.NewCatalog()
-	rep, err := wal.Fsck(dir, func(table string) (*relation.Relation, error) {
+	return func(table string) (*relation.Relation, error) {
 		return cat.ParseTable(strings.NewReader(table), "")
-	})
-	if err != nil {
-		return err
 	}
+}
 
-	fmt.Fprintf(w, "fsck %s\n", rep.Dir)
+// printFsckReport renders one FsckReport: per-file status with the
+// scrubber-style CRC coverage (the fraction of each file's bytes inside
+// verified frames), then the recovery summary.
+func printFsckReport(w io.Writer, rep *wal.FsckReport) {
 	printFile := func(kind string, fr wal.FileReport) {
 		status := "ok"
 		switch {
@@ -38,7 +34,8 @@ func runFsck(w io.Writer, dir string) error {
 		case fr.TornBytes > 0:
 			status = fmt.Sprintf("torn tail (%d byte(s); truncated at next recovery)", fr.TornBytes)
 		}
-		fmt.Fprintf(w, "  %-8s %s  %6d bytes  %3d record(s)  %s\n", kind, fr.Name, fr.Bytes, fr.Records, status)
+		fmt.Fprintf(w, "  %-8s %s  %6d bytes  %3d record(s)  %5.1f%% CRC-covered  %s\n",
+			kind, fr.Name, fr.Bytes, fr.Records, 100*fr.Coverage(), status)
 		if fr.Err != "" {
 			fmt.Fprintf(w, "           %s\n", fr.Err)
 		}
@@ -51,13 +48,50 @@ func runFsck(w io.Writer, dir string) error {
 	}
 	fmt.Fprintf(w, "  %d relation(s) recoverable, %d live record(s) replayed, %d relation(s) checksum-verified\n",
 		rep.Relations, rep.Records, rep.Verified)
-
-	if !rep.OK() {
-		for _, e := range rep.Errors {
-			fmt.Fprintf(w, "  error: %s\n", e)
-		}
-		return fmt.Errorf("fsck: %d error(s) in %s — the daemon will refuse to recover from this directory", len(rep.Errors), dir)
+	for _, e := range rep.Errors {
+		fmt.Fprintf(w, "  error: %s\n", e)
 	}
-	fmt.Fprintln(w, "  clean: the daemon will recover this directory")
+}
+
+// runFsck validates a systolicdbd data directory offline and prints the
+// per-file report. Without -repair it never modifies the directory; the
+// returned error (→ exit status 1) means the daemon would refuse to
+// recover from it. With -repair, hard-corrupt files are quarantined
+// into the corrupt/ subdirectory — explicitly lossy (their acked
+// records are abandoned in quarantine for the operator or a replica
+// re-sync) — and the remainder is re-validated.
+func runFsck(w io.Writer, dir string, repair bool) error {
+	if dir == "" {
+		return fmt.Errorf("-op fsck needs -data-dir <dir>")
+	}
+	rep, err := wal.Fsck(dir, fsckDecoder())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fsck %s\n", rep.Dir)
+	printFsckReport(w, rep)
+	if rep.OK() {
+		fmt.Fprintln(w, "  clean: the daemon will recover this directory")
+		return nil
+	}
+	if !repair {
+		return fmt.Errorf("fsck: %d error(s) in %s — the daemon will refuse to recover from this directory (rerun with -repair to quarantine the damage)",
+			len(rep.Errors), dir)
+	}
+
+	rrep, err := wal.Repair(dir, fsckDecoder())
+	if err != nil {
+		return err
+	}
+	for _, name := range rrep.Quarantined {
+		fmt.Fprintf(w, "  quarantined %s -> corrupt/%s\n", name, name)
+	}
+	fmt.Fprintln(w, "after repair:")
+	printFsckReport(w, rrep.After)
+	if !rrep.After.OK() {
+		return fmt.Errorf("fsck: %d error(s) remain after quarantining %d file(s) — the damage is not confined to whole files",
+			len(rrep.After.Errors), len(rrep.Quarantined))
+	}
+	fmt.Fprintf(w, "  repaired: %d file(s) quarantined; the daemon will recover this directory\n", len(rrep.Quarantined))
 	return nil
 }

@@ -44,9 +44,12 @@ func TestRunFsckCleanAndCorrupt(t *testing.T) {
 	dir := t.TempDir()
 	seg := seedDataDir(t, dir)
 
-	out := capture(t, func() error { return runFsck(os.Stdout, dir) })
+	out := capture(t, func() error { return runFsck(os.Stdout, dir, false) })
 	if !strings.Contains(out, "clean") || !strings.Contains(out, "1 relation(s) recoverable") {
 		t.Errorf("clean fsck report wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "100.0% CRC-covered") {
+		t.Errorf("clean fsck report missing full CRC coverage:\n%s", out)
 	}
 
 	// Flip a payload bit mid-record: fsck must report, not heal, and fail.
@@ -60,7 +63,7 @@ func TestRunFsckCleanAndCorrupt(t *testing.T) {
 	if err := os.WriteFile(seg, append(data, make([]byte, 16)...), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err = runFsck(os.Stdout, dir)
+	err = runFsck(os.Stdout, dir, false)
 	if err == nil {
 		t.Fatal("fsck passed a corrupted directory")
 	}
@@ -68,8 +71,44 @@ func TestRunFsckCleanAndCorrupt(t *testing.T) {
 		t.Errorf("fsck error should say the daemon will refuse: %v", err)
 	}
 
-	if err := runFsck(os.Stdout, ""); err == nil {
+	if err := runFsck(os.Stdout, "", false); err == nil {
 		t.Error("fsck without -data-dir accepted")
+	}
+}
+
+// TestRunFsckRepair corrupts the only live segment and asserts -repair
+// quarantines it into corrupt/, after which the directory validates
+// clean (empty, but recoverable) and the damaged bytes are preserved
+// for the operator.
+func TestRunFsckRepair(t *testing.T) {
+	dir := t.TempDir()
+	seg := seedDataDir(t, dir)
+
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(seg, append(data, make([]byte, 16)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := capture(t, func() error { return runFsck(os.Stdout, dir, true) })
+	if !strings.Contains(out, "quarantined "+filepath.Base(seg)) {
+		t.Errorf("repair did not report the quarantine:\n%s", out)
+	}
+	if !strings.Contains(out, "repaired: 1 file(s) quarantined") {
+		t.Errorf("repair did not report success:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "corrupt", filepath.Base(seg))); err != nil {
+		t.Errorf("damaged segment not preserved in corrupt/: %v", err)
+	}
+	if _, err := os.Stat(seg); !os.IsNotExist(err) {
+		t.Errorf("damaged segment still in the live directory: %v", err)
+	}
+	// The repaired directory must now pass a plain fsck.
+	if err := runFsck(os.Stdout, dir, false); err != nil {
+		t.Errorf("repaired directory still fails fsck: %v", err)
 	}
 }
 

@@ -24,10 +24,14 @@
 //
 // -op fsck validates a systolicdbd -data-dir offline: every write-ahead
 // log frame's CRC, every record's syntax, every relation's decodability
-// and logged checksum, and snapshot integrity. Exit status 0 means the
-// directory would recover cleanly.
+// and logged checksum, and snapshot integrity, with per-file CRC
+// coverage in the report. Exit status 0 means the directory would
+// recover cleanly. Adding -repair quarantines hard-corrupt files into
+// the corrupt/ subdirectory (lossy: their records are abandoned in
+// quarantine) so the daemon boots again.
 //
 //	systolicdb -op fsck -data-dir /var/lib/systolicdb
+//	systolicdb -op fsck -data-dir /var/lib/systolicdb -repair
 package main
 
 import (
@@ -77,6 +81,7 @@ func main() {
 		text       = flag.String("text", "systolic arrays pump data as the heart pumps blood", "text for -op match")
 		q          = flag.String("q", "", "plan for -op query, e.g. \"project(join(scan(A), scan(B), 0=0), 0)\"")
 		dataDir    = flag.String("data-dir", "", "for -op fsck: the systolicdbd data directory to validate")
+		repair     = flag.Bool("repair", false, "for -op fsck: quarantine hard-corrupt files into corrupt/ so the directory recovers (lossy)")
 		onMach     = flag.Bool("machine", false, "run -op query on the §9 crossbar machine and print the schedule")
 		quiet      = flag.Bool("quiet", false, "suppress relation dumps, print stats only")
 		metrics    = flag.Bool("metrics", false, "emit the run's metrics registry (text and JSON) after the result")
@@ -105,7 +110,7 @@ func main() {
 		case "match":
 			err = runMatch(*pattern, *text)
 		case "fsck":
-			err = runFsck(os.Stdout, *dataDir)
+			err = runFsck(os.Stdout, *dataDir, *repair)
 		case "query":
 			err = runQuery(*q, *n, *m, *seed, *match, rels, fc, backend, *onMach, *quiet, *metrics)
 		default:

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"systolicdb/internal/cluster"
+	"systolicdb/internal/diskchaos"
 	"systolicdb/internal/fault"
 	"systolicdb/internal/machine"
 	"systolicdb/internal/netchaos"
@@ -74,6 +75,16 @@ type daemonConfig struct {
 	Fsync bool
 	// SnapshotEvery compacts the WAL after this many un-snapshotted records.
 	SnapshotEvery int
+	// DiskChaos injects deterministic storage faults into every WAL and
+	// snapshot I/O (testing/soak only).
+	DiskChaos string
+	// ScrubEvery re-verifies the on-disk catalog at this cadence (0 = off).
+	ScrubEvery time.Duration
+	// ProbeEvery is the read-only recovery probe cadence (0 = default).
+	ProbeEvery time.Duration
+	// RepairFrom is a replica base URL the scrubber read-repairs
+	// corrupt relations from.
+	RepairFrom string
 
 	// Backend is the default execution backend for queries that don't pick
 	// their own with a "backend" request field.
@@ -122,6 +133,10 @@ func main() {
 	flag.StringVar(&cfg.DataDir, "data-dir", "", "durable catalog directory (empty = in-memory only)")
 	flag.BoolVar(&cfg.Fsync, "fsync", true, "fsync the write-ahead log on every catalog mutation")
 	flag.IntVar(&cfg.SnapshotEvery, "snapshot-every", 128, "compact the write-ahead log after this many mutations")
+	flag.StringVar(&cfg.DiskChaos, "diskchaos", "", "inject disk faults into the durable catalog's filesystem; "+diskchaos.SpecHelp())
+	flag.DurationVar(&cfg.ScrubEvery, "scrub-every", 0, "anti-entropy scrub cadence for the durable catalog (0 = off)")
+	flag.DurationVar(&cfg.ProbeEvery, "probe-every", 0, "read-only recovery probe cadence after a disk fault (0 = default 2s)")
+	flag.StringVar(&cfg.RepairFrom, "repair-from", "", "replica base URL the scrubber read-repairs corrupt relations from")
 
 	var (
 		backendFl  = flag.String("backend", "pulse", "default execution backend: pulse | bitset (requests may override per query)")
@@ -152,6 +167,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "systolicdbd: -coordinator and -shards go together")
 		os.Exit(1)
 	}
+	if cfg.DataDir == "" && (cfg.DiskChaos != "" || cfg.ScrubEvery > 0 || cfg.RepairFrom != "") {
+		fmt.Fprintln(os.Stderr, "systolicdbd: -diskchaos, -scrub-every and -repair-from need -data-dir")
+		os.Exit(1)
+	}
 
 	backend, err := machine.ParseBackend(*backendFl)
 	if err == nil {
@@ -172,9 +191,19 @@ func main() {
 // recovered relations. The WAL decodes through cat's own domain pool, so
 // recovered relations stay union-compatible with later loads.
 func openDurable(cfg daemonConfig, cat *server.Catalog, reg *obs.Registry) (*wal.Log, error) {
+	var fsys diskchaos.FS
+	if cfg.DiskChaos != "" {
+		sp, err := diskchaos.ParseSpec(cfg.DiskChaos)
+		if err != nil {
+			return nil, fmt.Errorf("-diskchaos: %w", err)
+		}
+		fsys = diskchaos.New(sp, diskchaos.OS, reg)
+		fmt.Printf("systolicdbd: disk chaos on (%s)\n", sp)
+	}
 	l, err := wal.Open(wal.Options{
 		Dir:   cfg.DataDir,
 		Fsync: cfg.Fsync,
+		FS:    fsys,
 		Decode: func(table string) (*relation.Relation, error) {
 			return cat.ParseTable(strings.NewReader(table), "")
 		},
@@ -262,6 +291,19 @@ func run(cfg daemonConfig) error {
 		}
 	}
 
+	// The scrubber's read-repair source: a replica (or any daemon holding
+	// the same relations) whose /wal/ship state replaces what a corrupt
+	// segment lost.
+	var repairSrc server.RepairSource
+	if cfg.RepairFrom != "" {
+		base := cfg.RepairFrom
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		repairSrc = cluster.NewShardClient(base, parse, cluster.ClientOptions{})
+		fmt.Printf("systolicdbd: scrub read-repair from %s\n", base)
+	}
+
 	s := server.New(server.Config{
 		MaxConcurrent:  cfg.Workers,
 		MaxQueue:       cfg.Queue,
@@ -276,6 +318,9 @@ func run(cfg daemonConfig) error {
 		WAL:            log,
 		SnapshotEvery:  cfg.SnapshotEvery,
 		Cluster:        co,
+		ScrubEvery:     cfg.ScrubEvery,
+		ProbeEvery:     cfg.ProbeEvery,
+		RepairSource:   repairSrc,
 	})
 	srvPtr.Store(s)
 	if co != nil {
@@ -357,11 +402,14 @@ func run(cfg daemonConfig) error {
 		}
 		if log != nil && log.Lag() > 0 {
 			// Compact before exit so the next boot recovers from a snapshot
-			// instead of replaying the whole log.
+			// instead of replaying the whole log. Failure is not fatal: the
+			// log already holds every acked record, so the next boot just
+			// replays more.
 			if err := s.WriteSnapshot(); err != nil {
-				return fmt.Errorf("final snapshot: %w", err)
+				fmt.Printf("systolicdbd: final snapshot failed (log remains authoritative): %v\n", err)
+			} else {
+				fmt.Println("systolicdbd: final snapshot written")
 			}
-			fmt.Println("systolicdbd: final snapshot written")
 		}
 		fmt.Println("systolicdbd: bye")
 		return nil

@@ -376,3 +376,38 @@ func (c *ShardClient) Healthz(ctx context.Context) (map[string]any, error) {
 	}
 	return out, nil
 }
+
+// ShipState folds a ship payload into the durable catalog state it
+// describes, as relation name → typed text table. A full payload is its
+// state verbatim; an incremental one folds put-over-del in log order —
+// the same fold a follower applies, minus the durability. The scrub
+// loop's read repair uses this to reconstruct "what the replica holds"
+// for cross-checking a damaged primary.
+func ShipState(p *ShipPayload) map[string]string {
+	out := make(map[string]string, len(p.State)+len(p.Records))
+	if p.Full {
+		for name, table := range p.State {
+			out[name] = table
+		}
+		return out
+	}
+	for _, rec := range p.Records {
+		switch rec.Op {
+		case "put":
+			out[rec.Name] = rec.Table
+		case "del":
+			delete(out, rec.Name)
+		}
+	}
+	return out
+}
+
+// State fetches the shard's full durable state (via the log-shipping feed
+// from sequence zero) as relation name → typed text table.
+func (c *ShardClient) State(ctx context.Context) (map[string]string, error) {
+	p, err := c.Ship(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	return ShipState(p), nil
+}

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"testing"
+
+	"systolicdb/internal/wal"
+)
+
+func TestShipStateFullPayload(t *testing.T) {
+	p := &ShipPayload{
+		Seq:   9,
+		Full:  true,
+		State: map[string]string{"a": "table-a", "b": "table-b"},
+		// Records must be ignored on a full payload.
+		Records: []wal.ShipRecord{{Seq: 1, Op: "put", Name: "zzz", Table: "stale"}},
+	}
+	got := ShipState(p)
+	if len(got) != 2 || got["a"] != "table-a" || got["b"] != "table-b" {
+		t.Fatalf("full payload folded wrong: %v", got)
+	}
+}
+
+func TestShipStateIncrementalFold(t *testing.T) {
+	p := &ShipPayload{
+		Seq: 5,
+		Records: []wal.ShipRecord{
+			{Seq: 1, Op: "put", Name: "a", Table: "a-v1"},
+			{Seq: 2, Op: "put", Name: "b", Table: "b-v1"},
+			{Seq: 3, Op: "put", Name: "a", Table: "a-v2"}, // overwrite wins
+			{Seq: 4, Op: "del", Name: "b"},                // delete removes
+			{Seq: 5, Op: "del", Name: "nope"},             // delete of absent: no-op
+		},
+	}
+	got := ShipState(p)
+	if len(got) != 1 || got["a"] != "a-v2" {
+		t.Fatalf("incremental fold wrong: %v", got)
+	}
+}

@@ -1,0 +1,297 @@
+// Package diskchaos completes the fault triad started by internal/fault
+// (cells inside one systolic grid) and internal/netchaos (the crossbar
+// between devices): it is a deterministic, seeded fault layer for the
+// storage underneath the write-ahead log. The paper's §8/§9 transfer-rate
+// arithmetic treats the disk that feeds the array as perfect; real disks
+// lie about fsync, tear writes, run out of space, and rot at rest. This
+// package makes those failures injectable so the WAL's recovery story can
+// be proved instead of assumed.
+//
+// The injection point is a VFS seam: FS is the narrow filesystem surface
+// the WAL performs all its I/O through, OS is the real implementation,
+// and Chaos wraps any FS with spec-driven faults. Every decision (fail
+// this write? how many bytes land? which bit flips?) hashes the campaign
+// seed with a global operation ordinal through splitmix64 — the same
+// discipline fault.Injector applies per cell-pulse and netchaos.Transport
+// per request — so a campaign replays exactly from its spec string.
+//
+// Specs use the CLI grammar shared with -fault and -netchaos:
+//
+//	seed=7,enospc=0.01,eio-write=0.005,shortwrite=0.02,fsync-lie=0.01,bitrot-read=0.001,slow=5ms
+package diskchaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// At pins one injection to an exact operation ordinal, regardless of
+// probability — the property-test handle for "what if exactly this op
+// fails?". The injection fires only if the kind applies to the op at that
+// ordinal (a bitrot-read pinned onto a write is a no-op).
+type At struct {
+	Ordinal uint64
+	Kind    string
+}
+
+// Spec describes one disk-chaos campaign. The zero value injects
+// nothing; build specs with ParseSpec or fill fields and call Validate.
+type Spec struct {
+	// Seed makes the campaign reproducible: two filesystems built from the
+	// same spec make identical decisions in operation order.
+	Seed int64
+
+	// ENOSPC is the probability a write or file creation fails with
+	// "no space left on device" (nothing lands).
+	ENOSPC float64
+
+	// EIOWrite is the probability a write fails with an I/O error
+	// (nothing lands).
+	EIOWrite float64
+
+	// ShortWrite is the probability only a prefix of a write persists.
+	// The prefix really lands on the underlying filesystem and the call
+	// returns io.ErrShortWrite — the torn-frame case recovery must truncate.
+	ShortWrite float64
+
+	// FsyncLie is the probability a Sync (file or directory) reports
+	// success without syncing — the volatile-write-cache failure mode that
+	// is invisible until power loss.
+	FsyncLie float64
+
+	// BitrotRead is the probability a whole-file read comes back with one
+	// bit flipped (position chosen deterministically). The file at rest is
+	// untouched: a re-read at a later ordinal sees clean bytes.
+	BitrotRead float64
+
+	// Slow delays every operation by this much (media stall analogue).
+	Slow time.Duration
+
+	// At pins injections to exact operation ordinals (repeatable).
+	At []At
+}
+
+// Validate checks the spec's fields.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return fmt.Errorf("diskchaos: nil spec")
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{KindENOSPC, s.ENOSPC}, {KindEIOWrite, s.EIOWrite}, {KindShortWrite, s.ShortWrite},
+		{KindFsyncLie, s.FsyncLie}, {KindBitrotRead, s.BitrotRead},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("diskchaos: %s=%v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if s.Slow < 0 {
+		return fmt.Errorf("diskchaos: negative slow")
+	}
+	for _, a := range s.At {
+		if !validAtKind[a.Kind] {
+			return fmt.Errorf("diskchaos: at=%d:%s names unknown kind (want one of %s)",
+				a.Ordinal, a.Kind, strings.Join(Kinds(), " "))
+		}
+	}
+	return nil
+}
+
+// validAtKind lists the kinds an at= pin may name (slow is excluded: a
+// pinned stall has no observable effect worth testing).
+var validAtKind = map[string]bool{
+	KindENOSPC: true, KindEIOWrite: true, KindShortWrite: true,
+	KindFsyncLie: true, KindBitrotRead: true,
+}
+
+// Quiet reports whether the spec injects nothing at all.
+func (s *Spec) Quiet() bool {
+	return s.ENOSPC == 0 && s.EIOWrite == 0 && s.ShortWrite == 0 &&
+		s.FsyncLie == 0 && s.BitrotRead == 0 && s.Slow == 0 && len(s.At) == 0
+}
+
+// String renders the spec in the grammar ParseSpec accepts (canonical
+// form: fixed key order).
+func (s *Spec) String() string {
+	var opts []string
+	if s.Seed != 0 {
+		opts = append(opts, "seed="+strconv.FormatInt(s.Seed, 10))
+	}
+	addP := func(key string, v float64) {
+		if v > 0 {
+			opts = append(opts, key+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	addP(KindENOSPC, s.ENOSPC)
+	addP(KindEIOWrite, s.EIOWrite)
+	addP(KindShortWrite, s.ShortWrite)
+	addP(KindFsyncLie, s.FsyncLie)
+	addP(KindBitrotRead, s.BitrotRead)
+	if s.Slow > 0 {
+		opts = append(opts, "slow="+s.Slow.String())
+	}
+	for _, a := range s.At {
+		opts = append(opts, "at="+strconv.FormatUint(a.Ordinal, 10)+":"+a.Kind)
+	}
+	return strings.Join(opts, ",")
+}
+
+// ParseSpec parses a disk-chaos spec of the form
+//
+//	key=value,key=value,...
+//
+// with keys
+//
+//	seed=<int>            determinism seed
+//	enospc=<0..1>         write/create fails with ENOSPC, nothing lands
+//	eio-write=<0..1>      write fails with EIO, nothing lands
+//	shortwrite=<0..1>     a prefix of the write persists, io.ErrShortWrite
+//	fsync-lie=<0..1>      fsync reports success without syncing
+//	bitrot-read=<0..1>    a whole-file read has one bit flipped (at rest
+//	                      the file is clean)
+//	slow=<dur>            every operation stalls this long
+//	at=<ordinal>:<kind>   pin <kind> to fire at exactly operation
+//	                      <ordinal> (repeatable; for deterministic tests)
+//
+// Example: "seed=7,enospc=0.01,eio-write=0.005,shortwrite=0.02,fsync-lie=0.01,bitrot-read=0.001,slow=5ms".
+func ParseSpec(spec string) (*Spec, error) {
+	s := &Spec{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("diskchaos: empty spec")
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("diskchaos: option %q is not key=value", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			if s.Seed, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return nil, fmt.Errorf("diskchaos: bad seed %q: %v", val, err)
+			}
+		case KindENOSPC:
+			if s.ENOSPC, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("diskchaos: bad enospc %q: %v", val, err)
+			}
+		case KindEIOWrite:
+			if s.EIOWrite, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("diskchaos: bad eio-write %q: %v", val, err)
+			}
+		case KindShortWrite:
+			if s.ShortWrite, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("diskchaos: bad shortwrite %q: %v", val, err)
+			}
+		case KindFsyncLie:
+			if s.FsyncLie, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("diskchaos: bad fsync-lie %q: %v", val, err)
+			}
+		case KindBitrotRead:
+			if s.BitrotRead, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("diskchaos: bad bitrot-read %q: %v", val, err)
+			}
+		case "slow":
+			if s.Slow, err = time.ParseDuration(val); err != nil {
+				return nil, fmt.Errorf("diskchaos: bad slow %q: %v", val, err)
+			}
+		case "at":
+			a, err := parseAt(val)
+			if err != nil {
+				return nil, err
+			}
+			s.At = append(s.At, a)
+		default:
+			return nil, fmt.Errorf("diskchaos: unknown option %q", key)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseAt parses "<ordinal>:<kind>".
+func parseAt(val string) (At, error) {
+	var a At
+	ord, kind, ok := strings.Cut(val, ":")
+	if !ok {
+		return a, fmt.Errorf("diskchaos: bad at %q (want <ordinal>:<kind>)", val)
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(ord), 10, 64)
+	if err != nil {
+		return a, fmt.Errorf("diskchaos: bad at ordinal %q: %v", ord, err)
+	}
+	a.Ordinal, a.Kind = n, strings.TrimSpace(kind)
+	if !validAtKind[a.Kind] {
+		return a, fmt.Errorf("diskchaos: at=%q names unknown kind (want one of %s)",
+			val, strings.Join(Kinds(), " "))
+	}
+	return a, nil
+}
+
+// parseProb parses a probability in [0, 1].
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", v)
+	}
+	return v, nil
+}
+
+// splitmix64 is the shared mixing function driving every injection
+// decision (identical to fault's and netchaos's; duplicated to keep the
+// chaos packages dependency-free of each other).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rateThreshold converts a probability into a uint64 comparison threshold.
+func rateThreshold(rate float64) uint64 {
+	switch {
+	case rate <= 0:
+		return 0
+	case rate >= 1:
+		return ^uint64(0)
+	}
+	return uint64(rate * float64(1<<63) * 2)
+}
+
+// Kinds of injection, for metrics and test accounting.
+const (
+	KindENOSPC     = "enospc"
+	KindEIOWrite   = "eio-write"
+	KindShortWrite = "shortwrite"
+	KindFsyncLie   = "fsync-lie"
+	KindBitrotRead = "bitrot-read"
+	KindSlow       = "slow"
+)
+
+// Kinds lists every injection kind (sorted), for metric pre-registration.
+func Kinds() []string {
+	ks := []string{KindENOSPC, KindEIOWrite, KindShortWrite, KindFsyncLie, KindBitrotRead, KindSlow}
+	sort.Strings(ks)
+	return ks
+}
+
+// SpecHelp is a one-line usage string for -diskchaos flags.
+func SpecHelp() string {
+	return "disk chaos spec: seed=N,enospc=P,eio-write=P,shortwrite=P,fsync-lie=P," +
+		"bitrot-read=P,slow=DUR,at=ORD:KIND, e.g. seed=7,enospc=0.01,shortwrite=0.02,fsync-lie=0.01"
+}

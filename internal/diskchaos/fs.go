@@ -1,0 +1,72 @@
+package diskchaos
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the handle surface the WAL needs from an open file: append
+// writes, durability barriers, release. Reads go through FS.ReadFile
+// (whole-file, the WAL's access pattern) rather than a seekable handle.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the VFS seam: the complete filesystem surface the write-ahead
+// log (segments, snapshots, recovery, scrubbing) performs I/O through.
+// Production uses OS; chaos campaigns wrap it with New.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics (flag is the usual
+	// os.O_* bitmask).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadFile reads the whole file, as os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory sorted by filename, as os.ReadDir.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath, as os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file, as os.Remove.
+	Remove(name string) error
+	// Truncate cuts the named file to size bytes, as os.Truncate.
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory tree, as os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory, making renames and creations inside it
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

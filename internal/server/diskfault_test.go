@@ -1,0 +1,363 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"systolicdb/internal/diskchaos"
+	"systolicdb/internal/relation"
+	"systolicdb/internal/wal"
+)
+
+// flakyFS wraps the real filesystem with switchable write failures, for
+// driving the server's read-only degradation without a real broken disk.
+type flakyFS struct {
+	diskchaos.FS
+	mu         sync.Mutex
+	failWrites bool // every Write errors with EIO
+	enospcOnce bool // the next Write errors with ENOSPC, once
+}
+
+func (f *flakyFS) set(fail, enospc bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWrites, f.enospcOnce = fail, enospc
+}
+
+func (f *flakyFS) OpenFile(name string, flag int, perm fs.FileMode) (diskchaos.File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: file, fs: f}, nil
+}
+
+type flakyFile struct {
+	diskchaos.File
+	fs *flakyFS
+}
+
+func (ff *flakyFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.enospcOnce {
+		ff.fs.enospcOnce = false
+		return 0, syscall.ENOSPC
+	}
+	if ff.fs.failWrites {
+		return 0, syscall.EIO
+	}
+	return ff.File.Write(p)
+}
+
+// flakyServer builds a durable server whose WAL writes through a flakyFS.
+func flakyServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server, *flakyFS) {
+	t.Helper()
+	ffs := &flakyFS{FS: diskchaos.OS}
+	cat := NewCatalog()
+	l, err := wal.Open(wal.Options{
+		Dir:    dir,
+		Fsync:  false,
+		Decode: func(table string) (*relation.Relation, error) { return cat.ParseTable(strings.NewReader(table), "") },
+		Logf:   t.Logf,
+		FS:     ffs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	cfg.Catalog, cfg.WAL = cat, l
+	s, ts := testServer(t, cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts, ffs
+}
+
+// healthzDurability fetches /healthz and returns the durability mode and
+// cause.
+func healthzDurability(t *testing.T, base string) (mode, cause string) {
+	t.Helper()
+	code, body := do(t, "GET", base+"/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	// Cheap field probes; the JSON shape is asserted elsewhere.
+	for _, m := range []string{"read-only", "ok"} {
+		if strings.Contains(body, `"mode":"`+m+`"`) {
+			mode = m
+			break
+		}
+	}
+	for _, c := range []string{"append", "enospc", "scrub"} {
+		if strings.Contains(body, `"cause":"`+c+`"`) {
+			cause = c
+			break
+		}
+	}
+	return mode, cause
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestReadOnlyTripAndProbeRecovery: a failing append trips read-only —
+// mutations 503 with Retry-After, reads keep serving, healthz reports the
+// mode — and the probe loop auto-recovers once the disk heals.
+func TestReadOnlyTripAndProbeRecovery(t *testing.T) {
+	s, ts, ffs := flakyServer(t, t.TempDir(), Config{ProbeEvery: 20 * time.Millisecond, SnapshotEvery: 100000})
+	if code, body := do(t, "PUT", ts.URL+"/relations/S", suppliersTable); code != http.StatusOK {
+		t.Fatalf("seed PUT: %d %s", code, body)
+	}
+
+	ffs.set(true, false)
+	req, _ := http.NewRequest("PUT", ts.URL+"/relations/X", strings.NewReader(suppliersTable))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("PUT on broken disk: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if _, ok := s.Catalog().Get("X"); ok {
+		t.Fatal("refused PUT still mutated the catalog")
+	}
+	if mode, cause := healthzDurability(t, ts.URL); mode != "read-only" || cause != "append" {
+		t.Fatalf("healthz durability = %q/%q, want read-only/append", mode, cause)
+	}
+	// The latch holds for later mutations (gated before touching the disk)
+	// while reads keep answering.
+	if code, _ := do(t, "DELETE", ts.URL+"/relations/S", ""); code != http.StatusServiceUnavailable {
+		t.Fatalf("DELETE while read-only: %d, want 503", code)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/relations/S", ""); code != http.StatusOK {
+		t.Fatal("GET refused while read-only")
+	}
+	if code, _ := postQuery(t, ts.URL, map[string]any{"plan": "scan(S)", "no_table": true}); code != http.StatusOK {
+		t.Fatal("query refused while read-only")
+	}
+
+	// Disk heals: the probe loop clears the latch and mutations resume.
+	ffs.set(false, false)
+	waitFor(t, 5*time.Second, "probe recovery", func() bool {
+		mode, _ := healthzDurability(t, ts.URL)
+		return mode == "ok"
+	})
+	if code, body := do(t, "PUT", ts.URL+"/relations/X", suppliersTable); code != http.StatusOK {
+		t.Fatalf("PUT after recovery: %d %s", code, body)
+	}
+	_, metrics := do(t, "GET", ts.URL+"/metrics", "")
+	if !strings.Contains(metrics, `server_readonly_trips_total{cause="append"} 1`) {
+		t.Errorf("trip counter not recorded:\n%s", grepMetrics(metrics, "server_readonly"))
+	}
+	if !strings.Contains(metrics, "server_readonly_recoveries_total 1") {
+		t.Errorf("recovery counter not recorded:\n%s", grepMetrics(metrics, "server_readonly"))
+	}
+}
+
+// TestEnospcEmergencyCompaction: a transient ENOSPC on append triggers an
+// emergency compacting snapshot and the retried append acks — the client
+// sees 200, not 503, and the server never goes read-only.
+func TestEnospcEmergencyCompaction(t *testing.T) {
+	s, ts, ffs := flakyServer(t, t.TempDir(), Config{SnapshotEvery: 100000})
+	for i := 0; i < 5; i++ {
+		if code, _ := do(t, "PUT", ts.URL+fmt.Sprintf("/relations/r%d", i), suppliersTable); code != http.StatusOK {
+			t.Fatalf("seed PUT r%d failed", i)
+		}
+	}
+	ffs.set(false, true) // next write: ENOSPC, once — compaction "frees" space
+	if code, body := do(t, "PUT", ts.URL+"/relations/squeeze", suppliersTable); code != http.StatusOK {
+		t.Fatalf("PUT under transient ENOSPC: %d %s (want 200 via emergency compaction)", code, body)
+	}
+	if mode, _ := healthzDurability(t, ts.URL); mode != "ok" {
+		t.Fatalf("server went read-only despite successful compaction (mode %s)", mode)
+	}
+	_, metrics := do(t, "GET", ts.URL+"/metrics", "")
+	if !strings.Contains(metrics, "server_enospc_compactions_total 1") {
+		t.Errorf("compaction not counted:\n%s", grepMetrics(metrics, "enospc"))
+	}
+	// The compaction wrote a real snapshot: a restart recovers everything.
+	if st := s.wal.Status(); st.SnapshotGen == 0 {
+		t.Error("emergency compaction left no snapshot")
+	}
+}
+
+// TestScrubLoopRepairsAtRestRot: the background scrubber finds a byte
+// flipped at rest in a live segment, trips read-only, repairs from the
+// live catalog (fresh snapshot + quarantine), auto-recovers, and a
+// restart sees every acked relation.
+func TestScrubLoopRepairsAtRestRot(t *testing.T) {
+	dir := t.TempDir()
+	cat := NewCatalog()
+	l, err := wal.Open(wal.Options{
+		Dir:    dir,
+		Fsync:  false,
+		Decode: func(table string) (*relation.Relation, error) { return cat.ParseTable(strings.NewReader(table), "") },
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	s, ts := testServer(t, Config{
+		Catalog: cat, WAL: l,
+		ScrubEvery: 25 * time.Millisecond, SnapshotEvery: 100000,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	for i := 0; i < 4; i++ {
+		if code, _ := do(t, "PUT", ts.URL+fmt.Sprintf("/relations/r%d", i), suppliersTable); code != http.StatusOK {
+			t.Fatalf("seed PUT r%d failed", i)
+		}
+	}
+
+	// Rot a byte at rest in the active segment, inside the first record.
+	seg := filepath.Join(dir, "wal-0000000000000001.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0x08
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scrubber notices, repairs, and recovers on its own.
+	waitFor(t, 10*time.Second, "scrub detect + repair", func() bool {
+		_, metrics := do(t, "GET", ts.URL+"/metrics", "")
+		return strings.Contains(metrics, `server_readonly_trips_total{cause="scrub"} 1`) &&
+			strings.Contains(metrics, "server_readonly_recoveries_total 1")
+	})
+	if mode, _ := healthzDurability(t, ts.URL); mode != "ok" {
+		t.Fatalf("scrub repair did not clear read-only (mode %s)", mode)
+	}
+	// The damaged segment was quarantined, not deleted.
+	if _, err := os.Stat(filepath.Join(dir, "corrupt", "wal-0000000000000001.log")); err != nil {
+		t.Fatalf("damaged segment not quarantined: %v", err)
+	}
+	// Mutations work again, and a restart recovers the full acked state.
+	if code, _ := do(t, "PUT", ts.URL+"/relations/after", suppliersTable); code != http.StatusOK {
+		t.Fatal("PUT after scrub repair failed")
+	}
+	got := reopenState(t, dir)
+	if len(got) != 5 {
+		t.Fatalf("recovered %d relations after scrub repair, want 5: %v", len(got), keys(got))
+	}
+}
+
+// fakeRepairSource hands the scrub loop a canned replica state.
+type fakeRepairSource struct{ state map[string]string }
+
+func (f fakeRepairSource) State(context.Context) (map[string]string, error) { return f.state, nil }
+
+// TestScrubReadRepairFromReplica: with a RepairSource configured, the
+// scrub-time repair cross-checks the catalog against the replica —
+// matching relations verify, a relation the primary lost is adopted back.
+func TestScrubReadRepairFromReplica(t *testing.T) {
+	dir := t.TempDir()
+	cat := NewCatalog()
+	l, err := wal.Open(wal.Options{
+		Dir:    dir,
+		Fsync:  false,
+		Decode: func(table string) (*relation.Relation, error) { return cat.ParseTable(strings.NewReader(table), "") },
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	src := fakeRepairSource{state: map[string]string{
+		"S":    suppliersTable, // matches the local copy → verified
+		"lost": suppliersTable, // only the replica holds it → adopted
+	}}
+	s, ts := testServer(t, Config{
+		Catalog: cat, WAL: l,
+		ScrubEvery: 25 * time.Millisecond, SnapshotEvery: 100000,
+		RepairSource: src,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	if code, _ := do(t, "PUT", ts.URL+"/relations/S", suppliersTable); code != http.StatusOK {
+		t.Fatal("seed PUT failed")
+	}
+
+	seg := filepath.Join(dir, "wal-0000000000000001.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0x08
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 10*time.Second, "read repair", func() bool {
+		_, metrics := do(t, "GET", ts.URL+"/metrics", "")
+		return strings.Contains(metrics, "server_read_repair_adopted_total 1") &&
+			strings.Contains(metrics, "server_read_repair_verified_total 1")
+	})
+	if _, ok := s.Catalog().Get("lost"); !ok {
+		t.Fatal("replica-only relation not adopted into the catalog")
+	}
+	// The adopted relation became durable: it survives a restart.
+	waitFor(t, 5*time.Second, "repair snapshot", func() bool {
+		mode, _ := healthzDurability(t, ts.URL)
+		return mode == "ok"
+	})
+	got := reopenState(t, dir)
+	if _, ok := got["lost"]; !ok {
+		t.Fatalf("adopted relation not durable: recovered %v", keys(got))
+	}
+}
+
+// grepMetrics filters a metrics dump to lines containing sub, for
+// readable failure output.
+func grepMetrics(metrics, sub string) string {
+	var out []string
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.Contains(line, sub) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

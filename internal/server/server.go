@@ -39,6 +39,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"systolicdb/internal/cluster"
@@ -136,6 +137,33 @@ type Config struct {
 	// (the coordinator's own counter in cluster mode). 0 selects the
 	// default (256); negative disables plan caching entirely.
 	PlanCacheSize int
+
+	// ScrubEvery runs the WAL's anti-entropy scrubber at this interval,
+	// re-verifying every live on-disk file against its CRC frames and
+	// relation checksums. Confirmed at-rest damage trips read-only mode
+	// and is repaired in place: the live catalog (cross-checked against
+	// RepairSource when configured) is written as a fresh snapshot and
+	// the damaged file is quarantined. 0 disables scrubbing. Ignored
+	// without WAL.
+	ScrubEvery time.Duration
+
+	// ProbeEvery is how often a read-only server (tripped by an append or
+	// ENOSPC failure) attempts a probe write to discover the disk has
+	// recovered. Default 2s. Ignored without WAL.
+	ProbeEvery time.Duration
+
+	// RepairSource, when non-nil, supplies a replica's durable state for
+	// scrub-time read repair: relations whose local copy diverged from
+	// (or vanished relative to) the replica are re-adopted from it before
+	// the repair snapshot is written. cluster.ShardClient implements it.
+	RepairSource RepairSource
+}
+
+// RepairSource is a remote holder of the catalog's durable state —
+// in practice the replica this primary ships its WAL to. State returns
+// relation name → typed text table (the GET /wal/ship serialisation).
+type RepairSource interface {
+	State(ctx context.Context) (map[string]string, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +200,9 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheSize == 0 {
 		c.PlanCacheSize = 256
 	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 2 * time.Second
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
@@ -203,6 +234,20 @@ type Server struct {
 	commitMu     sync.Mutex
 	snapshotting atomic.Bool // a background snapshot is in flight
 
+	// readOnly is the storage degradation latch: a disk fault the commit
+	// path could not absorb (failed append, unrelievable ENOSPC) or
+	// confirmed at-rest corruption (scrub) trips it. Mutations answer 503
+	// + Retry-After while it holds; reads keep serving from the catalog.
+	// roCause says which failure tripped it — append/enospc clear via the
+	// probe loop, scrub clears when its repair lands.
+	readOnly atomic.Bool
+	roMu     sync.Mutex
+	roCause  string
+
+	// stopCh ends the background probe and scrub loops at Shutdown.
+	stopCh   chan struct{}
+	stopOnce sync.Once
+
 	sem      chan struct{} // worker slots; len == running queries
 	waiting  atomic.Int64  // queries queued for a slot
 	draining atomic.Bool   // set once Shutdown begins
@@ -226,13 +271,14 @@ func New(cfg Config) *Server {
 		cat = NewCatalog()
 	}
 	s := &Server{
-		cfg:   cfg,
-		cat:   cat,
-		reg:   cfg.Metrics,
-		mux:   http.NewServeMux(),
-		wal:   cfg.WAL,
-		dedup: newDedupWindow(0),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		cfg:    cfg,
+		cat:    cat,
+		reg:    cfg.Metrics,
+		mux:    http.NewServeMux(),
+		wal:    cfg.WAL,
+		dedup:  newDedupWindow(0),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		stopCh: make(chan struct{}),
 	}
 	if cfg.PlanCacheSize > 0 {
 		s.planCache = query.NewPlanCache(cfg.PlanCacheSize, cfg.Metrics)
@@ -264,10 +310,22 @@ func New(cfg Config) *Server {
 	// first scrape, not only after the first rejection.
 	s.reg.Gauge("server_queue_depth", nil).Set(0)
 	s.reg.Gauge("server_active_queries", nil).Set(0)
-	for _, reason := range []string{"queue_full", "queue_timeout", "shutdown", "deadline", "degraded"} {
+	for _, reason := range []string{"queue_full", "queue_timeout", "shutdown", "deadline", "degraded", "read_only"} {
 		s.reg.Counter("server_rejected_total", obs.Labels{"reason": reason}).Add(0)
 	}
 	s.reg.Timer("server_queue_wait_seconds", nil)
+	s.reg.Gauge("server_readonly", nil).Set(0)
+	for _, cause := range []string{"append", "enospc", "scrub"} {
+		s.reg.Counter("server_readonly_trips_total", obs.Labels{"cause": cause}).Add(0)
+	}
+	s.reg.Counter("server_readonly_recoveries_total", nil).Add(0)
+	s.reg.Counter("server_enospc_compactions_total", nil).Add(0)
+	if s.wal != nil {
+		go s.probeLoop()
+		if cfg.ScrubEvery > 0 {
+			go s.scrubLoop()
+		}
+	}
 	return s
 }
 
@@ -314,6 +372,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.drainDeadline.Store(dl.UnixNano())
 	}
 	s.draining.Store(true)
+	s.stopOnce.Do(func() { close(s.stopCh) })
 	if s.httpSrv == nil {
 		return nil
 	}
@@ -366,6 +425,13 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
+	if s.readOnly.Load() && !IsTemp(name) {
+		// Temps bypass the WAL entirely, so the broken disk can't refuse
+		// them — mid-query staging keeps working while degraded.
+		s.reject(w, http.StatusServiceUnavailable, "read_only",
+			"server is read-only (disk fault: %s); retry after the disk recovers", s.readOnlyCause())
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	rel, err := s.cat.ParseTable(body, r.URL.Query().Get("types"))
 	if err != nil {
@@ -396,7 +462,9 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.commitPut(name, r.Header.Get("Idempotency-Key"), rel); err != nil {
 		if errors.Is(err, errWAL) {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			// The mutation was refused, not half-applied: the WAL truncated
+			// the failed frame back out, so a retry after recovery is safe.
+			s.reject(w, http.StatusServiceUnavailable, "read_only", "%v", err)
 			return
 		}
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -447,9 +515,8 @@ func (s *Server) commitPut(name, key string, rel *relation.Relation) error {
 		return err
 	}
 	if s.wal != nil && !IsTemp(name) {
-		if err := s.wal.AppendPutKeyed(name, key, rel); err != nil {
-			s.reg.Counter("server_wal_errors_total", nil).Inc()
-			return fmt.Errorf("%w: %v", errWAL, err)
+		if err := s.appendDurable(func() error { return s.wal.AppendPutKeyed(name, key, rel) }); err != nil {
+			return err
 		}
 	}
 	if err := s.cat.Put(name, rel); err != nil {
@@ -479,9 +546,8 @@ func (s *Server) commitDelete(name, key string) (bool, error) {
 		return false, nil
 	}
 	if s.wal != nil && !IsTemp(name) {
-		if err := s.wal.AppendDeleteKeyed(name, key); err != nil {
-			s.reg.Counter("server_wal_errors_total", nil).Inc()
-			return true, fmt.Errorf("%w: %v", errWAL, err)
+		if err := s.appendDurable(func() error { return s.wal.AppendDeleteKeyed(name, key) }); err != nil {
+			return true, err
 		}
 	}
 	ok := s.cat.Delete(name)
@@ -568,6 +634,200 @@ func (s *Server) WriteSnapshot() error {
 	return s.wal.WriteSnapshot(gen, state)
 }
 
+// appendDurable runs one WAL append, absorbing what it can: an ENOSPC
+// gets one shot at an emergency compacting snapshot (rotation + snapshot
+// GC frees every superseded segment) before the append is retried; a
+// failure that sticks trips read-only mode and refuses the mutation.
+// Caller holds commitMu — which is why the compaction inlines the
+// rotate+write rather than calling WriteSnapshot (it would deadlock
+// re-taking the mutex).
+func (s *Server) appendDurable(append func() error) error {
+	err := append()
+	if err == nil {
+		return nil
+	}
+	cause := "append"
+	if errors.Is(err, syscall.ENOSPC) {
+		cause = "enospc"
+		if cerr := s.compactLocked(); cerr == nil {
+			if err = append(); err == nil {
+				s.reg.Counter("server_enospc_compactions_total", nil).Inc()
+				return nil
+			}
+		}
+	}
+	s.reg.Counter("server_wal_errors_total", nil).Inc()
+	s.tripReadOnly(cause)
+	return fmt.Errorf("%w: %v", errWAL, err)
+}
+
+// compactLocked is the emergency snapshot path: rotate + snapshot with
+// commitMu already held. The snapshot's GC deletes every superseded
+// segment and snapshot, which under disk pressure is the space that lets
+// the retried append through.
+func (s *Server) compactLocked() error {
+	gen, err := s.wal.Rotate()
+	if err != nil {
+		return err
+	}
+	return s.wal.WriteSnapshot(gen, s.cat.Snapshot())
+}
+
+// tripReadOnly latches the server read-only. First cause wins; later
+// failures while already read-only don't re-count.
+func (s *Server) tripReadOnly(cause string) {
+	s.roMu.Lock()
+	defer s.roMu.Unlock()
+	if s.readOnly.Load() {
+		return
+	}
+	s.roCause = cause
+	s.readOnly.Store(true)
+	s.reg.Counter("server_readonly_trips_total", obs.Labels{"cause": cause}).Inc()
+	s.reg.Gauge("server_readonly", nil).Set(1)
+}
+
+// clearReadOnly releases the latch iff it is still held for cause — the
+// probe loop must not clear a scrub trip whose repair hasn't landed, and
+// vice versa.
+func (s *Server) clearReadOnly(cause string) {
+	s.roMu.Lock()
+	defer s.roMu.Unlock()
+	if !s.readOnly.Load() || s.roCause != cause {
+		return
+	}
+	s.roCause = ""
+	s.readOnly.Store(false)
+	s.reg.Counter("server_readonly_recoveries_total", nil).Inc()
+	s.reg.Gauge("server_readonly", nil).Set(0)
+}
+
+func (s *Server) readOnlyCause() string {
+	s.roMu.Lock()
+	defer s.roMu.Unlock()
+	return s.roCause
+}
+
+// probeLoop is the way back from append/enospc read-only: a periodic
+// probe write through the WAL's filesystem (which also un-wedges a log
+// whose tail restore failed). A successful probe is necessary but not
+// sufficient evidence — if the next real append still fails it re-trips
+// immediately, so the worst case is one refused mutation per probe
+// interval, not a flapping ack.
+func (s *Server) probeLoop() {
+	t := time.NewTicker(s.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+		}
+		if !s.readOnly.Load() {
+			continue
+		}
+		// The probe always runs: a scrub repair attempt can wedge the
+		// log (a failed rotate, a failed tail restore) and Probe is the
+		// only path that un-wedges it — without this the scrub loop's
+		// next repair fails the same way forever. Only the CLEAR is
+		// cause-gated: a scrub trip is released by the scrub loop alone,
+		// once its repair has landed.
+		cause := s.readOnlyCause()
+		if err := s.wal.Probe(); err == nil && cause != "scrub" {
+			s.clearReadOnly(cause)
+		}
+	}
+}
+
+// scrubLoop runs the WAL's anti-entropy pass on a timer. Confirmed
+// at-rest damage trips read-only, is repaired (read repair from the
+// replica when configured, then a fresh snapshot that quarantines the
+// damaged files), and only a repair that sticks clears the latch — a
+// failed repair leaves the server read-only and the next tick retries.
+func (s *Server) scrubLoop() {
+	t := time.NewTicker(s.cfg.ScrubEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+		}
+		rep, err := s.wal.Scrub()
+		if err != nil || rep.OK() {
+			continue
+		}
+		s.tripReadOnly("scrub")
+		if err := s.scrubRepair(rep); err != nil {
+			s.reg.Counter("server_scrub_repair_errors_total", nil).Inc()
+			continue
+		}
+		s.clearReadOnly("scrub")
+	}
+}
+
+// scrubRepair rebuilds a durable recovery base after the scrubber found
+// at-rest damage. The live catalog is the primary source (RAM is not
+// rotted); when a RepairSource is configured it is cross-checked against
+// the replica's durable state first, adopting the replica's copy of any
+// relation that diverged. Then the damaged files are marked and a fresh
+// snapshot is written — its GC quarantines them into corrupt/ only after
+// the new base is durable.
+func (s *Server) scrubRepair(rep *wal.ScrubReport) error {
+	if src := s.cfg.RepairSource; src != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		remote, err := src.State(ctx)
+		cancel()
+		if err == nil {
+			// A failed adoption fails the whole repair: the damage is
+			// still on disk (nothing quarantined yet), so the next scrub
+			// tick re-detects it and retries — silently dropping the
+			// adoption would lose the replica's copy forever.
+			if err := s.readRepair(remote); err != nil {
+				return err
+			}
+		}
+		// An unreachable replica is not fatal: the live catalog is still
+		// the best available copy and the snapshot below re-persists it.
+	}
+	s.wal.MarkCorrupt(rep.Corrupt)
+	return s.WriteSnapshot()
+}
+
+// readRepair reconciles the live catalog against the replica's durable
+// state: matching relations count as verified, a missing or diverged one
+// is re-adopted from the replica through the normal durable commit path.
+// An adoption whose durable commit fails (the disk is, after all, still
+// faulty) is returned as an error so the caller retries the repair.
+func (s *Server) readRepair(remote map[string]string) error {
+	var firstErr error
+	for name, text := range remote {
+		if strings.HasPrefix(name, hiddenPrefix) {
+			continue
+		}
+		rrel, err := s.cat.ParseTable(strings.NewReader(text), "")
+		if err != nil {
+			continue
+		}
+		if local, ok := s.cat.Get(name); ok {
+			lsum, lerr := fault.RelationChecksum(local)
+			rsum, rerr := fault.RelationChecksum(rrel)
+			if lerr == nil && rerr == nil && fault.Verify(fault.VerifyChecksum, lsum, rsum).OK {
+				s.reg.Counter("server_read_repair_verified_total", nil).Inc()
+				continue
+			}
+		}
+		if err := s.commitPut(name, "", rrel); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("read repair: adopting %q: %w", name, err)
+			}
+			continue
+		}
+		s.reg.Counter("server_read_repair_adopted_total", nil).Inc()
+	}
+	return firstErr
+}
+
 func (s *Server) handleGetRelation(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if s.cfg.Cluster != nil && !strings.HasPrefix(name, hiddenPrefix) {
@@ -607,6 +867,11 @@ func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
+	if s.readOnly.Load() && !IsTemp(name) {
+		s.reject(w, http.StatusServiceUnavailable, "read_only",
+			"server is read-only (disk fault: %s); retry after the disk recovers", s.readOnlyCause())
+		return
+	}
 	if s.cfg.Cluster != nil && !strings.HasPrefix(name, hiddenPrefix) {
 		existed, err := s.cfg.Cluster.DeleteKeyed(r.Context(), name, r.Header.Get("Idempotency-Key"))
 		if err != nil {
@@ -622,6 +887,10 @@ func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
 	}
 	ok, err := s.commitDelete(name, r.Header.Get("Idempotency-Key"))
 	if err != nil {
+		if errors.Is(err, errWAL) {
+			s.reject(w, http.StatusServiceUnavailable, "read_only", "%v", err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -724,13 +993,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 	}
 	if s.wal != nil {
-		// Durability state: data dir, fsync policy, WAL lag, and what the
-		// last recovery rebuilt (records replayed, torn bytes truncated,
-		// relations checksum-verified).
-		body["durability"] = s.wal.Status()
+		// Durability state: data dir, fsync policy, WAL lag, what the last
+		// recovery rebuilt, and the degradation mode — "ok", or
+		// "read-only" with the tripping cause while a disk fault holds
+		// mutations at bay (reads keep answering, hence still 200).
+		d := durabilityView{Status: s.wal.Status(), Mode: "ok"}
+		if s.readOnly.Load() {
+			d.Mode, d.Cause = "read-only", s.readOnlyCause()
+			status = "degraded"
+		}
+		body["durability"] = d
 	}
 	body["status"] = status
 	writeJSON(w, http.StatusOK, body)
+}
+
+// durabilityView is the healthz durability object: the WAL's status with
+// the server's storage degradation mode flattened alongside it.
+type durabilityView struct {
+	wal.Status
+	Mode  string `json:"mode"`
+	Cause string `json:"cause,omitempty"`
 }
 
 // queryRequest is the POST /query body.
@@ -982,6 +1265,11 @@ const maxRetryAfter = 60 * time.Second
 // With no observed queries yet there is nothing to extrapolate; the
 // historical 1 second stands.
 func (s *Server) retryAfterSeconds(reason string) int {
+	if reason == "read_only" {
+		// The probe loop is the way back: the next probe is the earliest
+		// moment the latch can clear.
+		return ceilSeconds(s.cfg.ProbeEvery)
+	}
 	if reason == "shutdown" {
 		if dl := s.drainDeadline.Load(); dl != 0 {
 			if rem := time.Until(time.Unix(0, dl)); rem > 0 {

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"systolicdb/internal/diskchaos"
 	"systolicdb/internal/fault"
 	"systolicdb/internal/relation"
 )
@@ -21,8 +22,21 @@ type FileReport struct {
 	TornBytes int64 `json:"torn_bytes,omitempty"`
 	// Stale marks a file wholly superseded by the newest snapshot.
 	Stale bool `json:"stale,omitempty"`
+	// CoveredBytes counts the bytes of this file inside CRC-verified
+	// frames — the scrubber-style coverage measure. Bytes-CoveredBytes is
+	// framing residue: a torn tail or a corrupt region.
+	CoveredBytes int64 `json:"covered_bytes"`
 	// Err describes hard corruption in this file, empty when clean.
 	Err string `json:"error,omitempty"`
+}
+
+// Coverage is CoveredBytes as a fraction of the file size (1 for an
+// empty file: nothing is uncovered).
+func (fr *FileReport) Coverage() float64 {
+	if fr.Bytes == 0 {
+		return 1
+	}
+	return float64(fr.CoveredBytes) / float64(fr.Bytes)
 }
 
 // FsckReport is the result of validating a data directory offline.
@@ -59,11 +73,11 @@ func Fsck(dir string, decode DecodeFunc) (*FsckReport, error) {
 		rep.Errors = append(rep.Errors, fmt.Sprintf(format, args...))
 	}
 
-	snaps, err := listGens(dir, "snap-", ".snap")
+	snaps, err := listGens(diskchaos.OS, dir, "snap-", ".snap")
 	if err != nil {
 		return nil, fmt.Errorf("wal: fsck: %w", err)
 	}
-	segs, err := listGens(dir, "wal-", ".log")
+	segs, err := listGens(diskchaos.OS, dir, "wal-", ".log")
 	if err != nil {
 		return nil, fmt.Errorf("wal: fsck: %w", err)
 	}
@@ -106,6 +120,7 @@ func Fsck(dir string, decode DecodeFunc) (*FsckReport, error) {
 				return fmt.Errorf("%s offset %d: %v", name, off, err)
 			}
 			fr.Records++
+			fr.CoveredBytes += frameHeaderSize + int64(len(payload))
 			switch rec.op {
 			case opSnap:
 				header = rec
@@ -154,6 +169,7 @@ func Fsck(dir string, decode DecodeFunc) (*FsckReport, error) {
 				return fmt.Errorf("%s offset %d: %v", name, off, err)
 			}
 			fr.Records++
+			fr.CoveredBytes += frameHeaderSize + int64(len(payload))
 			where := fmt.Sprintf("%s offset %d", name, off)
 			// A duplicate key is a logical anomaly (the dedup window
 			// failed), not physical log corruption: it goes to rep.Errors

@@ -1,10 +1,12 @@
 package wal
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"systolicdb/internal/diskchaos"
 	"systolicdb/internal/fault"
 	"systolicdb/internal/relation"
 )
@@ -17,7 +19,7 @@ import (
 func (l *Log) recover() error {
 	l.rec = Recovery{Relations: make(map[string]*relation.Relation)}
 
-	snaps, err := listGens(l.opt.Dir, "snap-", ".snap")
+	snaps, err := listGens(l.fs, l.opt.Dir, "snap-", ".snap")
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -34,7 +36,7 @@ func (l *Log) recover() error {
 		l.rec.SnapshotRels = len(l.rec.Relations)
 	}
 
-	segs, err := listGens(l.opt.Dir, "wal-", ".log")
+	segs, err := listGens(l.fs, l.opt.Dir, "wal-", ".log")
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -54,7 +56,7 @@ func (l *Log) recover() error {
 // loadSnapshot reads and verifies one snapshot file into l.rec.Relations.
 func (l *Log) loadSnapshot(gen uint64) error {
 	path := filepath.Join(l.opt.Dir, snapName(gen))
-	data, err := os.ReadFile(path)
+	data, err := readConfirmed(l.fs, path, false)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -109,7 +111,7 @@ func (l *Log) loadSnapshot(gen uint64) error {
 func (l *Log) replaySegment(gen uint64, newest bool) error {
 	name := segName(gen)
 	path := filepath.Join(l.opt.Dir, name)
-	data, err := os.ReadFile(path)
+	data, err := readConfirmed(l.fs, path, newest)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -127,10 +129,10 @@ func (l *Log) replaySegment(gen uint64, newest bool) error {
 		// A write cut short by a crash: whatever it was, it was never
 		// acked. Truncate so the next append starts on a frame boundary.
 		l.opt.Logf("truncating %d torn byte(s) from %s (unacked write cut short by a crash)", res.torn, name)
-		if err := os.Truncate(path, res.good); err != nil {
+		if err := l.fs.Truncate(path, res.good); err != nil {
 			return fmt.Errorf("wal: truncating torn tail of %s: %w", name, err)
 		}
-		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		f, err := l.fs.OpenFile(path, os.O_WRONLY, 0o644)
 		if err == nil {
 			err = f.Sync()
 			if cerr := f.Close(); err == nil {
@@ -142,7 +144,44 @@ func (l *Log) replaySegment(gen uint64, newest bool) error {
 		}
 		l.rec.TornBytes += res.torn
 	}
+	if newest {
+		// The bytes that survive recovery are the acked-frame tail boundary
+		// failed appends restore to.
+		l.size = res.good
+	}
 	return nil
+}
+
+// readConfirmed reads a whole file through the seam. When the frame-level
+// scan of the content would drive a destructive or refusing decision — a
+// torn tail recovery truncates, a corrupt frame recovery refuses on — the
+// read is repeated until two consecutive reads agree: a fault in the read
+// path (bit rot in transit, not at rest) must never truncate an acked
+// record or refuse an otherwise recoverable directory. At-rest damage
+// reads back identically every time and is acted on.
+func readConfirmed(fsys diskchaos.FS, path string, allowTorn bool) ([]byte, error) {
+	nop := func(int64, []byte) error { return nil }
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if res := scanFrames(data, allowTorn, nop); res.corrupt == nil && res.torn == 0 {
+		return data, nil
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		again, err := fsys.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(again, data) {
+			return data, nil // stable: the damage is at rest
+		}
+		data = again
+		if res := scanFrames(data, allowTorn, nop); res.corrupt == nil && res.torn == 0 {
+			return data, nil // the re-read is clean: the fault was in transit
+		}
+	}
+	return data, nil // reads never stabilised; act on the last and let fsck report
 }
 
 // apply replays one mutation record during recovery.

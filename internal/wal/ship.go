@@ -2,7 +2,6 @@ package wal
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 )
 
@@ -62,13 +61,13 @@ func (l *Log) ReadSince(afterSeq uint64) (recs []ShipRecord, needFull bool, err 
 		return nil, false, nil // follower is caught up
 	}
 
-	segs, err := listGens(l.opt.Dir, "wal-", ".log")
+	segs, err := listGens(l.fs, l.opt.Dir, "wal-", ".log")
 	if err != nil {
 		return nil, false, fmt.Errorf("wal: ship: %w", err)
 	}
 	for i, gen := range segs {
 		newest := i == len(segs)-1
-		data, err := os.ReadFile(filepath.Join(l.opt.Dir, segName(gen)))
+		data, err := l.fs.ReadFile(filepath.Join(l.opt.Dir, segName(gen)))
 		if err != nil {
 			return nil, false, fmt.Errorf("wal: ship: %w", err)
 		}

@@ -34,7 +34,9 @@
 package wal
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -42,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"systolicdb/internal/diskchaos"
 	"systolicdb/internal/obs"
 	"systolicdb/internal/relation"
 )
@@ -76,6 +79,11 @@ type Options struct {
 	// Logf reports recovery warnings, e.g. a truncated torn tail. Nil is
 	// silent.
 	Logf func(format string, args ...any)
+
+	// FS is the filesystem seam every log, snapshot and recovery I/O goes
+	// through. Nil selects the real OS filesystem; the disk-chaos harness
+	// and fault-injection tests plug their filesystems in here.
+	FS diskchaos.FS
 }
 
 // Recovery summarises what Open reconstructed.
@@ -119,12 +127,17 @@ type Log struct {
 	reg *obs.Registry
 	rec Recovery
 
+	fs diskchaos.FS
+
 	mu      sync.Mutex
-	f       *os.File // current segment, append-only
-	gen     uint64   // current segment generation
-	seq     uint64   // last assigned record seq
-	lag     int64    // appends since the last completed snapshot
-	snapGen uint64   // generation of the newest completed snapshot
+	f       diskchaos.File  // current segment, append-only (nil while wedged)
+	gen     uint64          // current segment generation
+	seq     uint64          // last assigned record seq
+	lag     int64           // appends since the last completed snapshot
+	snapGen uint64          // generation of the newest completed snapshot
+	size    int64           // bytes of complete, acked frames in the current segment
+	wedged  error           // non-nil: the segment tail could not be restored; appends refuse until Repair
+	corrupt map[string]bool // files to quarantine (not delete) at the next snapshot GC
 	closed  bool
 }
 
@@ -145,8 +158,8 @@ func parseGen(name, prefix, suffix string) (uint64, bool) {
 
 // listGens returns the sorted generations of files matching prefix/suffix
 // in dir.
-func listGens(dir, prefix, suffix string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listGens(fsys diskchaos.FS, dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -178,10 +191,13 @@ func Open(opts Options) (*Log, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = diskchaos.OS
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{opt: opts, reg: opts.Metrics}
+	l := &Log{opt: opts, reg: opts.Metrics, fs: opts.FS}
 
 	start := time.Now()
 	if err := l.recover(); err != nil {
@@ -194,7 +210,7 @@ func Open(opts Options) (*Log, error) {
 	l.lag = int64(l.rec.Records)
 
 	// Open (or create) the newest segment for appending.
-	segs, err := listGens(opts.Dir, "wal-", ".log")
+	segs, err := listGens(l.fs, opts.Dir, "wal-", ".log")
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -205,12 +221,15 @@ func Open(opts Options) (*Log, error) {
 	if l.gen == 0 {
 		l.gen = 1
 	}
+	if len(segs) == 0 || segs[len(segs)-1] != l.gen {
+		l.size = 0 // a fresh segment is about to be created
+	}
 	path := filepath.Join(opts.Dir, segName(l.gen))
-	l.f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	l.f, err = l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	if err := syncDir(opts.Dir); err != nil {
+	if err := l.syncDir(); err != nil {
 		l.f.Close()
 		return nil, err
 	}
@@ -287,12 +306,27 @@ func (l *Log) AppendDeleteKeyed(name, key string) error {
 }
 
 // append writes one framed payload to the current segment. Caller holds mu.
+//
+// Failure discipline: a failed or short write (and, with Fsync on, a
+// failed fsync) refuses the ack, and the segment tail is restored to the
+// last complete acked frame — a torn frame left mid-file would turn every
+// later append into hard corruption, and a written-but-refused frame
+// would resurrect as a phantom mutation at recovery. If the tail cannot
+// be restored the log wedges: appends refuse until Repair succeeds.
 func (l *Log) append(op string, payload []byte) error {
 	if l.closed {
 		return fmt.Errorf("wal: log is closed")
 	}
+	if l.wedged != nil {
+		return fmt.Errorf("wal: log is wedged pending repair: %w", l.wedged)
+	}
 	buf := frame(payload)
-	if _, err := l.f.Write(buf); err != nil {
+	if n, err := l.f.Write(buf); err != nil || n != len(buf) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		l.reg.Counter("wal_append_errors_total", nil).Inc()
+		l.restoreTail()
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	if l.opt.Fsync {
@@ -300,9 +334,12 @@ func (l *Log) append(op string, payload []byte) error {
 		err := l.f.Sync()
 		stop()
 		if err != nil {
+			l.reg.Counter("wal_append_errors_total", nil).Inc()
+			l.restoreTail()
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
 	}
+	l.size += int64(len(buf))
 	l.seq++
 	l.lag++
 	l.reg.Counter("wal_appends_total", obs.Labels{"op": op}).Inc()
@@ -323,25 +360,33 @@ func (l *Log) Rotate() (uint64, error) {
 	if l.closed {
 		return 0, fmt.Errorf("wal: log is closed")
 	}
+	if l.wedged != nil {
+		return 0, fmt.Errorf("wal: log is wedged pending repair: %w", l.wedged)
+	}
 	if err := l.f.Sync(); err != nil {
 		return 0, fmt.Errorf("wal: sealing %s: %w", segName(l.gen), err)
 	}
 	if err := l.f.Close(); err != nil {
+		// The handle is gone either way; reattach so the log stays usable.
+		l.reopenCurrent()
 		return 0, fmt.Errorf("wal: sealing %s: %w", segName(l.gen), err)
 	}
 	gen := l.gen + 1
-	f, err := os.OpenFile(filepath.Join(l.opt.Dir, segName(gen)), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(filepath.Join(l.opt.Dir, segName(gen)), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		// Reopen the sealed segment so the log stays usable.
-		l.f, _ = os.OpenFile(filepath.Join(l.opt.Dir, segName(l.gen)), os.O_WRONLY|os.O_APPEND, 0o644)
+		// Reopen the sealed segment so the log stays usable; a failed
+		// reopen wedges the log rather than leaving a broken handle for
+		// the next append to crash into.
+		l.reopenCurrent()
 		return 0, fmt.Errorf("wal: rotate: %w", err)
 	}
-	if err := syncDir(l.opt.Dir); err != nil {
+	if err := l.syncDir(); err != nil {
 		f.Close()
-		l.f, _ = os.OpenFile(filepath.Join(l.opt.Dir, segName(l.gen)), os.O_WRONLY|os.O_APPEND, 0o644)
+		l.fs.Remove(filepath.Join(l.opt.Dir, segName(gen))) // best effort; an empty next-gen file is harmless
+		l.reopenCurrent()
 		return 0, err
 	}
-	l.f, l.gen = f, gen
+	l.f, l.gen, l.size = f, gen, 0
 	// Appends into the new generation count as post-snapshot lag; the
 	// about-to-be-written snapshot covers everything before it.
 	l.lag = 0
@@ -374,28 +419,31 @@ func (l *Log) writeSnapshot(gen uint64, state map[string]*relation.Relation) err
 	sort.Strings(names)
 
 	tmp := filepath.Join(l.opt.Dir, snapName(gen)+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
-	defer os.Remove(tmp) // no-op after the rename succeeds
+	defer l.fs.Remove(tmp) // no-op after the rename succeeds
 
-	write := func(payload []byte) error {
-		_, err := f.Write(frame(payload))
-		return err
-	}
-	err = write(encodeMark(opSnap, gen, len(names)))
+	// The whole snapshot body is framed in memory and lands in one write:
+	// on a faulty disk every write is a chance to fail, and a snapshot
+	// that needs one success instead of one per relation is the
+	// difference between degraded-mode recovery converging and starving.
+	var body bytes.Buffer
+	body.Write(frame(encodeMark(opSnap, gen, len(names))))
 	for _, name := range names {
-		if err != nil {
+		var payload []byte
+		if payload, err = encodePut(0, name, "", state[name]); err != nil {
 			break
 		}
-		var payload []byte
-		if payload, err = encodePut(0, name, "", state[name]); err == nil {
-			err = write(payload)
-		}
+		body.Write(frame(payload))
 	}
 	if err == nil {
-		err = write(encodeMark(opCommit, gen, len(names)))
+		body.Write(frame(encodeMark(opCommit, gen, len(names))))
+		var n int
+		if n, err = f.Write(body.Bytes()); err == nil && n != body.Len() {
+			err = io.ErrShortWrite
+		}
 	}
 	if err == nil {
 		err = f.Sync()
@@ -406,10 +454,10 @@ func (l *Log) writeSnapshot(gen uint64, state map[string]*relation.Relation) err
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(l.opt.Dir, snapName(gen))); err != nil {
+	if err := l.fs.Rename(tmp, filepath.Join(l.opt.Dir, snapName(gen))); err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
-	if err := syncDir(l.opt.Dir); err != nil {
+	if err := l.syncDir(); err != nil {
 		return err
 	}
 
@@ -417,24 +465,43 @@ func (l *Log) writeSnapshot(gen uint64, state map[string]*relation.Relation) err
 	if gen > l.snapGen {
 		l.snapGen = gen
 	}
+	quarantine := make(map[string]bool, len(l.corrupt))
+	for name := range l.corrupt {
+		quarantine[name] = true
+	}
 	l.mu.Unlock()
 
-	// Garbage-collect everything the new snapshot supersedes.
+	// Garbage-collect everything the new snapshot supersedes. Files marked
+	// corrupt are quarantined into corrupt/ for forensics instead of
+	// deleted — but only now, once the fresh snapshot is the recovery base
+	// and abandoning their records cannot lose state.
 	for _, kind := range []struct{ prefix, suffix string }{{"wal-", ".log"}, {"snap-", ".snap"}} {
-		gens, err := listGens(l.opt.Dir, kind.prefix, kind.suffix)
+		gens, err := listGens(l.fs, l.opt.Dir, kind.prefix, kind.suffix)
 		if err != nil {
 			return fmt.Errorf("wal: snapshot gc: %w", err)
 		}
 		for _, g := range gens {
-			if g < gen {
-				path := filepath.Join(l.opt.Dir, fmt.Sprintf("%s%016d%s", kind.prefix, g, kind.suffix))
-				if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			if g >= gen {
+				continue
+			}
+			name := fmt.Sprintf("%s%016d%s", kind.prefix, g, kind.suffix)
+			path := filepath.Join(l.opt.Dir, name)
+			if quarantine[name] {
+				if err := quarantineFile(l.fs, l.opt.Dir, name); err != nil {
 					return fmt.Errorf("wal: snapshot gc: %w", err)
 				}
+				l.reg.Counter("wal_quarantined_total", nil).Inc()
+				l.mu.Lock()
+				delete(l.corrupt, name)
+				l.mu.Unlock()
+				continue
+			}
+			if err := l.fs.Remove(path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: snapshot gc: %w", err)
 			}
 		}
 	}
-	return syncDir(l.opt.Dir)
+	return l.syncDir()
 }
 
 // Close seals the current segment. Further appends fail.
@@ -445,6 +512,9 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	if l.f == nil { // wedged with no handle; nothing left to seal
+		return l.wedged
+	}
 	if err := l.f.Sync(); err != nil {
 		l.f.Close()
 		return fmt.Errorf("wal: close: %w", err)
@@ -452,15 +522,159 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
-// syncDir fsyncs a directory, making renames and file creations durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+// syncDir fsyncs the data directory, making renames and file creations
+// durable.
+func (l *Log) syncDir() error {
+	if err := l.fs.SyncDir(l.opt.Dir); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", l.opt.Dir, err)
 	}
 	return nil
+}
+
+// restoreTail returns the current segment to its last acked frame
+// boundary after a failed append. Failure to restore wedges the log.
+// Caller holds mu.
+func (l *Log) restoreTail() {
+	if err := l.truncateReopen(); err != nil {
+		l.wedge(err)
+	}
+}
+
+// wedge puts the log into its defined failed state: the append handle is
+// considered unusable and every append refuses until Repair succeeds.
+// Caller holds mu.
+func (l *Log) wedge(err error) {
+	l.wedged = err
+	l.reg.Counter("wal_wedged_total", nil).Inc()
+	l.opt.Logf("wal wedged: %v", err)
+}
+
+// truncateReopen re-establishes the append handle on the current segment
+// truncated to exactly l.size bytes (the acked frames), and fsyncs it so
+// the restored tail is durable. Caller holds mu.
+func (l *Log) truncateReopen() error {
+	if l.f != nil {
+		l.f.Close() // the handle may already be broken; the reopen below decides
+		l.f = nil
+	}
+	path := filepath.Join(l.opt.Dir, segName(l.gen))
+	if err := l.fs.Truncate(path, l.size); err != nil {
+		return fmt.Errorf("wal: restoring tail of %s: %w", segName(l.gen), err)
+	}
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopening %s: %w", segName(l.gen), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing restored %s: %w", segName(l.gen), err)
+	}
+	l.f = f
+	return nil
+}
+
+// reopenCurrent re-attaches the append handle to the current segment
+// after a failed rotation, wedging the log if the reopen itself fails
+// (this error used to be discarded, leaving a broken handle for the next
+// append to crash into). Caller holds mu.
+func (l *Log) reopenCurrent() {
+	f, err := l.fs.OpenFile(filepath.Join(l.opt.Dir, segName(l.gen)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.f = nil
+		l.wedge(fmt.Errorf("wal: reopening %s after failed rotation: %w", segName(l.gen), err))
+		return
+	}
+	l.f = f
+}
+
+// Repair attempts to return a wedged log to service: truncate any torn
+// tail back to the last acked frame boundary, reopen the append handle,
+// and fsync. A no-op beyond a tail re-sync when the log is healthy.
+func (l *Log) Repair() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if err := l.truncateReopen(); err != nil {
+		l.wedge(err)
+		return err
+	}
+	if l.wedged != nil {
+		l.reg.Counter("wal_repairs_total", nil).Inc()
+		l.wedged = nil
+	}
+	return nil
+}
+
+// Wedged reports the log's failed state, nil when appendable.
+func (l *Log) Wedged() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wedged
+}
+
+// Probe verifies the data directory accepts durable writes again: repair
+// the log's own tail if wedged, then write, fsync and remove a scratch
+// file. The server's read-only mode gates recovery on a nil return.
+func (l *Log) Probe() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if l.wedged != nil {
+		if err := l.truncateReopen(); err != nil {
+			l.wedged = err
+			return err
+		}
+		l.reg.Counter("wal_repairs_total", nil).Inc()
+		l.wedged = nil
+	}
+	path := filepath.Join(l.opt.Dir, "probe.tmp")
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: probe: %w", err)
+	}
+	_, err = f.Write([]byte("systolicdb durability probe\n"))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	l.fs.Remove(path) // best effort; a stray probe file is ignored by recovery
+	if err != nil {
+		return fmt.Errorf("wal: probe: %w", err)
+	}
+	return nil
+}
+
+// MarkCorrupt flags data files (bare names like "wal-0000000000000003.log")
+// whose at-rest bytes failed verification. They are not touched
+// immediately — quarantining a live segment before a fresh snapshot
+// commits could lose acked state — but the next snapshot GC moves them
+// into the corrupt/ subdirectory instead of deleting them.
+func (l *Log) MarkCorrupt(names []string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.corrupt == nil {
+		l.corrupt = make(map[string]bool, len(names))
+	}
+	for _, n := range names {
+		l.corrupt[n] = true
+	}
+}
+
+// quarantineFile moves one data file into dir/corrupt/, creating the
+// subdirectory as needed.
+func quarantineFile(fsys diskchaos.FS, dir, name string) error {
+	qdir := filepath.Join(dir, "corrupt")
+	if err := fsys.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	if err := fsys.Rename(filepath.Join(dir, name), filepath.Join(qdir, name)); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
